@@ -1,0 +1,124 @@
+"""D1 — Collaborative editing (§3, bullet 1).
+
+N concurrent editors on one shared document, realistic operation mix
+(typing, deleting, layout, copy-paste).  We measure aggregate operation
+throughput as the party grows and verify the demo's correctness property:
+all editors converge to the same text with an intact character chain.
+
+Ablation (DESIGN.md): push propagation (commit-trigger-maintained editor
+caches, what TeNDaX does) vs a polling client that rebuilds its view
+before every operation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collab import CollaborationServer, EditorClient
+from repro.workload import SimulatedTypist, run_lan_party
+
+PARTY_SIZES = [1, 2, 4, 8]
+OPS_PER_EDITOR = 40
+
+
+def _build_party(n_editors: int):
+    server = CollaborationServer()
+    users = [f"user{i}" for i in range(n_editors)]
+    for user in users:
+        server.register_user(user)
+    host = server.connect(users[0])
+    shared = host.create_document("shared", text="start ")
+    editors = [EditorClient(host, shared.doc)]
+    for user in users[1:]:
+        session = server.connect(user)
+        editors.append(EditorClient(session, shared.doc))
+    typists = [SimulatedTypist(e, seed=100 + i)
+               for i, e in enumerate(editors)]
+    return server, shared, editors, typists
+
+
+@pytest.mark.parametrize("n_editors", PARTY_SIZES)
+def test_party_throughput(benchmark, n_editors):
+    """Aggregate ops/s with N concurrent editors (round-robin)."""
+    server, shared, editors, typists = _build_party(n_editors)
+
+    def run_round():
+        for typist in typists:
+            typist.step()
+
+    benchmark.group = "D1 party throughput (one round = N ops)"
+    benchmark.extra_info["editors"] = n_editors
+    benchmark.pedantic(run_round, rounds=OPS_PER_EDITOR, iterations=1)
+    # Convergence check after the measured run.
+    texts = {e.text() for e in editors}
+    assert len(texts) == 1
+    assert editors[0].handle.check_integrity() == []
+
+
+def test_full_lan_party_scenario(benchmark):
+    """The complete §3 scenario (3 OSes, styles, pastes, undo mix)."""
+    def party():
+        report = run_lan_party(rounds=30, seed=42)
+        assert report.converged and report.chain_intact
+        return report
+
+    benchmark.group = "D1 LAN-party scenario"
+    report = benchmark.pedantic(party, rounds=3, iterations=1)
+    benchmark.extra_info["ops"] = report.operations
+    benchmark.extra_info["final_length"] = report.final_length
+
+
+# ---------------------------------------------------------------------------
+# Ablation: push propagation vs client polling
+# ---------------------------------------------------------------------------
+
+def test_propagation_push(benchmark):
+    """Push: editor caches spliced incrementally from commit triggers."""
+    server, shared, editors, __ = _build_party(2)
+    active, passive = editors
+
+    def edit_and_read():
+        active.move_end()
+        active.type("x")
+        return passive.text()  # already fresh, no rebuild
+
+    benchmark.group = "D1 propagation ablation"
+    benchmark.extra_info["mode"] = "push (trigger splice)"
+    benchmark(edit_and_read)
+
+
+def test_propagation_poll(benchmark):
+    """Poll: the passive client rebuilds its full view per read."""
+    server, shared, editors, __ = _build_party(2)
+    active, passive = editors
+
+    def edit_and_read():
+        active.move_end()
+        active.type("x")
+        passive.handle.refresh()  # the polling client's full rebuild
+        return passive.text()
+
+    benchmark.group = "D1 propagation ablation"
+    benchmark.extra_info["mode"] = "poll (full rebuild)"
+    benchmark(edit_and_read)
+
+
+def test_shape_push_beats_poll_on_large_docs():
+    """Push cost stays flat while poll cost grows with document size."""
+    import time
+
+    def measure(mode: str, size: int) -> float:
+        server, shared, editors, __ = _build_party(2)
+        active, passive = editors
+        active.type("x" * size)
+        start = time.perf_counter()
+        for __ in range(10):
+            active.type("y")
+            if mode == "poll":
+                passive.handle.refresh()
+            passive.text()
+        return (time.perf_counter() - start) / 10
+
+    push_big = measure("push", 4000)
+    poll_big = measure("poll", 4000)
+    assert poll_big > push_big  # the rebuild dominates on big documents

@@ -1,0 +1,130 @@
+"""D3 — Dynamic folders (§3, bullet 3).
+
+"Its content is fluent and may change within seconds (e.g. as soon as a
+document changes)."  We measure:
+
+* the *freshness path*: the incremental cost an edit pays so folder
+  membership is correct in the same commit (event-driven re-evaluation of
+  one document), vs
+* the *re-query baseline*: a full rescan of the corpus on every read —
+  what a folder defined as a stored query against a conventional DBMS
+  would do.
+
+Expected shape: event-driven update cost is independent of corpus size;
+re-query grows linearly — so the gap widens with the corpus.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database
+from repro.folders import (
+    AccessedBy,
+    CreatorIs,
+    DynamicFolderManager,
+    SizeAtLeast,
+    StateIs,
+)
+from repro.text import DocumentStore
+from repro.workload import CorpusSpec, load_corpus
+
+CORPUS_SIZES = [25, 100, 300]
+DAY = 86400.0
+
+
+def _corpus(n_docs: int):
+    db = Database("bench")
+    store = DocumentStore(db)
+    handles = load_corpus(store, CorpusSpec(n_docs=n_docs, seed=3))
+    manager = DynamicFolderManager(db)
+    folders = [
+        manager.create_folder("ana", CreatorIs("ana")),
+        manager.create_folder("finals", StateIs("final")),
+        manager.create_folder("big", SizeAtLeast(300)),
+        manager.create_folder("ben-read",
+                              AccessedBy("ben", "read", within=7 * DAY)),
+    ]
+    return db, store, handles, manager, folders
+
+
+@pytest.mark.parametrize("n_docs", CORPUS_SIZES)
+def test_event_driven_update(benchmark, n_docs):
+    """Edit one document; membership refresh rides the commit."""
+    db, store, handles, manager, folders = _corpus(n_docs)
+    target = handles[0]
+
+    def edit():
+        target.insert_text(0, "x", "ana")
+
+    benchmark.group = f"D3 folder freshness n={n_docs}"
+    benchmark.extra_info["mode"] = "event-driven"
+    benchmark.extra_info["corpus"] = n_docs
+    benchmark(edit)
+
+
+@pytest.mark.parametrize("n_docs", CORPUS_SIZES)
+def test_requery_baseline(benchmark, n_docs):
+    """The same freshness achieved by full re-query on read."""
+    db, store, handles, manager, folders = _corpus(n_docs)
+    target = handles[0]
+    manager.close()  # disable the event path; baseline re-queries instead
+
+    def edit_and_requery():
+        target.insert_text(0, "x", "ana")
+        for folder in folders:
+            folder.revalidate()
+
+    benchmark.group = f"D3 folder freshness n={n_docs}"
+    benchmark.extra_info["mode"] = "re-query"
+    benchmark.extra_info["corpus"] = n_docs
+    benchmark.pedantic(edit_and_requery, rounds=5, iterations=1)
+
+
+def test_shape_event_driven_scales_flat():
+    """Event-driven cost ~flat in corpus size; re-query grows."""
+    import time
+
+    def measure(n_docs: int, requery: bool) -> float:
+        db, store, handles, manager, folders = _corpus(n_docs)
+        if requery:
+            manager.close()
+        target = handles[0]
+        start = time.perf_counter()
+        for __ in range(5):
+            target.insert_text(0, "x", "ana")
+            if requery:
+                for folder in folders:
+                    folder.revalidate()
+        return (time.perf_counter() - start) / 5
+
+    event_small = measure(25, requery=False)
+    event_big = measure(300, requery=False)
+    requery_small = measure(25, requery=True)
+    requery_big = measure(300, requery=True)
+    # Re-query cost must grow much faster than event-driven cost.
+    assert requery_big / requery_small > 4
+    assert (event_big / event_small) < (requery_big / requery_small)
+    # And at 300 docs the event path must win clearly.
+    assert requery_big / event_big > 5
+
+
+def test_freshness_same_commit():
+    """The paper's fluency claim, as a correctness property."""
+    db, store, handles, manager, folders = _corpus(25)
+    big = manager.folder("big")
+    handle = store.create("grows", "ana", text="x" * 299)
+    assert handle.doc not in big
+    handle.insert_text(0, "x", "ana")          # crosses the threshold
+    assert handle.doc in big                   # visible with zero polling
+
+
+def test_membership_read(benchmark):
+    """Reading a folder's contents (the cheap path users hit)."""
+    db, store, handles, manager, folders = _corpus(200)
+
+    def read():
+        return [len(folder.contents()) for folder in folders]
+
+    benchmark.group = "D3 folder reads"
+    benchmark(read)

@@ -1,0 +1,240 @@
+"""C1 — "very fast transactions for all editing tasks" (§2).
+
+The paper's core performance claim: because characters are neighbour-
+linked rows, a keystroke is a constant number of row operations however
+large the document is.  We measure the per-keystroke transaction against
+the two baselines:
+
+* **offset storage** (one row per character keyed by position): a
+  mid-document insert updates O(n) rows, so keystroke cost grows linearly
+  with document size;
+* **file word processor** (the §1 status quo): durability means rewriting
+  the whole file on every save.
+
+Expected shape: TeNDaX flat across document sizes; both baselines grow
+linearly; TeNDaX wins by orders of magnitude on large documents.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import FileWordProcessor, OffsetDocumentStore
+from repro.db import Database
+from repro.text import DocumentStore
+
+from .conftest import make_text
+
+SIZES = [500, 2000, 8000]
+
+
+# ---------------------------------------------------------------------------
+# Mid-document keystroke vs document size (the headline comparison)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("size", SIZES)
+def test_keystroke_tendax(benchmark, size):
+    """TeNDaX: one insert + two pointer updates, any document size."""
+    db = Database("bench")
+    store = DocumentStore(db, log_reads=False, log_writes=False)
+    handle = store.create("doc", "ana", text=make_text(size))
+    anchor = handle.char_oid_at(size // 2)
+
+    def keystroke():
+        handle.insert_after(anchor, "x", "ana")
+
+    benchmark.group = f"C1 keystroke mid-doc n={size}"
+    benchmark.extra_info["system"] = "tendax"
+    benchmark.extra_info["doc_size"] = size
+    benchmark(keystroke)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_keystroke_offset_baseline(benchmark, size):
+    """Offset baseline: the same keystroke shifts O(n) rows."""
+    db = Database("bench")
+    store = OffsetDocumentStore(db)
+    doc = store.create("doc", "ana", make_text(size))
+
+    def keystroke():
+        store.insert(doc, size // 2, "x", "ana")
+
+    benchmark.group = f"C1 keystroke mid-doc n={size}"
+    benchmark.extra_info["system"] = "offset-baseline"
+    benchmark.extra_info["doc_size"] = size
+    benchmark.pedantic(keystroke, rounds=5, iterations=1,
+                       warmup_rounds=1)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_keystroke_file_baseline(benchmark, size):
+    """File baseline: durability = rewrite the whole document."""
+    wp = FileWordProcessor()
+    wp.create("doc.txt", make_text(size))
+    wp.open_for_edit("doc.txt", "ana")
+
+    def keystroke():
+        wp.insert("doc.txt", "ana", size // 2, "x")
+
+    benchmark.group = f"C1 keystroke mid-doc n={size}"
+    benchmark.extra_info["system"] = "file-baseline"
+    benchmark.extra_info["doc_size"] = size
+    benchmark(keystroke)
+
+
+def test_shape_tendax_flat_offset_linear():
+    """Assert the paper's shape: TeNDaX ~flat, offset baseline ~linear."""
+    import time
+
+    def time_tendax(size: int) -> float:
+        db = Database("bench")
+        store = DocumentStore(db, log_reads=False, log_writes=False)
+        handle = store.create("doc", "ana", text=make_text(size))
+        anchor = handle.char_oid_at(size // 2)
+        start = time.perf_counter()
+        for __ in range(20):
+            handle.insert_after(anchor, "x", "ana")
+        return (time.perf_counter() - start) / 20
+
+    def time_offset(size: int) -> float:
+        db = Database("bench")
+        store = OffsetDocumentStore(db)
+        doc = store.create("doc", "ana", make_text(size))
+        start = time.perf_counter()
+        for __ in range(3):
+            store.insert(doc, size // 2, "x", "ana")
+        return (time.perf_counter() - start) / 3
+
+    tendax_small, tendax_big = time_tendax(500), time_tendax(8000)
+    offset_small, offset_big = time_offset(500), time_offset(8000)
+    # Offset cost must grow steeply with size (16x size -> >4x time).
+    assert offset_big / offset_small > 4.0
+    # TeNDaX must grow far slower than the baseline does.
+    assert (tendax_big / tendax_small) < (offset_big / offset_small)
+    # And on large documents TeNDaX must win outright, by a lot.
+    assert offset_big / tendax_big > 10.0
+
+
+# ---------------------------------------------------------------------------
+# The other editing tasks of §2
+# ---------------------------------------------------------------------------
+
+def test_append_typing_burst(benchmark):
+    """Sequential typing at the end of a document (the common case)."""
+    db = Database("bench")
+    store = DocumentStore(db, log_reads=False, log_writes=False)
+    handle = store.create("doc", "ana", text=make_text(2000))
+
+    def burst():
+        anchor = handle.anchor_for(handle.length())
+        for ch in "hello world ":
+            (anchor,) = handle.insert_after(anchor, ch, "ana")
+
+    benchmark.group = "C1 editing tasks"
+    benchmark(burst)
+
+
+def test_delete_range_transaction(benchmark):
+    """Logical deletion of a 20-char range (one transaction)."""
+    db = Database("bench")
+    store = DocumentStore(db, log_reads=False, log_writes=False)
+    handle = store.create("doc", "ana", text=make_text(20_000))
+    state = {"pos": 0}
+
+    def delete_range():
+        handle.delete_range(state["pos"], 20, "ana")
+        state["pos"] += 5
+
+    benchmark.group = "C1 editing tasks"
+    benchmark(delete_range)
+
+
+def test_styling_range_transaction(benchmark):
+    """Collaborative layout: styling a 50-char range."""
+    db = Database("bench")
+    store = DocumentStore(db, log_reads=False, log_writes=False)
+    handle = store.create("doc", "ana", text=make_text(5000))
+    style = db.new_oid("style")
+
+    def style_range():
+        handle.apply_style(100, 50, style, "ana")
+
+    benchmark.group = "C1 editing tasks"
+    benchmark(style_range)
+
+
+def test_copy_paste_with_lineage(benchmark, server):
+    """Paste of 100 chars including per-character lineage capture."""
+    server.register_user("ana")
+    session = server.connect("ana")
+    src = session.create_document("src", text=make_text(2000))
+    dst = session.create_document("dst", text="start ")
+    session.copy(src.doc, 0, 100)
+
+    def paste():
+        session.paste(dst.doc, 0)
+
+    benchmark.group = "C1 editing tasks"
+    benchmark(paste)
+
+
+def test_document_load(benchmark):
+    """Opening a 10k-char document (chain traversal + cache build)."""
+    db = Database("bench")
+    store = DocumentStore(db, log_reads=False, log_writes=False)
+    handle = store.create("doc", "ana", text=make_text(10_000))
+    doc = handle.doc
+
+    def open_doc():
+        h = store.handle(doc)
+        h.close()
+        return h.length()
+
+    benchmark.group = "C1 editing tasks"
+    result = benchmark(open_doc)
+    assert result == 10_000
+
+
+def test_storage_amplification_report():
+    """Ablation: what character-level metadata costs in writes.
+
+    Types 1000 characters into each system and compares the write
+    amplification: TeNDaX writes O(1) rows per keystroke (but each row
+    carries full metadata); the offset baseline writes O(n) row updates;
+    the file baseline rewrites the whole document per save.
+    """
+    n = 1000
+    # TeNDaX: count WAL data records for n keystrokes.
+    db = Database("bench")
+    store = DocumentStore(db, log_reads=False, log_writes=False)
+    handle = store.create("doc", "ana")
+    before = len(db.wal)
+    anchor = handle.begin_char
+    for __ in range(n):
+        (anchor,) = handle.insert_after(anchor, "x", "ana")
+    tendax_records = len(db.wal) - before
+
+    # Offset baseline: mid-document typing (the unfavourable position).
+    odb = Database("bench2")
+    offsets = OffsetDocumentStore(odb)
+    doc = offsets.create("doc", "ana", "x" * 500)
+    before = len(odb.wal)
+    for i in range(50):  # 50 keystrokes are plenty to see the shape
+        offsets.insert(doc, 250, "x", "ana")
+    offset_records = (len(odb.wal) - before) * (n // 50)
+
+    # File baseline: whole-file rewrite per keystroke.
+    wp = FileWordProcessor()
+    wp.create("doc.txt", "x" * 500)
+    wp.open_for_edit("doc.txt", "ana")
+    for __ in range(n):
+        wp.insert("doc.txt", "ana", 250, "x")
+    file_bytes = wp.stats["bytes_written"]
+
+    # Appending at the end, TeNDaX pays ~6 WAL records per keystroke
+    # (begin, insert, 2 neighbour updates, doc-row update, commit).
+    assert tendax_records <= 7 * n
+    # The offset layout pays hundreds of row updates per keystroke.
+    assert offset_records > 50 * n
+    # The file editor rewrote ~n/2 * n bytes = O(n^2) I/O.
+    assert file_bytes > 500 * n

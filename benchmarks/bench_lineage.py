@@ -1,0 +1,133 @@
+"""D4 / Fig. 1 — Data lineage.
+
+Regenerates the lineage visualisation: graph construction and rendering
+cost as the number of copy operations grows, character-level ancestry
+through multi-generation paste chains, and correctness of the
+internal/external source distinction the figure shows.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.collab import CollaborationServer
+from repro.lineage import LineageGraph, ascii_lineage, to_dot
+
+COPY_COUNTS = [10, 50, 200]
+
+
+def _pasted_corpus(n_copies: int, n_docs: int = 12, seed: int = 5):
+    rng = random.Random(seed)
+    server = CollaborationServer()
+    server.register_user("ana")
+    session = server.connect("ana")
+    handles = [
+        session.create_document(f"doc-{i}", text=f"document {i} " * 20)
+        for i in range(n_docs)
+    ]
+    for i in range(n_copies):
+        if i % 7 == 6:
+            session.copy_external(f"external snippet {i}",
+                                  f"https://src{i % 3}.example.org")
+            dst = rng.choice(handles)
+        else:
+            src, dst = rng.sample(handles, 2)
+            session.open(src.doc)
+            count = rng.randint(3, 20)
+            session.copy(src.doc, rng.randint(0, 50), count)
+        session.open(dst.doc)
+        session.paste(dst.doc, 0)
+    return server, handles
+
+
+@pytest.mark.parametrize("n_copies", COPY_COUNTS)
+def test_build_lineage_graph(benchmark, n_copies):
+    """Graph construction from the copy log."""
+    server, handles = _pasted_corpus(n_copies)
+    lineage = LineageGraph(server.db)
+
+    def build():
+        return lineage.build()
+
+    benchmark.group = f"D4 lineage build copies={n_copies}"
+    graph = benchmark(build)
+    assert graph.number_of_edges() == n_copies
+
+
+def test_render_fig1_ascii(benchmark):
+    """Rendering the Fig. 1 view for the best-connected document."""
+    server, handles = _pasted_corpus(80)
+    lineage = LineageGraph(server.db)
+    target = max(handles, key=lambda h: len(lineage.sources_of(h.doc)))
+
+    def render():
+        return ascii_lineage(lineage, target.doc)
+
+    benchmark.group = "D4 lineage render"
+    art = benchmark(render)
+    assert "paste(s) in" in art
+    assert "<-" in art
+
+
+def test_render_fig1_dot(benchmark):
+    server, handles = _pasted_corpus(80)
+    lineage = LineageGraph(server.db)
+    graph = lineage.build()
+
+    def render():
+        return to_dot(graph)
+
+    benchmark.group = "D4 lineage render"
+    dot = benchmark(render)
+    assert dot.startswith("digraph")
+
+
+def test_char_ancestry_deep_chain(benchmark):
+    """Walking a 10-generation paste chain for one character."""
+    server = CollaborationServer()
+    server.register_user("ana")
+    session = server.connect("ana")
+    docs = [session.create_document(f"gen-{i}", text=f"gen {i}: ")
+            for i in range(11)]
+    session.open(docs[0].doc)
+    session.insert(docs[0].doc, 7, "payload")
+    for i in range(10):
+        session.copy(docs[i].doc, 7, 7)
+        session.paste(docs[i + 1].doc, 7)
+    lineage = LineageGraph(server.db)
+    leaf = docs[10].char_oid_at(7)
+
+    def ancestry():
+        return lineage.char_ancestry(leaf)
+
+    benchmark.group = "D4 lineage ancestry"
+    chain = benchmark(ancestry)
+    assert len(chain) == 11
+    assert chain[-1].doc == docs[0].doc
+
+
+def test_fig1_shape_internal_and_external_sources():
+    """The figure's content: internal and external provenance co-exist."""
+    server, handles = _pasted_corpus(50)
+    lineage = LineageGraph(server.db)
+    graph = lineage.build()
+    kinds = {attrs["kind"] for __, attrs in graph.nodes(data=True)}
+    assert kinds == {"document", "external"}
+    # Every edge carries the figure's annotations.
+    for __, __, attrs in graph.edges(data=True):
+        assert attrs["n_chars"] > 0
+        assert attrs["user"] == "ana"
+
+
+def test_copied_fraction_query(benchmark):
+    server, handles = _pasted_corpus(60)
+    lineage = LineageGraph(server.db)
+
+    def fractions():
+        return [lineage.copied_fraction(h.doc) for h in handles]
+
+    benchmark.group = "D4 lineage ancestry"
+    values = benchmark(fractions)
+    assert any(v > 0 for v in values)

@@ -1,0 +1,173 @@
+"""C3 — DBMS features "now available for word processing" (§2).
+
+Recovery: crash mid-edit, replay the WAL, verify the document (and its
+character chain) come back exactly — committed keystrokes survive, the
+in-flight uncommitted one does not.  Measured against log size, plus the
+checkpoint ablation.
+
+Security: the enforcement overhead a keystroke pays when document ACLs
+and character-range protections are switched on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collab import CollaborationServer
+from repro.db import Database, recover
+from repro.text import DocumentStore
+
+from .conftest import make_text
+
+EDIT_COUNTS = [100, 500, 2000]
+
+
+def _edited_db(n_edits: int):
+    db = Database("bench")
+    store = DocumentStore(db, log_reads=False, log_writes=False)
+    handle = store.create("doc", "ana", text="seed ")
+    for i in range(n_edits):
+        handle.insert_text(handle.length(), "x", "ana")
+        if i % 10 == 9:
+            handle.delete_range(0, 1, "ana")
+    return db, store, handle
+
+
+# ---------------------------------------------------------------------------
+# Recovery
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("n_edits", EDIT_COUNTS)
+def test_recovery_replay(benchmark, n_edits):
+    """Rebuild the database from the WAL after a crash."""
+    db, store, handle = _edited_db(n_edits)
+    expected_text = handle.text()
+    records = list(db.wal.records())
+
+    def replay():
+        return recover(records)
+
+    benchmark.group = f"C3 recovery edits={n_edits}"
+    benchmark.extra_info["wal_records"] = len(records)
+    recovered = benchmark.pedantic(replay, rounds=3, iterations=1)
+    new_store = DocumentStore(recovered, log_reads=False, log_writes=False)
+    new_handle = new_store.handle(handle.doc)
+    assert new_handle.text() == expected_text
+    assert new_handle.check_integrity() == []
+
+
+def test_recovery_from_checkpoint(benchmark):
+    """Checkpoint ablation: replay only the post-checkpoint tail."""
+    db, store, handle = _edited_db(2000)
+    lsn = db.checkpoint()
+    for __ in range(50):
+        handle.insert_text(handle.length(), "y", "ana")
+    db.wal.truncate_before(lsn)
+    expected_text = handle.text()
+    records = list(db.wal.records())
+
+    def replay():
+        return recover(records)
+
+    benchmark.group = "C3 recovery ablation"
+    benchmark.extra_info["mode"] = "checkpoint+tail"
+    recovered = benchmark.pedantic(replay, rounds=3, iterations=1)
+    new_handle = DocumentStore(recovered).handle(handle.doc)
+    assert new_handle.text() == expected_text
+
+
+def test_crash_loses_only_uncommitted(tmp_path):
+    """The durability contract, end to end through a file."""
+    from repro.db import recover_file
+    path = str(tmp_path / "wal.jsonl")
+    db = Database("bench", wal_path=path)
+    store = DocumentStore(db, log_reads=False, log_writes=False)
+    handle = store.create("doc", "ana", text="committed text")
+    # An in-flight transaction that never commits ("the crash").
+    txn = db.begin()
+    txn.insert("tx_chars", {
+        "char": db.new_oid("char"), "doc": handle.doc, "ch": "X",
+        "prev": None, "next": None, "author": "ana",
+        "created_at": db.now(),
+    })
+    db.close()
+
+    recovered = recover_file(path)
+    new_handle = DocumentStore(recovered).handle(handle.doc)
+    assert new_handle.text() == "committed text"
+    assert new_handle.check_integrity() == []
+
+
+def test_wal_write_overhead(benchmark):
+    """Keystroke cost with the WAL mirrored to a real file."""
+    import tempfile
+    with tempfile.NamedTemporaryFile(suffix=".jsonl") as tmp:
+        db = Database("bench", wal_path=tmp.name)
+        store = DocumentStore(db, log_reads=False, log_writes=False)
+        handle = store.create("doc", "ana", text=make_text(1000))
+        anchor = handle.char_oid_at(500)
+
+        def keystroke():
+            handle.insert_after(anchor, "x", "ana")
+
+        benchmark.group = "C3 durability overhead"
+        benchmark.extra_info["wal"] = "file-backed"
+        benchmark(keystroke)
+
+
+# ---------------------------------------------------------------------------
+# Security enforcement overhead
+# ---------------------------------------------------------------------------
+
+def _party(protections: int):
+    server = CollaborationServer()
+    server.register_user("ana")
+    server.register_user("ben")
+    ana = server.connect("ana")
+    handle = ana.create_document("doc", text=make_text(2000))
+    if protections:
+        server.acl.grant(handle.doc, "ben", "write", "ana")
+        for i in range(protections):
+            server.acl.protect_range(handle, i * 50, 10, "ana",
+                                     exempt=("ben",))
+    ben = server.connect("ben")
+    ben.open(handle.doc)
+    return server, ben, handle
+
+
+def test_keystroke_no_security(benchmark):
+    server, ben, handle = _party(protections=0)
+
+    def keystroke():
+        ben.insert(handle.doc, 100, "x")
+
+    benchmark.group = "C3 security overhead"
+    benchmark.extra_info["config"] = "open document"
+    benchmark(keystroke)
+
+
+def test_keystroke_with_acl_and_protections(benchmark):
+    server, ben, handle = _party(protections=10)
+
+    def delete_one():
+        ben.delete(handle.doc, 200, 1)  # range-checked against 10 guards
+
+    benchmark.group = "C3 security overhead"
+    benchmark.extra_info["config"] = "ACL + 10 range protections"
+    benchmark(delete_one)
+
+
+def test_security_overhead_is_bounded():
+    """Enforcement must not dominate the keystroke transaction."""
+    import time
+
+    def measure(protections: int) -> float:
+        server, ben, handle = _party(protections)
+        start = time.perf_counter()
+        for __ in range(50):
+            ben.delete(handle.doc, 200, 1)
+        return (time.perf_counter() - start) / 50
+
+    open_cost = measure(0)
+    guarded_cost = measure(10)
+    assert guarded_cost < open_cost * 6  # same order of magnitude

@@ -1,0 +1,116 @@
+"""C2 — Local and global undo/redo (§2/§3).
+
+Undo in TeNDaX is metadata, not state rollback: operations are recorded
+against character OIDs, so undoing is another edit transaction.  We
+measure undo/redo cost against history length (expected: constant — the
+record to invert is found directly), local undo under interleaved
+multi-user histories, and the full undo-everything sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collab import CollaborationServer
+
+HISTORY_LENGTHS = [10, 100, 1000]
+
+
+def _session_with_history(n_ops: int, users=("ana",)):
+    server = CollaborationServer()
+    for user in users:
+        server.register_user(user)
+    sessions = [server.connect(user) for user in users]
+    handle = sessions[0].create_document("d", text="base ")
+    for session in sessions[1:]:
+        session.open(handle.doc)
+    for i in range(n_ops):
+        session = sessions[i % len(sessions)]
+        session.insert(handle.doc, handle.length(), f"w{i} ")
+    return server, sessions, handle
+
+
+@pytest.mark.parametrize("n_ops", HISTORY_LENGTHS)
+def test_undo_redo_cycle(benchmark, n_ops):
+    """One local undo+redo pair on a history of ``n_ops`` operations."""
+    server, (session,), handle = _session_with_history(n_ops)
+
+    def cycle():
+        session.undo(handle.doc)
+        session.redo(handle.doc)
+
+    benchmark.group = f"C2 undo/redo history={n_ops}"
+    benchmark.extra_info["history"] = n_ops
+    benchmark(cycle)
+
+
+def test_shape_undo_constant_in_history():
+    """Undo cost must not grow with history length."""
+    import time
+
+    def measure(n_ops: int) -> float:
+        server, (session,), handle = _session_with_history(n_ops)
+        start = time.perf_counter()
+        for __ in range(30):
+            session.undo(handle.doc)
+            session.redo(handle.doc)
+        return (time.perf_counter() - start) / 30
+
+    small = measure(10)
+    large = measure(1000)
+    assert large < small * 8  # near-constant (generous noise margin)
+
+
+def test_local_undo_interleaved_users(benchmark):
+    """ana's local undo must skip ben's interleaved operations."""
+    server, sessions, handle = _session_with_history(
+        200, users=("ana", "ben"))
+    ana = sessions[0]
+
+    def cycle():
+        ana.undo(handle.doc)
+        ana.redo(handle.doc)
+
+    benchmark.group = "C2 undo variants"
+    benchmark(cycle)
+
+
+def test_global_undo(benchmark):
+    server, sessions, handle = _session_with_history(
+        200, users=("ana", "ben"))
+    ana = sessions[0]
+
+    def cycle():
+        ana.undo_global(handle.doc)
+        ana.redo_global(handle.doc)
+
+    benchmark.group = "C2 undo variants"
+    benchmark(cycle)
+
+
+def test_undo_delete_restores(benchmark):
+    """Undoing deletions (undelete transactions)."""
+    server, (session,), handle = _session_with_history(50)
+    state = {"deleted": False}
+
+    def cycle():
+        if state["deleted"]:
+            session.undo(handle.doc)     # undelete
+            state["deleted"] = False
+        else:
+            session.delete(handle.doc, 0, 10)
+            state["deleted"] = True
+
+    benchmark.group = "C2 undo variants"
+    benchmark(cycle)
+
+
+def test_unwind_full_history():
+    """Global undo can unwind an entire multi-user session correctly."""
+    server, sessions, handle = _session_with_history(
+        60, users=("ana", "ben", "cleo"))
+    ana = sessions[0]
+    for __ in range(60):
+        ana.undo_global(handle.doc)
+    assert handle.text() == "base "
+    assert handle.check_integrity() == []

@@ -1,0 +1,124 @@
+"""D5 / Fig. 2 — Visual mining.
+
+Regenerates the document-space overview: feature extraction + tf-idf +
+similarity layout cost as the corpus grows, determinism of the layout,
+and the figure's content property — topically related documents cluster
+together and the map is navigable along metadata dimensions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database
+from repro.mining import FeatureExtractor, VisualMiner, fit_tfidf
+from repro.text import DocumentStore
+from repro.workload import CorpusSpec, load_corpus
+
+CORPUS_SIZES = [16, 64, 128]
+
+
+def _corpus_db(n_docs: int) -> Database:
+    db = Database("bench")
+    store = DocumentStore(db)
+    load_corpus(store, CorpusSpec(n_docs=n_docs, seed=11))
+    return db
+
+
+@pytest.mark.parametrize("n_docs", CORPUS_SIZES)
+def test_build_document_map(benchmark, n_docs):
+    """Full Fig. 2 pipeline: extract -> tf-idf -> layout -> clusters."""
+    db = _corpus_db(n_docs)
+    miner = VisualMiner(db, seed=3)
+
+    def build():
+        return miner.build_map(n_clusters=4)
+
+    benchmark.group = f"D5 visual mining n={n_docs}"
+    benchmark.extra_info["corpus"] = n_docs
+    doc_map = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert doc_map.stats()["documents"] == n_docs
+
+
+def test_feature_extraction(benchmark):
+    """Feature extraction alone (the DB-reading half of the pipeline)."""
+    db = _corpus_db(64)
+    extractor = FeatureExtractor(db)
+
+    def extract():
+        return extractor.extract_all()
+
+    benchmark.group = "D5 pipeline stages"
+    features = benchmark(extract)
+    assert len(features) == 64
+
+
+def test_tfidf_fit(benchmark):
+    """tf-idf fitting alone (the numeric half)."""
+    db = _corpus_db(64)
+    features = FeatureExtractor(db).extract_all()
+
+    def fit():
+        return fit_tfidf(features)
+
+    benchmark.group = "D5 pipeline stages"
+    model = benchmark(fit)
+    assert model.n_docs == 64
+
+
+def test_ascii_scatter_render(benchmark):
+    """Rendering the overview (the figure itself)."""
+    db = _corpus_db(64)
+    doc_map = VisualMiner(db, seed=3).build_map(n_clusters=4)
+
+    def render():
+        return doc_map.ascii_scatter(width=60, height=18)
+
+    benchmark.group = "D5 pipeline stages"
+    art = benchmark(render)
+    assert art.count("\n") == 19
+
+
+def test_fig2_shape_topics_cluster_together():
+    """The figure's content: same-topic documents share a cluster."""
+    db = Database("bench")
+    store = DocumentStore(db)
+    # Two sharply distinct topics, 6 docs each.
+    from repro.workload import generate_text
+    import random
+    rng = random.Random(1)
+    for i in range(6):
+        store.create(f"db-{i}", "ana",
+                     text=generate_text(rng, "database", 80))
+    for i in range(6):
+        store.create(f"ed-{i}", "ana",
+                     text=generate_text(rng, "editing", 80))
+    doc_map = VisualMiner(db, seed=3).build_map(n_clusters=2)
+    clusters = [p.cluster for p in doc_map.points]
+    db_majority = max(set(clusters[:6]), key=clusters[:6].count)
+    ed_majority = max(set(clusters[6:]), key=clusters[6:].count)
+    assert db_majority != ed_majority
+    # Majority purity: at least 5 of 6 in the dominant cluster.
+    assert clusters[:6].count(db_majority) >= 5
+    assert clusters[6:].count(ed_majority) >= 5
+
+
+def test_fig2_shape_dimension_navigation():
+    """Grouping along each advertised metadata dimension works."""
+    db = _corpus_db(32)
+    doc_map = VisualMiner(db, seed=3).build_map()
+    for dimension in ("creator", "state", "cluster", "size_band"):
+        groups = doc_map.group_by(dimension)
+        assert sum(len(v) for v in groups.values()) == 32
+
+
+def test_group_by_query(benchmark):
+    db = _corpus_db(64)
+    doc_map = VisualMiner(db, seed=3).build_map()
+
+    def navigate():
+        return {dim: len(doc_map.group_by(dim))
+                for dim in ("creator", "state", "cluster", "size_band")}
+
+    benchmark.group = "D5 pipeline stages"
+    benchmark(navigate)

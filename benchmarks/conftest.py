@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every benchmark module maps to one experiment row in DESIGN.md /
+EXPERIMENTS.md (D1-D6 demo reproductions, C1-C3 claim measurements).
+Benchmarks print the paper-style result rows via ``extra_info`` and the
+terminal tables pytest-benchmark produces; shape assertions (who wins,
+how it scales) are made inline so a regression fails loudly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.collab import CollaborationServer
+from repro.db import Database
+from repro.text import DocumentStore
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database("bench")
+
+
+@pytest.fixture
+def store(db) -> DocumentStore:
+    # Write logging off: C1 measures the keystroke path itself.
+    return DocumentStore(db, log_reads=False, log_writes=False)
+
+
+@pytest.fixture
+def server() -> CollaborationServer:
+    return CollaborationServer()
+
+
+def make_text(n: int, seed: int = 7) -> str:
+    """Deterministic n-character text."""
+    rng = random.Random(seed)
+    alphabet = "abcdefghijklmnopqrstuvwxyz     "
+    return "".join(rng.choice(alphabet) for __ in range(n))
+

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Render paper-style result tables from a pytest-benchmark JSON file.
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
+    python benchmarks/report.py bench.json
+
+Benchmarks are grouped by their ``benchmark.group`` (one group per
+experiment sweep); rows show median/mean latency plus the ``extra_info``
+fields each bench attached (system, corpus size, mode ...).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import defaultdict
+
+
+def _fmt_seconds(value: float) -> str:
+    if value < 1e-6:
+        return f"{value * 1e9:.0f} ns"
+    if value < 1e-3:
+        return f"{value * 1e6:.1f} us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f} ms"
+    return f"{value:.3f} s"
+
+
+def load_groups(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    groups: dict[str, list[dict]] = defaultdict(list)
+    for bench in payload.get("benchmarks", []):
+        groups[bench.get("group") or "(ungrouped)"].append(bench)
+    return groups
+
+
+def render(groups: dict) -> str:
+    lines: list[str] = []
+    for group in sorted(groups):
+        benches = groups[group]
+        lines.append(group)
+        lines.append("-" * len(group))
+        rows = []
+        for bench in sorted(benches, key=lambda b: b["stats"]["median"]):
+            stats = bench["stats"]
+            extra = bench.get("extra_info", {})
+            label = extra.get("system") or extra.get("mode") \
+                or extra.get("ranking") or bench["name"].split("[")[0]
+            detail = ", ".join(
+                f"{k}={v}" for k, v in sorted(extra.items())
+                if k not in ("system", "mode", "ranking"))
+            rows.append((
+                str(label),
+                _fmt_seconds(stats["median"]),
+                _fmt_seconds(stats["mean"]),
+                f"{1.0 / stats['mean']:,.0f}/s",
+                detail,
+            ))
+        widths = [max(len(row[i]) for row in rows) for i in range(5)]
+        header = ("system/mode", "median", "mean", "throughput", "params")
+        widths = [max(w, len(h)) for w, h in zip(widths, header)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        for row in rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    print(render(load_groups(argv[1])))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Business process definition and flow inside a document (§3, bullet 2).
+
+A contract document gets a translate-then-verify workflow: the translation
+task is assigned to a *role*, worked by whoever holds it, and the flow is
+re-routed dynamically at run-time — including a task added while the
+process is already running.
+
+Run:  python examples/document_workflow.py
+"""
+
+from repro import CollaborationServer, EditorClient, TaskList, WorkflowManager
+
+
+def main() -> None:
+    server = CollaborationServer()
+    server.register_user("ana")                      # project lead
+    server.register_user("ben")                      # verifier
+    server.register_user("cleo", roles=("translators",))
+    server.register_user("dan", roles=("translators",))
+
+    # The document under process.
+    ana = server.connect("ana")
+    contract = ana.create_document(
+        "supply-contract",
+        text="§1 Der Lieferant liefert monatlich.\n§2 Zahlung in 30 Tagen.\n",
+    )
+
+    workflow = WorkflowManager(server.db, server.principals)
+    tasks = TaskList(workflow)
+
+    # -- define the process (anchored to document parts) ---------------------
+    process = workflow.define_process(contract.doc, "translate+verify", "ana")
+    translate = workflow.add_task(
+        process, "translate §1", "translators", "ana",
+        kind="translation",
+        description="Translate the first clause to English",
+        start_char=contract.char_oid_at(0),
+        end_char=contract.char_oid_at(34),
+    )
+    verify = workflow.add_task(
+        process, "verify translation", "ben", "ana",
+        kind="verification", depends_on=[translate],
+    )
+    workflow.start_process(process, "ana")
+    print("process started")
+    print(tasks.render_inbox("cleo"))
+    print(tasks.render_inbox("dan"))
+    print(tasks.render_inbox("ben"), "(waits for translation)")
+    print()
+
+    # -- cleo (a translator) claims and works the task ------------------------
+    workflow.start_task(translate, "cleo")
+    cleo = server.connect("cleo")
+    editor = EditorClient(cleo, contract.doc)
+    editor.move_to(35)
+    editor.type("\n[EN] The supplier delivers monthly.")
+    workflow.complete_task(translate, "cleo")
+    print("cleo translated; verification becomes ready:")
+    print(tasks.render_inbox("ben"))
+    print()
+
+    # -- dynamic behaviour: a task added and re-routed at run-time -----------
+    polish = workflow.add_task(
+        process, "polish English wording", "ben", "ana",
+        kind="editing", depends_on=[verify],
+    )
+    print("added 'polish' task at runtime (waits on verify)")
+    workflow.route_task(polish, "translators", "ben")
+    print("...and re-routed it from ben to the translators role")
+
+    workflow.start_task(verify, "ben")
+    workflow.complete_task(verify, "ben")
+    print(tasks.render_inbox("dan"))
+
+    workflow.start_task(polish, "dan")
+    workflow.complete_task(polish, "dan")
+
+    # -- final state ---------------------------------------------------------
+    status = workflow.process_status(process)
+    print()
+    print(f"process state: {status['state']}, tasks: {status['tasks']}")
+    print("task audit trail for 'polish':")
+    for event in workflow.task_info(polish)["history"]:
+        extras = {k: v for k, v in event.items()
+                  if k not in ("event", "at")}
+        print(f"  - {event['event']:<10} {extras}")
+    print()
+    print("final document:")
+    print(contract.text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: collaborative editing against the TeNDaX database.
+
+Two users connect to one collaboration server, edit the same document
+concurrently, style it, copy-paste with lineage, and undo each other —
+every action a real-time database transaction.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CollaborationServer, EditorClient
+
+
+def main() -> None:
+    # The server owns the database; text lives natively in its tables.
+    server = CollaborationServer()
+    server.register_user("ana")
+    server.register_user("ben")
+
+    # ana creates a document (a handful of INSERT transactions).
+    ana = server.connect("ana", os_name="windows-xp")
+    doc = ana.create_document("quickstart", text="Hello world")
+    print(f"created {doc.doc} with text {doc.text()!r}")
+
+    # ben connects from another "machine" and opens the same document.
+    ben = server.connect("ben", os_name="linux")
+    editor_ana = EditorClient(ana, doc.doc)
+    editor_ben = EditorClient(ben, doc.doc)
+
+    # Concurrent typing: each keystroke is a transaction; both editors
+    # see each other's changes as soon as they are committed.
+    editor_ana.move_end()
+    editor_ana.type("!")
+    editor_ben.move_to(5)
+    editor_ben.type(",")
+    print("ana sees:", editor_ana.text())
+    print("ben sees:", editor_ben.text())
+    assert editor_ana.text() == editor_ben.text()
+
+    # Awareness: everyone's cursors, resolved against live state.
+    print("cursors:", server.awareness.cursor_positions(editor_ana.handle))
+    print("rendered:", editor_ana.render(show_cursors=True))
+
+    # Collaborative layout: styles are rows; characters reference them.
+    bold = server.styles.define_style("bold", {"bold": True}, "ana")
+    editor_ana.select(0, 5)
+    editor_ana.style_selection(bold)
+    print("ansi:", editor_ben.render(ansi=True))
+
+    # Copy & paste records character-level lineage automatically.
+    editor_ben.select(7, 5)           # "world"
+    editor_ben.copy()
+    editor_ben.move_end()
+    editor_ben.paste()
+    print("after paste:", editor_ana.text())
+
+    # Local undo: ben reverts *his* paste even though ana edited too.
+    editor_ben.undo()
+    print("after ben's undo:", editor_ana.text())
+
+    # Who wrote what — per-character metadata, gathered automatically.
+    print("authors:", doc.authors())
+    meta = server.documents.meta(doc.doc)
+    print(f"document size={meta['size']}, "
+          f"last modified by {meta['last_modified_by']}")
+
+
+if __name__ == "__main__":
+    main()

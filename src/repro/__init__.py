@@ -1,0 +1,87 @@
+"""TeNDaX reproduction: a collaborative database-based real-time editor.
+
+A from-scratch Python reproduction of *TeNDaX, a Collaborative
+Database-Based Real-Time Editor System* (Leone, Hodel-Widmer, Boehlen,
+Dittrich; EDBT 2006).  Text lives natively in a multi-user transactional
+database — every character is a row with full metadata — and everything
+the demo paper shows is built on top: collaborative editing and layout,
+local/global undo, in-document workflows, dynamic folders, data lineage,
+visual/text mining and metadata search.
+
+Quick start::
+
+    from repro import CollaborationServer, EditorClient
+
+    server = CollaborationServer()
+    server.register_user("ana")
+    server.register_user("ben")
+
+    ana = server.connect("ana", os_name="windows-xp")
+    doc = ana.create_document("hello", text="Hello world")
+
+    ben = server.connect("ben", os_name="linux")
+    editor = EditorClient(ben, doc.doc)
+    editor.move_end()
+    editor.type("!")            # a real-time database transaction
+    print(doc.text())           # ana sees it immediately
+
+See ``examples/`` for full scenarios and ``benchmarks/`` for the
+experiment suite documented in EXPERIMENTS.md.
+"""
+
+from .clock import SimulatedClock, SystemClock
+from .collab import CollaborationServer, EditingSession, EditorClient
+from .db import Database, col, column, recover, recover_file
+from .errors import TendaxError
+from .folders import DynamicFolderManager, StaticFolderManager
+from .ids import Oid
+from .lineage import LineageGraph
+from .meta import MetadataCollector, PropertyManager
+from .mining import VisualMiner
+from .process import TaskList, WorkflowManager
+from .search import SearchEngine
+from .security import AccessController, PrincipalRegistry
+from .text import (
+    DocumentHandle,
+    DocumentStore,
+    NoteManager,
+    ObjectManager,
+    StructureManager,
+    StyleManager,
+    VersionManager,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessController",
+    "CollaborationServer",
+    "Database",
+    "DocumentHandle",
+    "DocumentStore",
+    "DynamicFolderManager",
+    "EditingSession",
+    "EditorClient",
+    "LineageGraph",
+    "MetadataCollector",
+    "NoteManager",
+    "ObjectManager",
+    "Oid",
+    "PrincipalRegistry",
+    "PropertyManager",
+    "SearchEngine",
+    "SimulatedClock",
+    "StaticFolderManager",
+    "StructureManager",
+    "StyleManager",
+    "SystemClock",
+    "TaskList",
+    "TendaxError",
+    "VersionManager",
+    "VisualMiner",
+    "WorkflowManager",
+    "col",
+    "column",
+    "recover",
+    "recover_file",
+]

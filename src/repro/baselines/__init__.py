@@ -1,0 +1,12 @@
+"""Comparison baselines: file-based word processing and offset storage."""
+
+from .filewp import FileDocument, FileLockedError, FileWordProcessor
+from .offsetdoc import OffsetDocumentStore, install_offset_schema
+
+__all__ = [
+    "FileDocument",
+    "FileLockedError",
+    "FileWordProcessor",
+    "OffsetDocumentStore",
+    "install_offset_schema",
+]

@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small drivers over the library for kicking the tyres without writing
+code:
+
+* ``lan-party`` — run the simulated multi-editor party and print the
+  convergence report;
+* ``portal`` — build a knowledge base and print dynamic folders, the
+  lineage tree (Fig. 1) and the document-space map (Fig. 2);
+* ``search`` — build a corpus and run a query against it;
+* ``stats`` — corpus/database statistics for a generated workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from typing import Sequence
+
+
+def _cmd_lan_party(args: argparse.Namespace) -> int:
+    from .workload import run_lan_party
+    report = run_lan_party(rounds=args.rounds, seed=args.seed,
+                           measure_latency=True)
+    print(f"participants : {', '.join(report.participants)}")
+    print(f"operations   : {report.operations}")
+    print(f"throughput   : {report.ops_per_second:,.0f} ops/s")
+    print(f"final length : {report.final_length} chars")
+    print(f"converged    : {report.converged}")
+    print(f"chain intact : {report.chain_intact}")
+    if report.op_latencies:
+        median = statistics.median(report.op_latencies) * 1000
+        print(f"median op    : {median:.2f} ms")
+    return 0 if report.converged and report.chain_intact else 1
+
+
+def _cmd_portal(args: argparse.Namespace) -> int:
+    from .folders import CreatorIs, DynamicFolderManager, StateIs
+    from .lineage import LineageGraph, ascii_lineage
+    from .mining import VisualMiner
+    from .workload import build_knowledge_base
+
+    kb = build_knowledge_base(n_docs=args.docs, seed=args.seed)
+    db = kb.server.db
+    folders = DynamicFolderManager(db)
+    for user in kb.users:
+        folders.create_folder(f"{user}'s documents", CreatorIs(user))
+    folders.create_folder("finals", StateIs("final"))
+    print("# Dynamic folders")
+    for folder in folders.folders():
+        print(f"  {folder.name:<20} {len(folder):>3} docs")
+    lineage = LineageGraph(db)
+    target = max(kb.handles, key=lambda h: len(lineage.sources_of(h.doc)))
+    print("\n# Data lineage (Fig. 1)")
+    print(ascii_lineage(lineage, target.doc))
+    print("\n# Document space (Fig. 2)")
+    doc_map = VisualMiner(db, seed=args.seed).build_map()
+    print(doc_map.ascii_scatter(width=60, height=14))
+    print(doc_map.stats())
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from .search import SearchEngine
+    from .workload import build_knowledge_base
+
+    kb = build_knowledge_base(n_docs=args.docs, seed=args.seed)
+    engine = SearchEngine(kb.server.db)
+    results = engine.search(args.query, ranking=args.ranking,
+                            limit=args.limit)
+    print(engine.render_results(results))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .workload import build_knowledge_base
+
+    kb = build_knowledge_base(n_docs=args.docs, seed=args.seed)
+    db = kb.server.db
+    print(f"node          : {db.node}")
+    print(f"tables        : {len(db.tables())}")
+    print(f"total rows    : {db.catalog.total_rows()}")
+    print(f"transactions  : {db.stats['transactions']}")
+    print(f"commits       : {db.stats['commits']}")
+    print(f"wal records   : {len(db.wal)}")
+    print("per-table rows:")
+    for info in db.catalog.iter_tables():
+        print(f"  {info.name:<18} {info.row_count:>7} rows, "
+              f"{len(info.index_names)} index(es)")
+    return 0
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .text import export_json
+    from .workload import build_knowledge_base
+
+    kb = build_knowledge_base(n_docs=args.docs, seed=args.seed)
+    os.makedirs(args.out, exist_ok=True)
+    for handle in kb.handles:
+        payload = export_json(handle)
+        name = payload["document"]["name"]
+        path = os.path.join(args.out, f"{name}.tendax.json")
+        with open(path, "w", encoding="utf-8") as handle_file:
+            json.dump(payload, handle_file)
+        print(f"wrote {path} ({len(payload['chars'])} chars)")
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    import json
+
+    from .db import Database
+    from .text import DocumentStore, import_json
+
+    db = Database("imported")
+    store = DocumentStore(db)
+    with open(args.file, "r", encoding="utf-8") as handle_file:
+        payload = json.load(handle_file)
+    handle = import_json(store, payload, args.user)
+    meta = store.meta(handle.doc)
+    print(f"imported {meta['name']!r}: {handle.length()} visible chars, "
+          f"authors {sorted(handle.authors())}")
+    print(handle.text()[:200])
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TeNDaX reproduction command-line drivers",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    party = sub.add_parser("lan-party", help="run the simulated LAN-party")
+    party.add_argument("--rounds", type=int, default=100)
+    party.add_argument("--seed", type=int, default=2006)
+    party.set_defaults(fn=_cmd_lan_party)
+
+    portal = sub.add_parser("portal",
+                            help="dynamic folders + Fig.1 + Fig.2 demo")
+    portal.add_argument("--docs", type=int, default=24)
+    portal.add_argument("--seed", type=int, default=2006)
+    portal.set_defaults(fn=_cmd_portal)
+
+    search = sub.add_parser("search", help="search a generated corpus")
+    search.add_argument("query")
+    search.add_argument("--docs", type=int, default=40)
+    search.add_argument("--seed", type=int, default=2006)
+    search.add_argument("--ranking", default="relevance")
+    search.add_argument("--limit", type=int, default=10)
+    search.set_defaults(fn=_cmd_search)
+
+    stats = sub.add_parser("stats", help="database statistics")
+    stats.add_argument("--docs", type=int, default=24)
+    stats.add_argument("--seed", type=int, default=2006)
+    stats.set_defaults(fn=_cmd_stats)
+
+    dump = sub.add_parser(
+        "dump", help="export a generated corpus as .tendax.json files")
+    dump.add_argument("--docs", type=int, default=8)
+    dump.add_argument("--seed", type=int, default=2006)
+    dump.add_argument("--out", default="tendax-export")
+    dump.set_defaults(fn=_cmd_dump)
+
+    load = sub.add_parser(
+        "load", help="import a .tendax.json export into a fresh database")
+    load.add_argument("file")
+    load.add_argument("--user", default="importer")
+    load.set_defaults(fn=_cmd_load)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Collaborative real-time editing: server, sessions, editors, undo."""
+
+from .awareness import AwarenessRegistry, CursorState, resolve_anchor_position
+from .clipboard import Clipboard, ClipboardContent
+from .editor import EditorClient
+from .operations import ApplyStyle, DeleteChars, InsertText, Operation, UndoRecord
+from .server import CollaborationServer
+from .session import EditingSession, Notification
+from .undo import UndoManager
+
+__all__ = [
+    "ApplyStyle",
+    "AwarenessRegistry",
+    "Clipboard",
+    "ClipboardContent",
+    "CollaborationServer",
+    "CursorState",
+    "DeleteChars",
+    "EditingSession",
+    "EditorClient",
+    "InsertText",
+    "Notification",
+    "Operation",
+    "UndoManager",
+    "UndoRecord",
+    "resolve_anchor_position",
+]

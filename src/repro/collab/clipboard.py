@@ -1,0 +1,102 @@
+"""Copy & paste with lineage capture.
+
+Copying in TeNDaX remembers *which characters* were copied; pasting stores,
+per pasted character, a ``copy_src`` reference to its source character and
+a ``copy_op`` reference to a ``tx_copylog`` row describing the whole paste.
+That is the raw data behind the data-lineage visualisation (Fig. 1):
+"information about the source of the new document part, e.g. from which
+other document a text has been copied (either internal or external
+sources)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..db import Database
+from ..errors import ClipboardError
+from ..ids import Oid
+from ..text import dbschema as S
+from ..text.document import DocumentHandle
+
+
+@dataclass(frozen=True)
+class ClipboardContent:
+    """What a copy put on the clipboard."""
+
+    text: str
+    src_doc: Oid | None                  # None for external content
+    src_chars: tuple = ()                # parallel to text for internal
+    external_source: str | None = None   # e.g. "https://..." or "mail"
+
+    def __post_init__(self) -> None:
+        if self.src_doc is not None and len(self.src_chars) != len(self.text):
+            raise ClipboardError("src_chars must parallel text")
+
+
+class Clipboard:
+    """One user's clipboard (each session owns one)."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self._content: ClipboardContent | None = None
+
+    @property
+    def content(self) -> ClipboardContent | None:
+        return self._content
+
+    def is_empty(self) -> bool:
+        """True when nothing has been copied yet."""
+        return self._content is None
+
+    # ------------------------------------------------------------------
+    # Filling the clipboard
+    # ------------------------------------------------------------------
+
+    def copy_range(self, handle: DocumentHandle, pos: int,
+                   count: int) -> ClipboardContent:
+        """Copy ``count`` characters at ``pos`` (with their OIDs)."""
+        oids = handle.char_oids()[pos:pos + count]
+        if len(oids) != count or count <= 0:
+            raise ClipboardError(
+                f"copy range [{pos}, {pos + count}) outside document"
+            )
+        from ..text import chars as C
+        rows = C.doc_char_rows(self.db, handle.doc)
+        text = "".join(rows[oid]["ch"] for oid in oids)
+        self._content = ClipboardContent(text, handle.doc, tuple(oids))
+        return self._content
+
+    def set_external(self, text: str, source: str) -> ClipboardContent:
+        """Simulate copying from outside TeNDaX (browser, mail ...)."""
+        if not text:
+            raise ClipboardError("external content must be non-empty")
+        self._content = ClipboardContent(text, None,
+                                         external_source=source)
+        return self._content
+
+    # ------------------------------------------------------------------
+    # Pasting
+    # ------------------------------------------------------------------
+
+    def paste_spec(self, dst_doc: Oid, user: str) -> tuple[Oid, "ClipboardContent"]:
+        """Log the paste and return ``(copy_op, content)``.
+
+        The caller (session) performs the actual insert, passing the
+        returned ``copy_op`` and the content's ``src_chars`` so every
+        pasted character carries its lineage references.
+        """
+        if self._content is None:
+            raise ClipboardError("clipboard is empty")
+        content = self._content
+        op = self.db.new_oid("copyop")
+        self.db.insert(S.COPYLOG, {
+            "op": op,
+            "src_doc": content.src_doc,
+            "external_source": content.external_source,
+            "dst_doc": dst_doc,
+            "n_chars": len(content.text),
+            "user": user,
+            "at": self.db.now(),
+        })
+        return op, content

@@ -1,0 +1,204 @@
+"""The collaboration server: sessions, real-time propagation, awareness.
+
+:class:`CollaborationServer` is the top-level object of the reproduction —
+the piece the LAN-party demo runs against.  It owns the database, the
+document store, security, layout/structure/object/note/version managers,
+the undo manager and the awareness registry, and it fans committed changes
+out to every connected session with the affected document open.
+
+The paper's editors run on different machines; here sessions live in one
+process and "network delivery" is the per-session inbox (instantaneous by
+default; benchmarks can interleave arbitrarily).  The database commit is
+the serialisation point either way.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+from typing import TYPE_CHECKING, Iterator
+
+from ..clock import Clock
+from ..db import Database
+from ..security import AccessController, PrincipalRegistry
+from ..text import (
+    DocumentStore,
+    NoteManager,
+    ObjectManager,
+    StructureManager,
+    StyleManager,
+    VersionManager,
+)
+from ..text import dbschema as S
+from .awareness import AwarenessRegistry
+from .session import EditingSession, Notification
+from .undo import UndoManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..db.transaction import Change, Transaction
+
+#: Tables whose commits are pushed to sessions as change notifications.
+_WATCHED_TABLES = (S.CHARS, S.OBJECTS, S.NOTES, S.STRUCTURE, S.DOCUMENTS)
+
+
+class CollaborationServer:
+    """The multi-user editing server ("the database side of the party")."""
+
+    def __init__(self, db: Database | None = None, *, node: str = "tendax",
+                 clock: Clock | None = None,
+                 wal_path: str | None = None) -> None:
+        self.db = db if db is not None else Database(
+            node, clock=clock, wal_path=wal_path,
+        )
+        self.documents = DocumentStore(self.db)
+        self.principals = PrincipalRegistry(self.db)
+        self.acl = AccessController(self.db, self.principals)
+        self.styles = StyleManager(self.db)
+        self.structure = StructureManager(self.db)
+        self.objects = ObjectManager(self.db)
+        self.notes = NoteManager(self.db)
+        self.versions = VersionManager(self.db)
+        self.undo = UndoManager()
+        self.awareness = AwarenessRegistry()
+        self._sessions: dict[int, EditingSession] = {}
+        self._session_counter = itertools.count(1)
+        self._operating_session: EditingSession | None = None
+        self._subscription = self.db.bus.subscribe("db.commit",
+                                                   self._on_commit)
+        self.stats = {"notifications": 0, "operations": 0}
+
+    def statistics(self) -> dict:
+        """A live snapshot of the whole server's state (monitoring)."""
+        return {
+            "sessions": len(self._sessions),
+            "documents": self.db.table(S.DOCUMENTS).row_count()
+            if self.db.has_table(S.DOCUMENTS) else 0,
+            "characters": self.db.table(S.CHARS).row_count()
+            if self.db.has_table(S.CHARS) else 0,
+            "operations": self.stats["operations"],
+            "notifications": self.stats["notifications"],
+            "db_commits": self.db.stats["commits"],
+            "db_aborts": self.db.stats["aborts"],
+            "wal_records": len(self.db.wal),
+            "lock_stats": dict(self.db.locks.stats),
+        }
+
+    # ------------------------------------------------------------------
+    # Users and sessions
+    # ------------------------------------------------------------------
+
+    def register_user(self, name: str, *, display: str = "",
+                      roles: tuple = ()) -> str:
+        """Register a user (creating any missing roles)."""
+        if not self.principals.has_user(name):
+            self.principals.add_user(name, display)
+        for role in roles:
+            if not self.principals.has_role(role):
+                self.principals.add_role(role)
+            self.principals.assign_role(name, role)
+        return name
+
+    def connect(self, user: str, *, editor: str = "headless",
+                os_name: str = "linux") -> EditingSession:
+        """Connect a user; returns their editing session."""
+        self.principals.require_user(user)
+        session = EditingSession(self, next(self._session_counter), user,
+                                 editor=editor, os_name=os_name)
+        self._sessions[session.id] = session
+        return session
+
+    def _forget(self, session: EditingSession) -> None:
+        self._sessions.pop(session.id, None)
+
+    def sessions(self) -> list[EditingSession]:
+        """All currently connected sessions."""
+        return list(self._sessions.values())
+
+    def sessions_on(self, doc) -> list[EditingSession]:
+        """Sessions that have ``doc`` open."""
+        return [s for s in self._sessions.values()
+                if doc in s.open_documents()]
+
+    # ------------------------------------------------------------------
+    # Templates
+    # ------------------------------------------------------------------
+
+    def apply_template(self, handle, template, user: str) -> dict:
+        """Instantiate a template on a document.
+
+        Creates the template's styles as document-local styles and its
+        structure outline as the document's structure tree.  Returns
+        ``{"styles": {name: oid}, "nodes": [oids]}``.
+        """
+        spec = self.styles.get_template(template)
+        created_styles = self.styles.instantiate_template(
+            template, handle.doc, user)
+        nodes = self.structure.instantiate_outline(
+            handle.doc, spec["structure"], user)
+        return {"styles": created_styles, "nodes": nodes}
+
+    # ------------------------------------------------------------------
+    # Change propagation
+    # ------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _operating(self, session: EditingSession) -> Iterator[None]:
+        """Mark ``session`` as the origin of commits made inside."""
+        previous = self._operating_session
+        self._operating_session = session
+        self.stats["operations"] += 1
+        try:
+            yield
+        finally:
+            self._operating_session = previous
+
+    def _on_commit(self, event) -> None:
+        changes: list[Change] = event["changes"]
+        by_doc: dict = {}
+        for change in changes:
+            if change.table not in _WATCHED_TABLES:
+                continue
+            row = change.row
+            doc = None
+            if row is not None:
+                doc = row.get("doc") if change.table != S.DOCUMENTS \
+                    else row.get("doc")
+            if doc is None:
+                continue
+            entry = by_doc.setdefault(doc, {"tables": set(), "count": 0})
+            entry["tables"].add(change.table)
+            entry["count"] += 1
+        if not by_doc:
+            return
+        origin = self._operating_session
+        now = self.db.now()
+        for doc, entry in by_doc.items():
+            notification = Notification(
+                doc=doc,
+                origin_session=origin.id if origin else None,
+                origin_user=origin.user if origin else None,
+                tables=tuple(sorted(entry["tables"])),
+                n_changes=entry["count"],
+                at=now,
+            )
+            for session in self._sessions.values():
+                if doc in session.open_documents():
+                    if origin is not None and session.id == origin.id:
+                        continue
+                    session._notify(notification)
+                    self.stats["notifications"] += 1
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Disconnect all sessions and stop listening to commits."""
+        for session in list(self._sessions.values()):
+            session.disconnect()
+        self._subscription.cancel()
+        self.db.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"CollaborationServer(sessions={len(self._sessions)}, "
+                f"docs={len(self.documents.list_documents())})")

@@ -1,0 +1,113 @@
+"""Local and global undo/redo.
+
+The demo shows "local and global undo- and redo operations":
+
+* **local undo** reverts the *acting user's* most recent operation on a
+  document, even if other users have edited since — possible because
+  operations are recorded against character OIDs, not positions.
+* **global undo** reverts the most recent operation on the document by
+  *anyone* (with the authority of the user requesting it).
+
+Undo history lives per document.  Undoing pushes the record onto the
+appropriate redo stack; any fresh operation clears redo state for that
+scope (the usual emacs-style linearity, applied per user for local undo).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..errors import UndoError
+from ..ids import Oid
+from ..text.document import DocumentHandle
+from .operations import UndoRecord
+
+
+class UndoManager:
+    """Per-document undo/redo stacks with local and global scopes."""
+
+    def __init__(self) -> None:
+        #: doc -> ordered list of applied records (the operation log).
+        self._history: dict[Oid, list[UndoRecord]] = defaultdict(list)
+        #: (doc, user) -> redo stack of that user's undone records.
+        self._redo_local: dict[tuple[Oid, str], list[UndoRecord]] = \
+            defaultdict(list)
+        #: doc -> redo stack for global undo.
+        self._redo_global: dict[Oid, list[UndoRecord]] = defaultdict(list)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record(self, record: UndoRecord) -> None:
+        """Log a freshly applied operation (clears the user's redo)."""
+        self._history[record.doc].append(record)
+        self._redo_local[(record.doc, record.user)].clear()
+        self._redo_global[record.doc].clear()
+
+    def history(self, doc: Oid) -> list[UndoRecord]:
+        """The applied-operation log (oldest first)."""
+        return list(self._history[doc])
+
+    def undo_depth(self, doc: Oid, user: str | None = None) -> int:
+        """How many operations are currently undoable."""
+        return sum(
+            1 for r in self._history[doc]
+            if not r.undone and (user is None or r.user == user)
+        )
+
+    # ------------------------------------------------------------------
+    # Undo
+    # ------------------------------------------------------------------
+
+    def undo_local(self, handle: DocumentHandle, user: str) -> UndoRecord:
+        """Undo ``user``'s most recent not-yet-undone operation."""
+        record = self._latest(handle.doc, user)
+        if record is None:
+            raise UndoError(f"nothing to undo for {user!r}")
+        record.invert(handle, user)
+        record.undone = True
+        self._redo_local[(handle.doc, user)].append(record)
+        return record
+
+    def undo_global(self, handle: DocumentHandle, user: str) -> UndoRecord:
+        """Undo the most recent operation on the document by anyone."""
+        record = self._latest(handle.doc, None)
+        if record is None:
+            raise UndoError("nothing to undo")
+        record.invert(handle, user)
+        record.undone = True
+        self._redo_global[handle.doc].append(record)
+        return record
+
+    def _latest(self, doc: Oid, user: str | None) -> UndoRecord | None:
+        for record in reversed(self._history[doc]):
+            if record.undone:
+                continue
+            if user is None or record.user == user:
+                return record
+        return None
+
+    # ------------------------------------------------------------------
+    # Redo
+    # ------------------------------------------------------------------
+
+    def redo_local(self, handle: DocumentHandle, user: str) -> UndoRecord:
+        """Re-apply ``user``'s most recently undone operation."""
+        stack = self._redo_local[(handle.doc, user)]
+        if not stack:
+            raise UndoError(f"nothing to redo for {user!r}")
+        record = stack.pop()
+        record.reapply(handle, user)
+        record.undone = False
+        return record
+
+    def redo_global(self, handle: DocumentHandle, user: str) -> UndoRecord:
+        """Re-apply the most recently globally undone operation."""
+        stack = self._redo_global[handle.doc]
+        if not stack:
+            raise UndoError("nothing to redo")
+        record = stack.pop()
+        record.reapply(handle, user)
+        record.undone = False
+        return record

@@ -1,0 +1,37 @@
+"""The relational engine substrate.
+
+An embedded, multi-user, transactional, in-memory database with a
+write-ahead log: the "fully-fledged database" TeNDaX builds its text-native
+extension on.  Public surface:
+
+* :class:`~repro.db.engine.Database` — the engine facade
+* :func:`~repro.db.schema.column`, :class:`~repro.db.schema.ColumnType`
+* :func:`~repro.db.predicate.col` — fluent predicate builder
+* :func:`~repro.db.recovery.recover`, :func:`~repro.db.recovery.recover_file`
+"""
+
+from .engine import Database
+from .predicate import ALWAYS, Lambda, Predicate, col
+from .query import Query, RowView
+from .recovery import recover, recover_file
+from .schema import Column, ColumnType, TableSchema, column
+from .transaction import Change, Transaction, TxnState
+
+__all__ = [
+    "ALWAYS",
+    "Change",
+    "Column",
+    "ColumnType",
+    "Database",
+    "Lambda",
+    "Predicate",
+    "Query",
+    "RowView",
+    "TableSchema",
+    "Transaction",
+    "TxnState",
+    "col",
+    "column",
+    "recover",
+    "recover_file",
+]

@@ -1,0 +1,82 @@
+"""System catalog: metadata about tables and indexes.
+
+A lightweight, queryable description of the engine's schema objects —
+enough for tools (and tests) to introspect what exists, mirroring a DBMS's
+``information_schema``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Database
+
+
+@dataclass(frozen=True)
+class TableInfo:
+    name: str
+    columns: tuple[str, ...]
+    column_types: tuple[str, ...]
+    key: str | None
+    row_count: int
+    index_names: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class IndexInfo:
+    name: str
+    table: str
+    column: str
+    kind: str
+    unique: bool
+    entries: int
+
+
+class Catalog:
+    """Read-only view over a database's schema objects."""
+
+    def __init__(self, db: "Database") -> None:
+        self._db = db
+
+    def table_names(self) -> list[str]:
+        """All table names, sorted."""
+        return sorted(self._db.tables())
+
+    def table_info(self, name: str) -> TableInfo:
+        """Schema + row count + indexes of one table."""
+        table = self._db.table(name)
+        schema = table.schema
+        return TableInfo(
+            name=schema.name,
+            columns=schema.column_names(),
+            column_types=tuple(c.type.value for c in schema.columns),
+            key=schema.key,
+            row_count=table.row_count(),
+            index_names=tuple(sorted(table.indexes())),
+        )
+
+    def iter_tables(self) -> Iterator[TableInfo]:
+        """Iterate :class:`TableInfo` for every table."""
+        for name in self.table_names():
+            yield self.table_info(name)
+
+    def iter_indexes(self, table: str | None = None) -> Iterator[IndexInfo]:
+        """Iterate :class:`IndexInfo`, optionally for one table."""
+        names = [table] if table is not None else self.table_names()
+        for table_name in names:
+            table_obj = self._db.table(table_name)
+            for index in table_obj.indexes().values():
+                yield IndexInfo(
+                    name=index.name,
+                    table=table_name,
+                    column=index.column,
+                    kind=index.kind,
+                    unique=index.unique,
+                    entries=len(index),
+                )
+
+    def total_rows(self) -> int:
+        """Committed rows across all tables (a cheap size metric)."""
+        return sum(self._db.table(n).row_count() for n in self._db.tables())

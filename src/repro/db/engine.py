@@ -1,0 +1,271 @@
+"""The database engine facade.
+
+:class:`Database` ties the pieces together: tables, the lock manager, the
+write-ahead log, commit triggers and the event bus.  It is the "fully-
+fledged database" substrate on which the TeNDaX text extension is built —
+transactions here are the "real-time transactions" of the paper.
+
+Typical use::
+
+    db = Database()
+    db.create_table("notes", [column("body", "str")])
+    with db.transaction() as txn:
+        txn.insert("notes", {"body": "hello"})
+    rows = db.query("notes").run()
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Iterable, Mapping
+
+from ..clock import Clock, SystemClock
+from ..errors import DuplicateTableError, UnknownTableError
+from ..events import EventBus
+from ..ids import IdNamespace, Oid
+from . import wal as walmod
+from .catalog import Catalog
+from .locks import LockManager
+from .query import Query
+from .schema import Column, TableSchema
+from .table import Table
+from .transaction import Change, Transaction
+from .triggers import TriggerRegistry
+from .wal import WriteAheadLog
+
+
+class Database:
+    """An embedded, multi-user, transactional, in-memory database.
+
+    Parameters
+    ----------
+    node:
+        Name of this database instance; prefixes every generated OID, which
+        keeps objects from different instances (e.g. the "external" sources
+        of the lineage demo) globally distinguishable.
+    wal_path:
+        Optional file to mirror the write-ahead log to, enabling recovery
+        by a fresh process (see :mod:`repro.db.recovery`).
+    clock:
+        Time source used for timestamps; inject a
+        :class:`~repro.clock.SimulatedClock` for deterministic runs.
+    lock_timeout:
+        Default seconds a transaction waits for a contended lock.
+    """
+
+    def __init__(
+        self,
+        node: str = "db",
+        *,
+        wal_path: str | None = None,
+        clock: Clock | None = None,
+        lock_timeout: float = 5.0,
+    ) -> None:
+        self.node = node
+        self.clock: Clock = clock if clock is not None else SystemClock()
+        self.ids = IdNamespace(node)
+        self.locks = LockManager(default_timeout=lock_timeout)
+        self.wal = WriteAheadLog(wal_path)
+        self.bus = EventBus()
+        self.triggers = TriggerRegistry()
+        self.catalog = Catalog(self)
+        self._tables: dict[str, Table] = {}
+        self._txn_counter = itertools.count(1)
+        self._ddl_lock = threading.RLock()
+        self.stats = {"commits": 0, "aborts": 0, "transactions": 0}
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Iterable[Column],
+        *,
+        key: str | None = None,
+        log: bool = True,
+    ) -> Table:
+        """Create a table.  ``key`` names a unique, indexed logical key."""
+        schema = TableSchema(name, list(columns), key=key)
+        with self._ddl_lock:
+            if name in self._tables:
+                raise DuplicateTableError(f"table {name!r} already exists")
+            table = Table(schema)
+            self._tables[name] = table
+        if log:
+            self.wal.append(
+                walmod.CREATE_TABLE, 0, table=name, key=key,
+                columns=[
+                    {
+                        "name": c.name,
+                        "type": c.type.value,
+                        "nullable": c.nullable,
+                        "default": walmod.encode_value(c.default),
+                    }
+                    for c in schema.columns
+                ],
+            )
+        return table
+
+    def drop_table(self, name: str, *, log: bool = True) -> None:
+        """Remove a table (logged for recovery)."""
+        with self._ddl_lock:
+            if name not in self._tables:
+                raise UnknownTableError(f"no table {name!r}")
+            del self._tables[name]
+        if log:
+            self.wal.append(walmod.DROP_TABLE, 0, table=name)
+
+    def create_index(self, table_name: str, column: str, *,
+                     name: str | None = None, kind: str = "hash",
+                     unique: bool = False, log: bool = True):
+        """Create a secondary index on ``table_name.column``."""
+        table = self.table(table_name)
+        index_name = name or f"{table_name}_{column}_{kind}"
+        index = table.create_index(index_name, column, kind=kind,
+                                   unique=unique)
+        if log:
+            self.wal.append(
+                walmod.CREATE_INDEX, 0, table=table_name, name=index_name,
+                column=column, kind=kind, unique=unique,
+            )
+        return index
+
+    def table(self, name: str) -> Table:
+        """Look up a table object by name (raises if absent)."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(f"no table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table with this name exists."""
+        return name in self._tables
+
+    def tables(self) -> list[str]:
+        """Names of all tables, in creation order."""
+        return list(self._tables)
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def begin(self, *, lock_timeout: float | None = None) -> Transaction:
+        """Start a new transaction."""
+        txn_id = next(self._txn_counter)
+        self.stats["transactions"] += 1
+        return Transaction(self, txn_id, lock_timeout=lock_timeout)
+
+    def transaction(self, *, lock_timeout: float | None = None) -> Transaction:
+        """Alias of :meth:`begin`; reads well in ``with`` statements."""
+        return self.begin(lock_timeout=lock_timeout)
+
+    def on_commit(self, txn: Transaction, changes: list[Change]) -> None:
+        """Called by a transaction after it applied its commit."""
+        self.stats["commits"] += 1
+        self.triggers.dispatch(txn, changes)
+        self.bus.publish("db.commit", txn_id=txn.txn_id, changes=changes)
+
+    def on_abort(self, txn: Transaction) -> None:
+        """Called by a transaction after it rolled back."""
+        self.stats["aborts"] += 1
+        self.bus.publish("db.abort", txn_id=txn.txn_id)
+
+    # ------------------------------------------------------------------
+    # Autocommit conveniences
+    # ------------------------------------------------------------------
+
+    def insert(self, table_name: str, values: Mapping[str, Any]) -> int:
+        """Insert one row in its own transaction; returns the rowid."""
+        with self.transaction() as txn:
+            return txn.insert(table_name, values)
+
+    def update(self, table_name: str, rowid: int,
+               updates: Mapping[str, Any]) -> dict:
+        """Update one row in its own transaction."""
+        with self.transaction() as txn:
+            return txn.update(table_name, rowid, updates)
+
+    def delete(self, table_name: str, rowid: int) -> None:
+        """Delete one row in its own transaction."""
+        with self.transaction() as txn:
+            txn.delete(table_name, rowid)
+
+    def get(self, table_name: str, rowid: int) -> dict:
+        """Read one committed row (raises if absent)."""
+        table = self.table(table_name)
+        return table.schema.row_dict(table.get(rowid))
+
+    def read(self, table_name: str, rowid: int) -> dict | None:
+        """Read one committed row, or ``None`` if absent."""
+        table = self.table(table_name)
+        row = table.read(rowid)
+        return None if row is None else table.schema.row_dict(row)
+
+    def query(self, table_name: str) -> Query:
+        """Start a query over committed data."""
+        return Query(self, table_name)
+
+    # ------------------------------------------------------------------
+    # IDs / time
+    # ------------------------------------------------------------------
+
+    def new_oid(self, kind: str) -> Oid:
+        """Fresh object id in this database's namespace."""
+        return self.ids.next(kind)
+
+    def now(self) -> float:
+        """Current time from the injected clock."""
+        return self.clock.now()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Write a full snapshot into the WAL; returns the checkpoint LSN.
+
+        Recovery can start from the latest checkpoint instead of replaying
+        history from the beginning.
+        """
+        snapshot = {}
+        for name, table in self._tables.items():
+            snapshot[name] = {
+                "schema": {
+                    "key": table.schema.key,
+                    "columns": [
+                        {
+                            "name": c.name,
+                            "type": c.type.value,
+                            "nullable": c.nullable,
+                            "default": walmod.encode_value(c.default),
+                        }
+                        for c in table.schema.columns
+                    ],
+                },
+                "indexes": [
+                    {
+                        "name": idx.name,
+                        "column": idx.column,
+                        "kind": idx.kind,
+                        "unique": idx.unique,
+                    }
+                    for idx in table.indexes().values()
+                ],
+                "rows": {
+                    str(rowid): table.schema.row_dict(row)
+                    for rowid, row in table.committed_items()
+                },
+            }
+        record = self.wal.append(walmod.CHECKPOINT, 0, tables=snapshot)
+        return record.lsn
+
+    def close(self) -> None:
+        """Flush and close the WAL file (if any)."""
+        self.wal.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Database(node={self.node!r}, tables={len(self._tables)}, "
+                f"commits={self.stats['commits']})")

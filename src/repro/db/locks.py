@@ -1,0 +1,196 @@
+"""Lock manager: shared/exclusive locks with deadlock detection.
+
+The engine runs read-committed isolation: readers never block (they see the
+last committed version), writers take exclusive row locks held until commit
+or abort (strict two-phase locking).  Table-level locks protect DDL.
+
+Blocking waits are supported for multi-threaded use; a wait-for graph is
+checked before every wait so deadlocks are detected immediately and the
+requesting transaction is chosen as the victim (it raises
+:class:`~repro.errors.DeadlockError`).  Single-threaded cooperative callers
+can pass ``timeout=0`` to get immediate ``LockTimeoutError`` on conflict.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..errors import DeadlockError, LockTimeoutError
+
+SHARED = "S"
+EXCLUSIVE = "X"
+
+#: Lock compatibility: can a new request of mode *row* join holders of
+#: mode *col*?
+_COMPATIBLE = {
+    (SHARED, SHARED): True,
+    (SHARED, EXCLUSIVE): False,
+    (EXCLUSIVE, SHARED): False,
+    (EXCLUSIVE, EXCLUSIVE): False,
+}
+
+
+@dataclass
+class _LockState:
+    """Holders and waiters for one lockable resource."""
+
+    holders: dict[int, str] = field(default_factory=dict)  # txn id -> mode
+    waiters: list[tuple[int, str]] = field(default_factory=list)
+
+    def compatible(self, txn_id: int, mode: str) -> bool:
+        """Would granting (txn_id, mode) conflict with current holders?"""
+        for holder, held in self.holders.items():
+            if holder == txn_id:
+                continue
+            if not _COMPATIBLE[(mode, held)]:
+                return False
+        return True
+
+
+class LockManager:
+    """Grants S/X locks on hashable resource keys to transaction ids."""
+
+    def __init__(self, default_timeout: float = 5.0) -> None:
+        self._states: dict[Hashable, _LockState] = {}
+        self._held_by_txn: dict[int, set[Hashable]] = {}
+        self._cond = threading.Condition()
+        self.default_timeout = default_timeout
+        #: Counters for observability / benchmarks.
+        self.stats = {"acquired": 0, "waited": 0, "deadlocks": 0, "timeouts": 0}
+
+    # -- public API ---------------------------------------------------------
+
+    def acquire(
+        self,
+        txn_id: int,
+        resource: Hashable,
+        mode: str = EXCLUSIVE,
+        timeout: float | None = None,
+    ) -> None:
+        """Acquire ``resource`` in ``mode`` for ``txn_id``.
+
+        Upgrades S->X in place when possible.  Raises
+        :class:`~repro.errors.DeadlockError` if waiting would deadlock and
+        :class:`~repro.errors.LockTimeoutError` on timeout.
+        """
+        if mode not in (SHARED, EXCLUSIVE):
+            raise ValueError(f"unknown lock mode {mode!r}")
+        deadline_timeout = self.default_timeout if timeout is None else timeout
+        with self._cond:
+            state = self._states.setdefault(resource, _LockState())
+            held = state.holders.get(txn_id)
+            if held == EXCLUSIVE or held == mode:
+                return  # already strong enough
+            if state.compatible(txn_id, mode):
+                self._grant(txn_id, resource, state, mode)
+                return
+            # Must wait.
+            if deadline_timeout == 0:
+                self.stats["timeouts"] += 1
+                raise LockTimeoutError(
+                    f"txn {txn_id} would block on {resource!r} ({mode})"
+                )
+            if self._would_deadlock(txn_id, state):
+                self.stats["deadlocks"] += 1
+                raise DeadlockError(
+                    f"txn {txn_id} deadlocks waiting for {resource!r}"
+                )
+            entry = (txn_id, mode)
+            state.waiters.append(entry)
+            self.stats["waited"] += 1
+            try:
+                remaining = deadline_timeout
+                step = 0.05
+                while not state.compatible(txn_id, mode):
+                    if remaining <= 0:
+                        self.stats["timeouts"] += 1
+                        raise LockTimeoutError(
+                            f"txn {txn_id} timed out on {resource!r} ({mode})"
+                        )
+                    wait = min(step, remaining)
+                    self._cond.wait(wait)
+                    remaining -= wait
+                    if self._would_deadlock(txn_id, state):
+                        self.stats["deadlocks"] += 1
+                        raise DeadlockError(
+                            f"txn {txn_id} deadlocks waiting for {resource!r}"
+                        )
+                self._grant(txn_id, resource, state, mode)
+            finally:
+                if entry in state.waiters:
+                    state.waiters.remove(entry)
+
+    def release_all(self, txn_id: int) -> None:
+        """Release every lock held by ``txn_id`` (commit/abort)."""
+        with self._cond:
+            resources = self._held_by_txn.pop(txn_id, set())
+            for resource in resources:
+                state = self._states.get(resource)
+                if state is None:
+                    continue
+                state.holders.pop(txn_id, None)
+                if not state.holders and not state.waiters:
+                    del self._states[resource]
+            if resources:
+                self._cond.notify_all()
+
+    def holders(self, resource: Hashable) -> dict[int, str]:
+        """Snapshot of current holders of ``resource`` (txn id -> mode)."""
+        with self._cond:
+            state = self._states.get(resource)
+            return dict(state.holders) if state else {}
+
+    def locks_held(self, txn_id: int) -> set[Hashable]:
+        """Snapshot of resources currently held by ``txn_id``."""
+        with self._cond:
+            return set(self._held_by_txn.get(txn_id, ()))
+
+    # -- internals ----------------------------------------------------------
+
+    def _grant(self, txn_id: int, resource: Hashable, state: _LockState,
+               mode: str) -> None:
+        prior = state.holders.get(txn_id)
+        if prior == SHARED and mode == EXCLUSIVE:
+            state.holders[txn_id] = EXCLUSIVE
+        else:
+            state.holders[txn_id] = mode
+        self._held_by_txn.setdefault(txn_id, set()).add(resource)
+        self.stats["acquired"] += 1
+
+    def _would_deadlock(self, requester: int, wanted: _LockState) -> bool:
+        """Check the wait-for graph for a cycle through ``requester``.
+
+        Called with the condition lock held.  Edges: requester waits for
+        each conflicting holder of the wanted resource; recursively, those
+        holders may themselves be waiting.
+        """
+        # Build txn -> set of txns it waits for, from all resources.
+        waits_for: dict[int, set[int]] = {}
+        for state in self._states.values():
+            for waiter, mode in state.waiters:
+                blockers = {
+                    holder for holder, held in state.holders.items()
+                    if holder != waiter and not _COMPATIBLE[(mode, held)]
+                }
+                if blockers:
+                    waits_for.setdefault(waiter, set()).update(blockers)
+        # Add the hypothetical edge for the new request.
+        blockers = {
+            holder for holder, held in wanted.holders.items()
+            if holder != requester
+        }
+        waits_for.setdefault(requester, set()).update(blockers)
+        # DFS from requester looking for a path back to requester.
+        stack = list(waits_for.get(requester, ()))
+        seen: set[int] = set()
+        while stack:
+            node = stack.pop()
+            if node == requester:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(waits_for.get(node, ()))
+        return False

@@ -1,0 +1,324 @@
+"""Query builder and executor.
+
+A tiny single-table query engine: predicate filtering with automatic index
+selection, ordering, projection and limits.  Queries run against committed
+data; when bound to a transaction, that transaction's own pending writes are
+overlaid so it reads its own uncommitted state (read-committed semantics).
+
+Example::
+
+    rows = (db.query("documents")
+              .where((col("creator") == "ana") & (col("size") > 100))
+              .order_by("created_at", desc=True)
+              .limit(10)
+              .run())
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
+
+from .index import OrderedIndex
+from .predicate import ALWAYS, IndexHint, Predicate
+from .table import TOMBSTONE, Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Database
+    from .transaction import Transaction
+
+
+class RowView(dict):
+    """A query result row: column mapping plus the engine ``rowid``."""
+
+    __slots__ = ("rowid",)
+
+    def __init__(self, rowid: int, values: Mapping[str, Any]) -> None:
+        super().__init__(values)
+        self.rowid = rowid
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RowView(rowid={self.rowid}, {dict.__repr__(self)})"
+
+
+class QueryPlan:
+    """Description of how a query will execute (for tests/benchmarks)."""
+
+    def __init__(self, kind: str, index_name: str | None = None,
+                 hint: IndexHint | None = None) -> None:
+        self.kind = kind          # "scan" | "index"
+        self.index_name = index_name
+        self.hint = hint
+
+    def __repr__(self) -> str:
+        if self.kind == "scan":
+            return "Plan(scan)"
+        return f"Plan(index={self.index_name}, on={self.hint.column})"
+
+
+class Query:
+    """Immutable-ish fluent builder; each modifier returns ``self``."""
+
+    def __init__(self, db: "Database", table_name: str,
+                 txn: "Transaction | None" = None) -> None:
+        self._db = db
+        self._table_name = table_name
+        self._txn = txn
+        self._predicate: Predicate = ALWAYS
+        self._order: tuple[str, bool] | None = None  # (column, desc)
+        self._limit: int | None = None
+        self._projection: tuple[str, ...] | None = None
+
+    # -- builder methods ------------------------------------------------------
+
+    def where(self, predicate: Predicate) -> "Query":
+        """AND the predicate into the filter."""
+        if self._predicate is ALWAYS:
+            self._predicate = predicate
+        else:
+            self._predicate = self._predicate & predicate
+        return self
+
+    def order_by(self, column: str, *, desc: bool = False) -> "Query":
+        """Sort results by ``column`` (``desc`` for descending)."""
+        self._order = (column, desc)
+        return self
+
+    def limit(self, n: int) -> "Query":
+        """Cap the number of returned rows."""
+        if n < 0:
+            raise ValueError("limit must be >= 0")
+        self._limit = n
+        return self
+
+    def select(self, *columns: str) -> "Query":
+        """Project the result rows to the given columns."""
+        self._projection = columns
+        return self
+
+    # -- planning ---------------------------------------------------------------
+
+    def plan(self) -> QueryPlan:
+        """Choose an access path: a matching index probe, else a scan."""
+        table = self._db.table(self._table_name)
+        best: tuple[int, str, IndexHint] | None = None
+        for hint in self._predicate.index_hints():
+            need_range = hint.op == "range"
+            index = table.index_on(hint.column, need_range=need_range)
+            if index is None:
+                continue
+            # Prefer equality probes (rank 0) over ranges (rank 1).
+            rank = 0 if hint.op in ("eq", "in") else 1
+            if best is None or rank < best[0]:
+                best = (rank, index.name, hint)
+                if rank == 0:
+                    break
+        if best is None:
+            return QueryPlan("scan")
+        return QueryPlan("index", best[1], best[2])
+
+    def explain(self) -> dict:
+        """Describe how the query would execute (EXPLAIN).
+
+        Returns the access path, the index (if any), an estimate of the
+        candidate rows the path yields, and the post-filter/sort steps.
+        """
+        table = self._db.table(self._table_name)
+        plan = self.plan()
+        if plan.kind == "scan":
+            estimate = table.row_count()
+            access = {"path": "scan", "estimated_candidates": estimate}
+        else:
+            index = table.indexes()[plan.index_name]
+            hint = plan.hint
+            if hint.op == "eq":
+                estimate = sum(1 for __ in index.probe_eq(hint.value))
+            elif hint.op == "in":
+                estimate = sum(1 for __ in index.probe_in(hint.values))
+            else:
+                estimate = sum(1 for __ in index.probe_range(
+                    hint.low, hint.high,
+                    low_inclusive=hint.low_inclusive,
+                    high_inclusive=hint.high_inclusive))
+            access = {
+                "path": "index", "index": plan.index_name,
+                "column": hint.column, "probe": hint.op,
+                "estimated_candidates": estimate,
+            }
+        return {
+            "table": self._table_name,
+            "access": access,
+            "filter": repr(self._predicate),
+            "order_by": self._order,
+            "limit": self._limit,
+            "early_stop": self._order is None and self._limit is not None,
+        }
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self) -> list[RowView]:
+        """Execute and return materialised rows."""
+        table = self._db.table(self._table_name)
+        plan = self.plan()
+        schema = table.schema
+        out: list[RowView] = []
+        # Without an ORDER BY, a LIMIT can stop candidate generation
+        # early — `.limit(1)` existence probes cost O(1 match).
+        stop_at = self._limit if self._order is None else None
+        for rowid, row in self._candidates(table, plan):
+            mapping = schema.row_dict(row)
+            if self._predicate.matches(mapping):
+                out.append(RowView(rowid, mapping))
+                if stop_at is not None and len(out) >= stop_at:
+                    break
+        # Sort.
+        if self._order is not None:
+            column, desc = self._order
+            schema.column_index(column)  # validate
+            out.sort(key=lambda r: _sort_key(r.get(column)), reverse=desc)
+        # Limit.
+        if self._limit is not None:
+            out = out[: self._limit]
+        # Project.
+        if self._projection is not None:
+            for name in self._projection:
+                schema.column_index(name)
+            out = [
+                RowView(r.rowid, {k: r[k] for k in self._projection})
+                for r in out
+            ]
+        return out
+
+    def first(self) -> RowView | None:
+        """Return the first result or ``None``."""
+        results = self.limit(1).run() if self._limit is None else self.run()
+        return results[0] if results else None
+
+    def count(self) -> int:
+        """Number of matching rows (projection/order ignored)."""
+        table = self._db.table(self._table_name)
+        plan = self.plan()
+        schema = table.schema
+        return sum(
+            1 for __, row in self._candidates(table, plan)
+            if self._predicate.matches(schema.row_dict(row))
+        )
+
+    def _matching_values(self, column: str) -> Iterator[Any]:
+        """Values of ``column`` over matching rows (NULLs skipped)."""
+        table = self._db.table(self._table_name)
+        pos = table.schema.column_index(column)
+        plan = self.plan()
+        schema = table.schema
+        for __, row in self._candidates(table, plan):
+            if self._predicate.matches(schema.row_dict(row)):
+                value = row[pos]
+                if value is not None:
+                    yield value
+
+    def sum(self, column: str) -> Any:
+        """SUM over matching non-null values (0 if none)."""
+        return sum(self._matching_values(column))
+
+    def min(self, column: str) -> Any:
+        """MIN over matching non-null values (``None`` if none)."""
+        return min(self._matching_values(column), default=None)
+
+    def max(self, column: str) -> Any:
+        """MAX over matching non-null values (``None`` if none)."""
+        return max(self._matching_values(column), default=None)
+
+    def avg(self, column: str) -> float | None:
+        """AVG over matching non-null values (``None`` if none)."""
+        total, count = 0.0, 0
+        for value in self._matching_values(column):
+            total += value
+            count += 1
+        return None if count == 0 else total / count
+
+    def distinct(self, column: str) -> set:
+        """Distinct non-null values of ``column`` over matching rows."""
+        return set(self._matching_values(column))
+
+    def group_count(self, column: str) -> dict:
+        """``value -> matching row count`` for ``column`` (NULLs kept)."""
+        table = self._db.table(self._table_name)
+        pos = table.schema.column_index(column)
+        plan = self.plan()
+        schema = table.schema
+        counts: dict = {}
+        for __, row in self._candidates(table, plan):
+            if self._predicate.matches(schema.row_dict(row)):
+                counts[row[pos]] = counts.get(row[pos], 0) + 1
+        return counts
+
+    def __iter__(self) -> Iterator[RowView]:
+        return iter(self.run())
+
+    # -- candidate generation -----------------------------------------------------
+
+    def _candidates(self, table: Table,
+                    plan: QueryPlan) -> Iterator[tuple[int, tuple]]:
+        """Yield (rowid, row) candidates, with the txn's pending overlay."""
+        pending = (
+            table.pending_of(self._txn.txn_id)
+            if self._txn is not None and self._txn.is_active else {}
+        )
+        if plan.kind == "index":
+            index = table.indexes()[plan.index_name]
+            hint = plan.hint
+            if hint.op == "eq":
+                rowids = index.probe_eq(hint.value)
+            elif hint.op == "in":
+                rowids = index.probe_in(hint.values)
+            else:
+                assert isinstance(index, OrderedIndex)
+                rowids = index.probe_range(
+                    hint.low, hint.high,
+                    low_inclusive=hint.low_inclusive,
+                    high_inclusive=hint.high_inclusive,
+                )
+            emitted: set[int] = set()
+            for rowid in rowids:
+                if rowid in pending:
+                    continue  # replaced below by the pending image
+                row = table.read(rowid)
+                if row is not None:
+                    emitted.add(rowid)
+                    yield rowid, row
+            # Pending rows are not in committed indexes; check them all —
+            # the full predicate re-check keeps this correct.
+            for rowid, image in pending.items():
+                if image is not TOMBSTONE and rowid not in emitted:
+                    yield rowid, image
+        else:
+            for rowid, row in table.committed_items():
+                if rowid in pending:
+                    continue
+                yield rowid, row
+            for rowid, image in pending.items():
+                if image is not TOMBSTONE:
+                    yield rowid, image
+
+
+class _SortKey:
+    """Total order over heterogenous values: None first, then by type name."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        a, b = self.value, other.value
+        if a is None:
+            return b is not None
+        if b is None:
+            return False
+        try:
+            return a < b
+        except TypeError:
+            return type(a).__name__ < type(b).__name__
+
+
+def _sort_key(value: Any) -> _SortKey:
+    return _SortKey(value)

@@ -1,0 +1,183 @@
+"""A blocked sorted list: the storage behind ordered indexes.
+
+A flat ``bisect.insort`` list costs O(n) per insert (the memmove); with
+an ordered index on e.g. the access-log timestamp that cost rides on
+every keystroke.  ``BlockedSortedList`` keeps items in a list of sorted
+blocks of bounded size (the classic ``sortedcontainers`` layout): inserts
+and deletes touch one block (O(block + #blocks)), giving roughly O(√n)
+behaviour with excellent constants, while in-order iteration and
+bisection stay simple.
+
+Items must be mutually comparable.  Duplicates are allowed.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator
+
+
+class BlockedSortedList:
+    """A sorted multiset of comparable items in size-bounded blocks."""
+
+    #: Target block size; blocks split at 2x and merge below 1/4.
+    BLOCK = 512
+
+    def __init__(self, items: Iterable[Any] = ()) -> None:
+        self._blocks: list[list[Any]] = []
+        self._maxes: list[Any] = []     # last (max) item of each block
+        self._len = 0
+        initial = sorted(items)
+        for start in range(0, len(initial), self.BLOCK):
+            block = initial[start:start + self.BLOCK]
+            self._blocks.append(block)
+            self._maxes.append(block[-1])
+        self._len = len(initial)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, item: Any) -> None:
+        """Insert ``item`` keeping order; O(block) amortised."""
+        if not self._blocks:
+            self._blocks.append([item])
+            self._maxes.append(item)
+            self._len = 1
+            return
+        index = bisect.bisect_left(self._maxes, item)
+        if index == len(self._blocks):
+            index -= 1
+        block = self._blocks[index]
+        bisect.insort(block, item)
+        self._maxes[index] = block[-1]
+        self._len += 1
+        if len(block) > 2 * self.BLOCK:
+            self._split(index)
+
+    def remove(self, item: Any) -> bool:
+        """Remove one occurrence of ``item``; returns False if absent."""
+        index = self._block_of(item)
+        if index is None:
+            return False
+        block = self._blocks[index]
+        pos = bisect.bisect_left(block, item)
+        if pos >= len(block) or block[pos] != item:
+            return False
+        del block[pos]
+        self._len -= 1
+        if not block:
+            del self._blocks[index]
+            del self._maxes[index]
+        else:
+            self._maxes[index] = block[-1]
+            if len(block) < self.BLOCK // 4:
+                self._maybe_merge(index)
+        return True
+
+    def _split(self, index: int) -> None:
+        block = self._blocks[index]
+        half = len(block) // 2
+        left, right = block[:half], block[half:]
+        self._blocks[index:index + 1] = [left, right]
+        self._maxes[index:index + 1] = [left[-1], right[-1]]
+
+    def _maybe_merge(self, index: int) -> None:
+        """Merge a small block into a neighbour if the pair stays small."""
+        for neighbour in (index - 1, index + 1):
+            if 0 <= neighbour < len(self._blocks):
+                combined = (len(self._blocks[index])
+                            + len(self._blocks[neighbour]))
+                if combined <= self.BLOCK:
+                    lo, hi = sorted((index, neighbour))
+                    merged = self._blocks[lo] + self._blocks[hi]
+                    self._blocks[lo:hi + 1] = [merged]
+                    self._maxes[lo:hi + 1] = [merged[-1]]
+                    return
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def _block_of(self, item: Any) -> int | None:
+        """Index of the first block that could contain ``item``."""
+        index = bisect.bisect_left(self._maxes, item)
+        return index if index < len(self._blocks) else None
+
+    def __contains__(self, item: Any) -> bool:
+        index = self._block_of(item)
+        if index is None:
+            return False
+        block = self._blocks[index]
+        pos = bisect.bisect_left(block, item)
+        return pos < len(block) and block[pos] == item
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __iter__(self) -> Iterator[Any]:
+        for block in self._blocks:
+            yield from block
+
+    def __reversed__(self) -> Iterator[Any]:
+        for block in reversed(self._blocks):
+            yield from reversed(block)
+
+    def min(self) -> Any:
+        """Smallest item (``None`` when empty)."""
+        return self._blocks[0][0] if self._blocks else None
+
+    def max(self) -> Any:
+        """Largest item (``None`` when empty)."""
+        return self._maxes[-1] if self._maxes else None
+
+    # ------------------------------------------------------------------
+    # Range iteration
+    # ------------------------------------------------------------------
+
+    def irange(
+        self,
+        low: Any = None,
+        high: Any = None,
+        *,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[Any]:
+        """Iterate items within the (possibly open) range, in order."""
+        if not self._blocks:
+            return
+        if low is None:
+            block_index, pos = 0, 0
+        else:
+            block_index = bisect.bisect_left(self._maxes, low)
+            if block_index == len(self._blocks):
+                return
+            block = self._blocks[block_index]
+            if low_inclusive:
+                pos = bisect.bisect_left(block, low)
+            else:
+                pos = bisect.bisect_right(block, low)
+        while block_index < len(self._blocks):
+            block = self._blocks[block_index]
+            while pos < len(block):
+                item = block[pos]
+                if (low is not None and not low_inclusive
+                        and not item > low):
+                    # Duplicates of an exclusive bound can spill across a
+                    # block boundary; skip them here too.
+                    pos += 1
+                    continue
+                if high is not None:
+                    if high_inclusive:
+                        if item > high:
+                            return
+                    elif item >= high:
+                        return
+                yield item
+                pos += 1
+            block_index += 1
+            pos = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"BlockedSortedList(len={self._len}, "
+                f"blocks={len(self._blocks)})")

@@ -1,0 +1,363 @@
+"""Heap tables with two-version rows (committed + one pending image).
+
+The engine runs read-committed isolation.  Each row has:
+
+* a *committed* image — what every transaction except the writer sees, and
+* at most one *pending* image owned by the transaction currently holding the
+  row's exclusive lock (a new row, an updated row, or a delete tombstone).
+
+Indexes cover committed data only; the query executor overlays the owning
+transaction's pending changes (:mod:`repro.db.query`).  Lock acquisition is
+the transaction layer's job — the table itself is mechanical and trusts its
+callers to hold the right locks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+from ..errors import (
+    DatabaseError,
+    RowNotFoundError,
+    SchemaError,
+    UniqueViolation,
+)
+from .index import HashIndex, Index, OrderedIndex
+from .schema import TableSchema
+
+
+class _Tombstone:
+    """Sentinel pending image meaning "this row is deleted"."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<TOMBSTONE>"
+
+
+TOMBSTONE = _Tombstone()
+
+
+@dataclass
+class Pending:
+    """A staged, uncommitted change to one row."""
+
+    owner: int                 # transaction id
+    image: Any                 # tuple (new row) or TOMBSTONE
+    was_insert: bool           # row did not exist in committed state
+
+
+class Table:
+    """One table: schema, rows, and secondary indexes."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._committed: dict[int, tuple] = {}
+        self._pending: dict[int, Pending] = {}
+        #: (unique column, value) -> rowid of the pending row claiming it.
+        #: Keeps uniqueness checks O(1) instead of scanning all pending
+        #: rows (which made bulk loads quadratic).
+        self._pending_keys: dict[tuple, int] = {}
+        self._indexes: dict[str, Index] = {}
+        self._rowid_counter = itertools.count(1)
+        self._lock = threading.RLock()
+        if schema.key is not None:
+            self.create_index(f"{schema.name}_key", schema.key,
+                              kind="hash", unique=True)
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def create_index(self, name: str, column: str, *, kind: str = "hash",
+                     unique: bool = False) -> Index:
+        """Create a secondary index over committed rows.
+
+        ``kind`` is ``"hash"`` or ``"ordered"``.
+        """
+        with self._lock:
+            if name in self._indexes:
+                raise SchemaError(f"index {name!r} already exists")
+            self.schema.column_index(column)  # validates the column
+            if kind == "hash":
+                index: Index = HashIndex(name, column, unique=unique)
+            elif kind == "ordered":
+                index = OrderedIndex(name, column, unique=unique)
+            else:
+                raise SchemaError(f"unknown index kind {kind!r}")
+            pos = self.schema.column_index(column)
+            for rowid, row in self._committed.items():
+                index.add(row[pos], rowid)
+            self._indexes[name] = index
+            return index
+
+    def drop_index(self, name: str) -> None:
+        """Remove a secondary index by name."""
+        with self._lock:
+            if name not in self._indexes:
+                raise SchemaError(f"no index {name!r}")
+            del self._indexes[name]
+
+    def indexes(self) -> dict[str, Index]:
+        """Snapshot of the table's indexes by name."""
+        with self._lock:
+            return dict(self._indexes)
+
+    def index_on(self, column: str, *, need_range: bool = False) -> Index | None:
+        """Return some index over ``column`` (preferring ordered if asked)."""
+        with self._lock:
+            best: Index | None = None
+            for index in self._indexes.values():
+                if index.column != column:
+                    continue
+                if need_range and not index.supports_range():
+                    continue
+                if best is None or (index.supports_range() and
+                                    not best.supports_range()):
+                    best = index
+            return best
+
+    # ------------------------------------------------------------------
+    # Staging (called by Transaction with locks held)
+    # ------------------------------------------------------------------
+
+    def next_rowid(self) -> int:
+        """Allocate a fresh row id."""
+        return next(self._rowid_counter)
+
+    def stage_insert(self, txn_id: int, values: Mapping[str, Any],
+                     rowid: int | None = None) -> tuple[int, tuple]:
+        """Stage a new row; returns ``(rowid, stored_row)``."""
+        row = self.schema.make_row(values)
+        with self._lock:
+            if rowid is None:
+                rowid = self.next_rowid()
+            elif rowid in self._committed or rowid in self._pending:
+                raise DatabaseError(f"rowid {rowid} already in use")
+            self._check_unique(txn_id, row, exclude_rowid=rowid)
+            self._pending[rowid] = Pending(txn_id, row, was_insert=True)
+            self._register_pending_keys(rowid, row)
+        return rowid, row
+
+    def stage_update(self, txn_id: int, rowid: int,
+                     updates: Mapping[str, Any]) -> tuple:
+        """Stage an update; returns the full new row image."""
+        with self._lock:
+            base = self._visible_for_write(txn_id, rowid)
+            row = self.schema.merge_row(base, updates)
+            self._check_unique(txn_id, row, exclude_rowid=rowid)
+            pending = self._pending.get(rowid)
+            was_insert = pending.was_insert if pending else False
+            if pending is not None and pending.image is not TOMBSTONE:
+                self._unregister_pending_keys(rowid, pending.image)
+            self._pending[rowid] = Pending(txn_id, row, was_insert)
+            self._register_pending_keys(rowid, row)
+        return row
+
+    def stage_delete(self, txn_id: int, rowid: int) -> tuple:
+        """Stage a delete; returns the row image being deleted."""
+        with self._lock:
+            base = self._visible_for_write(txn_id, rowid)
+            pending = self._pending.get(rowid)
+            was_insert = pending.was_insert if pending else False
+            if pending is not None and pending.image is not TOMBSTONE:
+                self._unregister_pending_keys(rowid, pending.image)
+            self._pending[rowid] = Pending(txn_id, TOMBSTONE, was_insert)
+        return base
+
+    def _visible_for_write(self, txn_id: int, rowid: int) -> tuple:
+        pending = self._pending.get(rowid)
+        if pending is not None:
+            if pending.owner != txn_id:
+                # The transaction layer should have blocked on the lock.
+                raise DatabaseError(
+                    f"row {rowid} has a pending change from txn "
+                    f"{pending.owner}; lock protocol violated"
+                )
+            if pending.image is TOMBSTONE:
+                raise RowNotFoundError(
+                    f"row {rowid} deleted in this transaction"
+                )
+            return pending.image
+        try:
+            return self._committed[rowid]
+        except KeyError:
+            raise RowNotFoundError(
+                f"no row {rowid} in table {self.schema.name!r}"
+            ) from None
+
+    def _check_unique(self, txn_id: int, row: tuple, *,
+                      exclude_rowid: int) -> None:
+        """Pre-commit uniqueness check against committed + pending rows.
+
+        Cross-transaction races on the same key are prevented by the key
+        lock the transaction layer takes before staging; pending claims
+        are tracked in ``_pending_keys`` so this check is O(1) per index.
+        """
+        with self._lock:
+            for index in self._indexes.values():
+                if not index.unique:
+                    continue
+                pos = self.schema.column_index(index.column)
+                key = row[pos]
+                if key is None:
+                    continue
+                claimer = self._pending_keys.get((index.column, key))
+                if claimer is not None and claimer != exclude_rowid:
+                    raise UniqueViolation(
+                        f"table {self.schema.name!r}: duplicate value "
+                        f"{key!r} for unique column {index.column!r}"
+                    )
+                for rowid in index.probe_eq(key):
+                    if rowid == exclude_rowid:
+                        continue
+                    pending = self._pending.get(rowid)
+                    if pending is not None and (
+                            pending.image is TOMBSTONE
+                            or pending.image[pos] != key):
+                        continue  # deleted / moved away: key being freed
+                    raise UniqueViolation(
+                        f"table {self.schema.name!r}: duplicate value "
+                        f"{key!r} for unique column {index.column!r}"
+                    )
+
+    def _register_pending_keys(self, rowid: int, row: tuple) -> None:
+        for index in self._indexes.values():
+            if index.unique:
+                key = row[self.schema.column_index(index.column)]
+                if key is not None:
+                    self._pending_keys[(index.column, key)] = rowid
+
+    def _unregister_pending_keys(self, rowid: int, row: tuple) -> None:
+        for index in self._indexes.values():
+            if index.unique:
+                key = row[self.schema.column_index(index.column)]
+                if key is not None:
+                    entry = (index.column, key)
+                    if self._pending_keys.get(entry) == rowid:
+                        del self._pending_keys[entry]
+
+    # ------------------------------------------------------------------
+    # Commit / rollback (called by Transaction)
+    # ------------------------------------------------------------------
+
+    def commit_row(self, txn_id: int, rowid: int) -> tuple[str, tuple | None]:
+        """Promote the pending image of ``rowid`` to committed.
+
+        Returns ``(change_kind, new_row)`` where kind is ``"insert"``,
+        ``"update"`` or ``"delete"`` for the commit notification.
+        """
+        with self._lock:
+            pending = self._pending.pop(rowid, None)
+            if pending is None or pending.owner != txn_id:
+                raise DatabaseError(
+                    f"txn {txn_id} has no pending change on row {rowid}"
+                )
+            if pending.image is not TOMBSTONE:
+                self._unregister_pending_keys(rowid, pending.image)
+            old = self._committed.get(rowid)
+            if pending.image is TOMBSTONE:
+                if old is not None:
+                    self._unindex_row(rowid, old)
+                    del self._committed[rowid]
+                    return "delete", None
+                return "noop", None  # insert+delete inside one txn
+            if old is not None:
+                self._unindex_row(rowid, old)
+                kind = "update"
+            else:
+                kind = "insert"
+            self._committed[rowid] = pending.image
+            self._index_row(rowid, pending.image)
+            return kind, pending.image
+
+    def rollback_row(self, txn_id: int, rowid: int) -> None:
+        """Discard the pending image of ``rowid`` (abort path)."""
+        with self._lock:
+            pending = self._pending.get(rowid)
+            if pending is not None and pending.owner == txn_id:
+                if pending.image is not TOMBSTONE:
+                    self._unregister_pending_keys(rowid, pending.image)
+                del self._pending[rowid]
+
+    def _index_row(self, rowid: int, row: tuple) -> None:
+        for index in self._indexes.values():
+            pos = self.schema.column_index(index.column)
+            index.add(row[pos], rowid)
+
+    def _unindex_row(self, rowid: int, row: tuple) -> None:
+        for index in self._indexes.values():
+            pos = self.schema.column_index(index.column)
+            index.remove(row[pos], rowid)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def read(self, rowid: int, txn_id: int | None = None) -> tuple | None:
+        """Return the row visible to ``txn_id`` (or committed state)."""
+        with self._lock:
+            pending = self._pending.get(rowid)
+            if pending is not None and pending.owner == txn_id:
+                return None if pending.image is TOMBSTONE else pending.image
+            return self._committed.get(rowid)
+
+    def get(self, rowid: int, txn_id: int | None = None) -> tuple:
+        """Like :meth:`read` but raises when the row is absent."""
+        row = self.read(rowid, txn_id)
+        if row is None:
+            raise RowNotFoundError(
+                f"no row {rowid} in table {self.schema.name!r}"
+            )
+        return row
+
+    def committed_items(self) -> Iterator[tuple[int, tuple]]:
+        """Iterate ``(rowid, row)`` over committed rows (snapshot)."""
+        with self._lock:
+            return iter(list(self._committed.items()))
+
+    def pending_of(self, txn_id: int) -> dict[int, Any]:
+        """Snapshot of ``rowid -> image-or-TOMBSTONE`` for one transaction."""
+        with self._lock:
+            return {
+                rowid: p.image for rowid, p in self._pending.items()
+                if p.owner == txn_id
+            }
+
+    def row_count(self) -> int:
+        """Number of committed rows."""
+        with self._lock:
+            return len(self._committed)
+
+    # ------------------------------------------------------------------
+    # Bulk load (recovery / checkpoint restore; bypasses transactions)
+    # ------------------------------------------------------------------
+
+    def load_row(self, rowid: int, values: Mapping[str, Any]) -> None:
+        """Directly install a committed row (recovery only)."""
+        row = self.schema.make_row(values)
+        with self._lock:
+            old = self._committed.get(rowid)
+            if old is not None:
+                self._unindex_row(rowid, old)
+            self._committed[rowid] = row
+            self._index_row(rowid, row)
+            # Keep rowid allocation ahead of everything loaded.
+            self._bump_rowid(rowid)
+
+    def load_delete(self, rowid: int) -> None:
+        """Directly remove a committed row (recovery only)."""
+        with self._lock:
+            old = self._committed.pop(rowid, None)
+            if old is not None:
+                self._unindex_row(rowid, old)
+
+    def _bump_rowid(self, seen: int) -> None:
+        current = next(self._rowid_counter)
+        target = max(current, seen + 1)
+        self._rowid_counter = itertools.count(target)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Table({self.schema.name!r}, rows={len(self._committed)}, "
+                f"pending={len(self._pending)})")

@@ -1,0 +1,222 @@
+"""Transactions: strict two-phase locking, WAL logging, commit triggers.
+
+A transaction stages row images in the tables it touches (see
+:mod:`repro.db.table`), holding exclusive row locks until commit or abort.
+WAL records are appended as operations are staged; COMMIT makes them
+effective.  On commit the engine publishes a ``db.commit`` event carrying
+the full change list — this is the hook that drives real-time propagation
+to editor clients, metadata capture and dynamic folder refresh.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
+
+from ..errors import TransactionStateError
+from . import wal as walmod
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Database
+
+
+class TxnState(enum.Enum):
+    """Transaction lifecycle states."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass(frozen=True)
+class Change:
+    """One committed row change, as delivered to commit subscribers."""
+
+    table: str
+    kind: str                  # "insert" | "update" | "delete"
+    rowid: int
+    row: dict | None           # column mapping after the change (None=delete)
+
+
+class Transaction:
+    """Handle for one unit of work against a :class:`~repro.db.engine.Database`.
+
+    Usually obtained via ``db.transaction()`` (a context manager that
+    commits on clean exit and aborts on exception) or ``db.begin()``.
+    """
+
+    def __init__(self, db: "Database", txn_id: int, *,
+                 lock_timeout: float | None = None) -> None:
+        self._db = db
+        self.txn_id = txn_id
+        self.state = TxnState.ACTIVE
+        self.lock_timeout = lock_timeout
+        #: (table_name, rowid) in staging order — commit applies in order.
+        self._ops: list[tuple[str, int]] = []
+        self._ops_seen: set[tuple[str, int]] = set()
+        self._lock = threading.RLock()
+        db.wal.append(walmod.BEGIN, txn_id)
+
+    # -- context manager ----------------------------------------------------
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.state is TxnState.ACTIVE:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+
+    # -- state helpers ------------------------------------------------------
+
+    def _require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionStateError(
+                f"transaction {self.txn_id} is {self.state.value}"
+            )
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is TxnState.ACTIVE
+
+    # -- locking ------------------------------------------------------------
+
+    def _lock_row(self, table: str, rowid: int) -> None:
+        self._db.locks.acquire(self.txn_id, ("row", table, rowid),
+                               timeout=self.lock_timeout)
+
+    def _lock_key(self, table: str, column: str, value: Any) -> None:
+        """Serialise claims on a unique key value across transactions."""
+        if value is None:
+            return
+        self._db.locks.acquire(self.txn_id, ("key", table, column, value),
+                               timeout=self.lock_timeout)
+
+    def _record_op(self, table: str, rowid: int) -> None:
+        marker = (table, rowid)
+        if marker not in self._ops_seen:
+            self._ops_seen.add(marker)
+            self._ops.append(marker)
+
+    # -- DML ----------------------------------------------------------------
+
+    def insert(self, table_name: str, values: Mapping[str, Any]) -> int:
+        """Insert a row; returns its rowid."""
+        self._require_active()
+        table = self._db.table(table_name)
+        with self._lock:
+            for index in table.indexes().values():
+                if index.unique and index.column in values:
+                    self._lock_key(table_name, index.column,
+                                   values[index.column])
+            rowid, row = table.stage_insert(self.txn_id, values)
+            self._lock_row(table_name, rowid)
+            self._record_op(table_name, rowid)
+            self._db.wal.append(
+                walmod.INSERT, self.txn_id, table=table_name, rowid=rowid,
+                values=table.schema.row_dict(row),
+            )
+            return rowid
+
+    def update(self, table_name: str, rowid: int,
+               updates: Mapping[str, Any]) -> dict:
+        """Update a row; returns the new full row mapping."""
+        self._require_active()
+        table = self._db.table(table_name)
+        with self._lock:
+            self._lock_row(table_name, rowid)
+            for index in table.indexes().values():
+                if index.unique and index.column in updates:
+                    self._lock_key(table_name, index.column,
+                                   updates[index.column])
+            row = table.stage_update(self.txn_id, rowid, updates)
+            self._record_op(table_name, rowid)
+            row_map = table.schema.row_dict(row)
+            self._db.wal.append(
+                walmod.UPDATE, self.txn_id, table=table_name, rowid=rowid,
+                values=row_map,
+            )
+            return row_map
+
+    def delete(self, table_name: str, rowid: int) -> None:
+        """Delete a row."""
+        self._require_active()
+        table = self._db.table(table_name)
+        with self._lock:
+            self._lock_row(table_name, rowid)
+            table.stage_delete(self.txn_id, rowid)
+            self._record_op(table_name, rowid)
+            self._db.wal.append(
+                walmod.DELETE, self.txn_id, table=table_name, rowid=rowid,
+            )
+
+    # -- reads (own-writes visible) ------------------------------------------
+
+    def read(self, table_name: str, rowid: int) -> dict | None:
+        """Read one row as visible to this transaction, or ``None``."""
+        self._require_active()
+        table = self._db.table(table_name)
+        row = table.read(rowid, self.txn_id)
+        return None if row is None else table.schema.row_dict(row)
+
+    def get(self, table_name: str, rowid: int) -> dict:
+        """Like :meth:`read` but raises if the row is absent."""
+        self._require_active()
+        table = self._db.table(table_name)
+        return table.schema.row_dict(table.get(rowid, self.txn_id))
+
+    def get_for_update(self, table_name: str, rowid: int) -> dict:
+        """Read a row under its exclusive lock (``SELECT FOR UPDATE``).
+
+        Acquires the row's write lock *before* reading, so a subsequent
+        :meth:`update` in this transaction cannot suffer a lost update:
+        no other transaction can change the row between the read and the
+        write.  Use this for read-modify-write cycles.
+        """
+        self._require_active()
+        table = self._db.table(table_name)
+        self._lock_row(table_name, rowid)
+        return table.schema.row_dict(table.get(rowid, self.txn_id))
+
+    def query(self, table_name: str):
+        """Start a query that sees this transaction's uncommitted writes."""
+        from .query import Query
+        return Query(self._db, table_name, txn=self)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def commit(self) -> list[Change]:
+        """Commit: log, apply staged images, release locks, fire triggers."""
+        self._require_active()
+        with self._lock:
+            self._db.wal.append(walmod.COMMIT, self.txn_id)
+            changes: list[Change] = []
+            for table_name, rowid in self._ops:
+                table = self._db.table(table_name)
+                kind, row = table.commit_row(self.txn_id, rowid)
+                if kind == "noop":
+                    continue
+                row_map = table.schema.row_dict(row) if row is not None else None
+                changes.append(Change(table_name, kind, rowid, row_map))
+            self.state = TxnState.COMMITTED
+        self._db.locks.release_all(self.txn_id)
+        self._db.on_commit(self, changes)
+        return changes
+
+    def abort(self) -> None:
+        """Roll back every staged change and release locks."""
+        self._require_active()
+        with self._lock:
+            for table_name, rowid in reversed(self._ops):
+                self._db.table(table_name).rollback_row(self.txn_id, rowid)
+            self._db.wal.append(walmod.ABORT, self.txn_id)
+            self.state = TxnState.ABORTED
+        self._db.locks.release_all(self.txn_id)
+        self._db.on_abort(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Transaction(id={self.txn_id}, state={self.state.value})"

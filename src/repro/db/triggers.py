@@ -1,0 +1,116 @@
+"""Commit triggers.
+
+TeNDaX reacts to committed editing transactions in several places: editor
+clients receive change notifications (real-time propagation), the metadata
+collector updates document statistics, and dynamic folders refresh their
+membership.  The trigger registry dispatches committed change lists to
+per-table callbacks; the engine additionally publishes a coarse
+``db.commit`` event on its bus.
+
+Triggers run synchronously *after* the commit is fully applied and locks
+are released, so a trigger observes a consistent committed state and may
+start its own transactions.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from typing import TYPE_CHECKING, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .transaction import Change, Transaction
+
+TriggerFn = Callable[["Transaction", list["Change"]], None]
+
+
+class TriggerHandle:
+    """Returned by :meth:`TriggerRegistry.on_commit`; call to remove."""
+
+    def __init__(self, registry: "TriggerRegistry", table: str,
+                 fn: TriggerFn) -> None:
+        self._registry = registry
+        self.table = table
+        self.fn = fn
+        self.active = True
+
+    def remove(self) -> None:
+        """Deregister this trigger. Safe to call twice."""
+        if self.active:
+            self.active = False
+            self._registry._remove(self)
+
+
+class TriggerRegistry:
+    """Per-table commit trigger registration and dispatch."""
+
+    #: Pseudo-table name matching every table.
+    ALL = "*"
+
+    #: Keep at most this many recent trigger failures.
+    ERROR_LIMIT = 100
+
+    def __init__(self) -> None:
+        self._triggers: dict[str, list[TriggerHandle]] = defaultdict(list)
+        self._lock = threading.RLock()
+        #: Recent trigger failures as (table, exception) pairs.  A failing
+        #: trigger must not damage the already-committed transaction, so
+        #: dispatch isolates exceptions here instead of propagating them.
+        self.errors: list[tuple[str, Exception]] = []
+
+    def on_commit(self, table: str, fn: TriggerFn) -> TriggerHandle:
+        """Register ``fn`` to run after commits touching ``table``.
+
+        ``table`` may be :data:`ALL` to receive every commit.  The callback
+        receives the committing transaction and *only* the changes for its
+        table (all changes for :data:`ALL`).
+        """
+        handle = TriggerHandle(self, table, fn)
+        with self._lock:
+            self._triggers[table].append(handle)
+        return handle
+
+    def _remove(self, handle: TriggerHandle) -> None:
+        with self._lock:
+            handles = self._triggers.get(handle.table, [])
+            if handle in handles:
+                handles.remove(handle)
+
+    def dispatch(self, txn: "Transaction",
+                 changes: Iterable["Change"]) -> None:
+        """Fan changes out to the registered triggers."""
+        changes = list(changes)
+        if not changes:
+            by_table: dict[str, list] = {}
+        else:
+            by_table = defaultdict(list)
+            for change in changes:
+                by_table[change.table].append(change)
+        with self._lock:
+            snapshot = {t: list(hs) for t, hs in self._triggers.items()}
+        for table, table_changes in by_table.items():
+            for handle in snapshot.get(table, ()):
+                if handle.active:
+                    self._run(handle, txn, table_changes)
+        if changes:
+            for handle in snapshot.get(self.ALL, ()):
+                if handle.active:
+                    self._run(handle, txn, changes)
+
+    def _run(self, handle: TriggerHandle, txn: "Transaction",
+             changes: list) -> None:
+        """Run one trigger, isolating its failures from the committer."""
+        try:
+            handle.fn(txn, changes)
+        except Exception as exc:
+            with self._lock:
+                self.errors.append((handle.table, exc))
+                if len(self.errors) > self.ERROR_LIMIT:
+                    del self.errors[: len(self.errors) - self.ERROR_LIMIT]
+
+    def count(self, table: str | None = None) -> int:
+        """Number of registered triggers (optionally per table)."""
+        with self._lock:
+            if table is not None:
+                return len(self._triggers.get(table, ()))
+            return sum(len(hs) for hs in self._triggers.values())

@@ -1,0 +1,106 @@
+"""A small synchronous publish/subscribe event bus.
+
+The collaboration server, metadata collector and dynamic folders all react
+to database commits.  Rather than wiring them to each other directly, the
+engine publishes events on a bus and each subsystem subscribes to the topics
+it cares about.  Delivery is synchronous and in subscription order, which
+keeps test runs deterministic; asynchrony between editor clients is modelled
+one level up (per-session delivery queues in :mod:`repro.collab`).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+Handler = Callable[["Event"], None]
+
+
+@dataclass(frozen=True)
+class Event:
+    """A published event.
+
+    Attributes
+    ----------
+    topic:
+        Dotted topic name, e.g. ``"db.commit"`` or ``"doc.changed"``.
+    payload:
+        Arbitrary mapping of event data.  Treated as read-only by handlers.
+    """
+
+    topic: str
+    payload: dict = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.payload[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Payload value for ``key`` with a default."""
+        return self.payload.get(key, default)
+
+
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`; call to unsubscribe."""
+
+    def __init__(self, bus: "EventBus", pattern: str, handler: Handler) -> None:
+        self._bus = bus
+        self.pattern = pattern
+        self.handler = handler
+        self.active = True
+
+    def cancel(self) -> None:
+        """Stop receiving events.  Safe to call more than once."""
+        if self.active:
+            self.active = False
+            self._bus._remove(self)
+
+
+class EventBus:
+    """Synchronous topic-based pub/sub with glob pattern matching.
+
+    Patterns use :mod:`fnmatch` semantics: ``"db.*"`` matches ``"db.commit"``
+    and ``"db.abort"``; a literal topic matches itself.
+    """
+
+    def __init__(self) -> None:
+        self._subs: list[Subscription] = []
+        self._lock = threading.RLock()
+
+    def subscribe(self, pattern: str, handler: Handler) -> Subscription:
+        """Register ``handler`` for every event whose topic matches."""
+        sub = Subscription(self, pattern, handler)
+        with self._lock:
+            self._subs.append(sub)
+        return sub
+
+    def _remove(self, sub: Subscription) -> None:
+        with self._lock:
+            try:
+                self._subs.remove(sub)
+            except ValueError:
+                pass
+
+    def publish(self, topic: str, **payload: Any) -> Event:
+        """Publish an event, delivering synchronously to matching handlers.
+
+        Handlers added or removed *during* delivery do not affect the
+        current event (delivery iterates a snapshot).
+        """
+        event = Event(topic, payload)
+        with self._lock:
+            subs = list(self._subs)
+        for sub in subs:
+            if sub.active and fnmatch.fnmatchcase(topic, sub.pattern):
+                sub.handler(event)
+        return event
+
+    def subscribers(self) -> Iterator[Subscription]:
+        """Iterate over a snapshot of current subscriptions."""
+        with self._lock:
+            return iter(list(self._subs))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._subs)

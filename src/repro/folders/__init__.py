@@ -1,0 +1,43 @@
+"""Static folders and metadata-driven dynamic folders."""
+
+from .dynamic import (
+    AccessedBy,
+    AllOf,
+    AnyOf,
+    AuthoredBy,
+    Condition,
+    CreatorIs,
+    DynamicFolder,
+    DynamicFolderManager,
+    FolderContext,
+    HasProperty,
+    ModifiedWithin,
+    NameContains,
+    NotCond,
+    SizeAtLeast,
+    StateIs,
+)
+from .specs import condition_from_spec, condition_to_spec
+from .static import StaticFolderManager, install_folder_schema
+
+__all__ = [
+    "AccessedBy",
+    "AllOf",
+    "AnyOf",
+    "AuthoredBy",
+    "Condition",
+    "CreatorIs",
+    "DynamicFolder",
+    "DynamicFolderManager",
+    "FolderContext",
+    "HasProperty",
+    "ModifiedWithin",
+    "NameContains",
+    "NotCond",
+    "SizeAtLeast",
+    "StateIs",
+    "StaticFolderManager",
+    "condition_from_spec",
+    "condition_to_spec",
+    "install_folder_schema",
+]

@@ -1,0 +1,79 @@
+"""Serialisation of dynamic-folder conditions.
+
+Dynamic folders are metadata *definitions*; storing them in the database
+(like everything else in TeNDaX) means they survive crash recovery and
+can be shared between sessions.  Conditions serialise to a small JSON
+spec tree and back via :func:`condition_to_spec` /
+:func:`condition_from_spec`; :class:`repro.folders.dynamic.DynamicFolderManager`
+uses these for its ``save_folder``/``load_folders`` persistence.
+"""
+
+from __future__ import annotations
+
+from ..errors import FolderError
+from . import dynamic as D
+
+
+def condition_to_spec(condition: D.Condition) -> dict:
+    """Serialise a condition tree to a JSON-compatible spec."""
+    if isinstance(condition, D.AllOf):
+        return {"op": "all",
+                "parts": [condition_to_spec(p) for p in condition.parts]}
+    if isinstance(condition, D.AnyOf):
+        return {"op": "any",
+                "parts": [condition_to_spec(p) for p in condition.parts]}
+    if isinstance(condition, D.NotCond):
+        return {"op": "not", "part": condition_to_spec(condition.part)}
+    if isinstance(condition, D.CreatorIs):
+        return {"op": "creator", "user": condition.user}
+    if isinstance(condition, D.StateIs):
+        return {"op": "state", "state": condition.state}
+    if isinstance(condition, D.NameContains):
+        return {"op": "name_contains", "needle": condition.needle}
+    if isinstance(condition, D.SizeAtLeast):
+        return {"op": "size_at_least", "size": condition.size}
+    if isinstance(condition, D.HasProperty):
+        return {"op": "has_property", "key": condition.key,
+                "value": condition.value}
+    if isinstance(condition, D.AccessedBy):
+        return {"op": "accessed_by", "user": condition.user,
+                "action": condition.action, "within": condition.within}
+    if isinstance(condition, D.ModifiedWithin):
+        return {"op": "modified_within", "seconds": condition.seconds}
+    if isinstance(condition, D.AuthoredBy):
+        return {"op": "authored_by", "user": condition.user,
+                "min_chars": condition.min_chars}
+    raise FolderError(
+        f"condition {type(condition).__name__} is not serialisable"
+    )
+
+
+def condition_from_spec(spec: dict) -> D.Condition:
+    """Rebuild a condition tree from its spec."""
+    op = spec.get("op")
+    if op == "all":
+        return D.AllOf(tuple(condition_from_spec(p)
+                             for p in spec["parts"]))
+    if op == "any":
+        return D.AnyOf(tuple(condition_from_spec(p)
+                             for p in spec["parts"]))
+    if op == "not":
+        return D.NotCond(condition_from_spec(spec["part"]))
+    if op == "creator":
+        return D.CreatorIs(spec["user"])
+    if op == "state":
+        return D.StateIs(spec["state"])
+    if op == "name_contains":
+        return D.NameContains(spec["needle"])
+    if op == "size_at_least":
+        return D.SizeAtLeast(spec["size"])
+    if op == "has_property":
+        return D.HasProperty(spec["key"], spec.get("value"))
+    if op == "accessed_by":
+        return D.AccessedBy(spec["user"], spec.get("action", "read"),
+                            spec.get("within"))
+    if op == "modified_within":
+        return D.ModifiedWithin(spec["seconds"])
+    if op == "authored_by":
+        return D.AuthoredBy(spec["user"], spec.get("min_chars", 1))
+    raise FolderError(f"unknown condition op {op!r}")

@@ -1,0 +1,121 @@
+"""Static folders: the classical hierarchy TeNDaX keeps for compatibility.
+
+The paper's document-level metadata includes "places within static
+folders".  A document may be placed in any number of folders (unlike a
+file system), and folders form a tree.
+"""
+
+from __future__ import annotations
+
+from ..db import Database, col, column
+from ..errors import FolderError
+from ..ids import Oid
+from ..text import dbschema as S
+
+FOLDERS = "tx_folders"
+FOLDER_DOCS = "tx_folder_docs"
+
+
+def install_folder_schema(db: Database) -> None:
+    """Create the static-folder tables (idempotent)."""
+    if not db.has_table(FOLDERS):
+        db.create_table(FOLDERS, [
+            column("folder", "oid"),
+            column("name", "str"),
+            column("parent", "oid", nullable=True),
+            column("created_by", "str"),
+            column("created_at", "timestamp"),
+        ], key="folder")
+        db.create_index(FOLDERS, "parent")
+    if not db.has_table(FOLDER_DOCS):
+        db.create_table(FOLDER_DOCS, [
+            column("folder", "oid"),
+            column("doc", "oid"),
+        ])
+        db.create_index(FOLDER_DOCS, "folder")
+        db.create_index(FOLDER_DOCS, "doc")
+
+
+class StaticFolderManager:
+    """Create folders and place documents into them."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        install_folder_schema(db)
+        S.install_text_schema(db)
+
+    def create_folder(self, name: str, user: str,
+                      parent: Oid | None = None) -> Oid:
+        """Create a folder (optionally under a parent)."""
+        if parent is not None:
+            self._require_folder(parent)
+        folder = self.db.new_oid("folder")
+        self.db.insert(FOLDERS, {
+            "folder": folder, "name": name, "parent": parent,
+            "created_by": user, "created_at": self.db.now(),
+        })
+        return folder
+
+    def _require_folder(self, folder: Oid) -> dict:
+        row = self.db.query(FOLDERS).where(col("folder") == folder).first()
+        if row is None:
+            raise FolderError(f"no folder {folder}")
+        return dict(row)
+
+    def place(self, doc: Oid, folder: Oid) -> None:
+        """Put a document into a folder (idempotent)."""
+        self._require_folder(folder)
+        existing = (self.db.query(FOLDER_DOCS)
+                    .where((col("folder") == folder) & (col("doc") == doc))
+                    .count())
+        if not existing:
+            self.db.insert(FOLDER_DOCS, {"folder": folder, "doc": doc})
+
+    def remove(self, doc: Oid, folder: Oid) -> None:
+        """Take a document out of a folder."""
+        rows = (self.db.query(FOLDER_DOCS)
+                .where((col("folder") == folder) & (col("doc") == doc))
+                .run())
+        for row in rows:
+            self.db.delete(FOLDER_DOCS, row.rowid)
+
+    def contents(self, folder: Oid) -> list[Oid]:
+        """Document OIDs placed in the folder, sorted."""
+        self._require_folder(folder)
+        rows = self.db.query(FOLDER_DOCS).where(col("folder") == folder).run()
+        return sorted({r["doc"] for r in rows})
+
+    def folders_of(self, doc: Oid) -> list[Oid]:
+        """Every folder a document is placed in ("places" metadata)."""
+        rows = self.db.query(FOLDER_DOCS).where(col("doc") == doc).run()
+        return sorted({r["folder"] for r in rows})
+
+    def children(self, parent: Oid | None) -> list[dict]:
+        """Direct child folders of ``parent``, by name."""
+        rows = self.db.query(FOLDERS).where(col("parent") == parent).run()
+        return sorted((dict(r) for r in rows), key=lambda r: r["name"])
+
+    def path_of(self, folder: Oid) -> str:
+        """Slash-joined path from the root, e.g. ``/projects/tendax``."""
+        parts: list[str] = []
+        current: Oid | None = folder
+        guard = 0
+        while current is not None:
+            row = self._require_folder(current)
+            parts.append(row["name"])
+            current = row["parent"]
+            guard += 1
+            if guard > 128:
+                raise FolderError("folder hierarchy too deep or cyclic")
+        return "/" + "/".join(reversed(parts))
+
+    def tree_text(self, parent: Oid | None = None, depth: int = 0) -> str:
+        """Printable folder tree with document counts."""
+        lines = []
+        for row in self.children(parent):
+            count = len(self.contents(row["folder"]))
+            lines.append(f"{'  ' * depth}{row['name']}/ ({count})")
+            subtree = self.tree_text(row["folder"], depth + 1)
+            if subtree:
+                lines.append(subtree)
+        return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Data lineage: provenance graphs from copy-paste metadata (Fig. 1)."""
+
+from .graph import AncestryStep, LineageGraph
+from .render import ancestry_text, ascii_lineage, to_dot
+
+__all__ = [
+    "AncestryStep",
+    "LineageGraph",
+    "ancestry_text",
+    "ascii_lineage",
+    "to_dot",
+]

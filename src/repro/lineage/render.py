@@ -1,0 +1,89 @@
+"""Rendering the lineage graph (the programmatic Fig. 1).
+
+The paper shows a GUI visualisation; here the same graph is emitted as
+Graphviz DOT (for plotting) and as an indented ASCII tree (for terminal
+demos and benchmark output).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..ids import Oid
+from .graph import LineageGraph
+
+
+def to_dot(graph: nx.MultiDiGraph) -> str:
+    """Serialise a lineage graph as Graphviz DOT."""
+    lines = ["digraph lineage {", "  rankdir=LR;"]
+    for node, attrs in graph.nodes(data=True):
+        label = attrs.get("name", node)
+        if attrs.get("kind") == LineageGraph.EXTERNAL:
+            shape = "ellipse"
+            label = f"{label}\\n(external)"
+        else:
+            shape = "box"
+        lines.append(f'  "{node}" [label="{label}", shape={shape}];')
+    for src, dst, attrs in graph.edges(data=True):
+        label = f"{attrs.get('n_chars', '?')} chars by {attrs.get('user', '?')}"
+        lines.append(f'  "{src}" -> "{dst}" [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ascii_lineage(lineage: LineageGraph, doc: Oid, *,
+                  max_depth: int = 6) -> str:
+    """An indented where-did-this-come-from tree for one document.
+
+    Example output::
+
+        report-final (3 paste(s) in)
+          <- draft-v2: 120 chars by ana
+            <- https://example.org (external): 80 chars by ben
+          <- notes: 15 chars by cleo
+    """
+    graph = lineage.build()
+    root = str(doc)
+    if root not in graph:
+        return f"{root} (unknown document)"
+
+    def name_of(node: str) -> str:
+        attrs = graph.nodes[node]
+        label = attrs.get("name", node)
+        if attrs.get("kind") == LineageGraph.EXTERNAL:
+            label = f"{label} (external)"
+        return label
+
+    lines = [f"{name_of(root)} ({graph.in_degree(root)} paste(s) in)"]
+
+    def walk(node: str, depth: int, seen: frozenset) -> None:
+        if depth > max_depth:
+            return
+        edges_by_src: dict[str, list[dict]] = {}
+        for src, __, attrs in graph.in_edges(node, data=True):
+            edges_by_src.setdefault(src, []).append(attrs)
+        for src in sorted(edges_by_src):
+            total = sum(e["n_chars"] for e in edges_by_src[src])
+            users = sorted({e["user"] for e in edges_by_src[src]})
+            lines.append(
+                f"{'  ' * depth}<- {name_of(src)}: {total} chars "
+                f"by {', '.join(users)}"
+            )
+            if src not in seen:
+                walk(src, depth + 1, seen | {src})
+
+    walk(root, 1, frozenset({root}))
+    return "\n".join(lines)
+
+
+def ancestry_text(lineage: LineageGraph, char_oid: Oid) -> str:
+    """Printable provenance chain of one character."""
+    steps = lineage.char_ancestry(char_oid)
+    lines = []
+    for i, step in enumerate(steps):
+        arrow = "" if i == 0 else "copied from "
+        lines.append(
+            f"{'  ' * i}{arrow}char {step.char} in doc {step.doc} "
+            f"(by {step.author})"
+        )
+    return "\n".join(lines)

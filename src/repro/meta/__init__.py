@@ -1,0 +1,6 @@
+"""Automatic metadata capture and user-defined properties."""
+
+from .collector import MetadataCollector
+from .properties import PropertyManager
+
+__all__ = ["MetadataCollector", "PropertyManager"]

@@ -1,0 +1,84 @@
+"""User-defined properties at document and character level.
+
+The paper lists "user defined properties" among both the document-level
+and the character-level metadata.  Document properties live in the
+``tx_documents.props`` JSON column (see
+:meth:`repro.text.document.DocumentStore.set_property`); this module adds
+the character-level counterpart plus typed property queries over both.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..db import Database, Lambda, col
+from ..ids import Oid
+from ..text import chars as C
+from ..text import dbschema as S
+
+
+class PropertyManager:
+    """Set and query user-defined properties."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        S.install_text_schema(db)
+
+    # -- character level -----------------------------------------------------
+
+    def set_char_property(self, char_oid: Oid, key: str, value: Any,
+                          user: str) -> None:
+        """Attach ``key = value`` to one character."""
+        rowid, row = C.char_row(self.db, char_oid)
+        props = dict(row["props"] or {})
+        props[key] = value
+        with self.db.transaction() as txn:
+            txn.update(S.CHARS, rowid, {
+                "props": props, "version": row["version"] + 1,
+            })
+
+    def get_char_property(self, char_oid: Oid, key: str,
+                          default: Any = None) -> Any:
+        """Read one character property with a default."""
+        __, row = C.char_row(self.db, char_oid)
+        return (row["props"] or {}).get(key, default)
+
+    def chars_with_property(self, doc: Oid, key: str,
+                            value: Any = None) -> list[Oid]:
+        """Characters of ``doc`` carrying ``key`` (optionally = value)."""
+        def has_prop(row) -> bool:
+            props = row.get("props") or {}
+            if key not in props:
+                return False
+            return value is None or props[key] == value
+
+        rows = (self.db.query(S.CHARS)
+                .where((col("doc") == doc)
+                       & Lambda(has_prop, label=f"props[{key}]"))
+                .run())
+        return [r["char"] for r in rows]
+
+    # -- document level --------------------------------------------------------
+
+    def documents_with_property(self, key: str,
+                                value: Any = None) -> list[Oid]:
+        """Documents carrying ``key`` (optionally with a specific value)."""
+        def has_prop(row) -> bool:
+            props = row.get("props") or {}
+            if key not in props:
+                return False
+            return value is None or props[key] == value
+
+        rows = (self.db.query(S.DOCUMENTS)
+                .where(Lambda(has_prop, label=f"props[{key}]"))
+                .run())
+        return [r["doc"] for r in rows]
+
+    def get_document_property(self, doc: Oid, key: str,
+                              default: Any = None) -> Any:
+        """Read one document property with a default."""
+        row = self.db.query(S.DOCUMENTS).where(col("doc") == doc).first()
+        if row is None:
+            from ..errors import UnknownDocumentError
+            raise UnknownDocumentError(f"no document {doc}")
+        return (row["props"] or {}).get(key, default)

@@ -1,0 +1,28 @@
+"""Visual and text mining over the document space (Fig. 2)."""
+
+from .features import DocumentFeatures, FeatureExtractor, tokenize
+from .textmine import (
+    TfIdfModel,
+    cosine_similarity_matrix,
+    fit_tfidf,
+    kmeans_clusters,
+    similar_documents,
+    top_terms,
+)
+from .visual import DIMENSIONS, DocumentMap, MapPoint, VisualMiner
+
+__all__ = [
+    "DIMENSIONS",
+    "DocumentFeatures",
+    "DocumentMap",
+    "FeatureExtractor",
+    "MapPoint",
+    "TfIdfModel",
+    "VisualMiner",
+    "cosine_similarity_matrix",
+    "fit_tfidf",
+    "kmeans_clusters",
+    "similar_documents",
+    "tokenize",
+    "top_terms",
+]

@@ -1,0 +1,126 @@
+"""Text mining: tf-idf vectors, similarity, clustering, salient terms.
+
+The backing analytics for both the visual-mining view (document
+similarity drives the layout) and the search engine's relevance ranking.
+Implemented directly on numpy — vocabulary, sparse-ish tf-idf rows, cosine
+similarity and a small deterministic k-means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .features import DocumentFeatures
+
+
+@dataclass
+class TfIdfModel:
+    """A fitted tf-idf space over a document collection."""
+
+    vocabulary: dict                 # term -> column index
+    matrix: np.ndarray               # (n_docs, n_terms), L2-normalised rows
+    doc_ids: list                    # row index -> doc Oid
+    idf: np.ndarray                  # (n_terms,)
+
+    @property
+    def n_docs(self) -> int:
+        return self.matrix.shape[0]
+
+    def row_of(self, doc) -> int:
+        """Matrix row index of a document."""
+        return self.doc_ids.index(doc)
+
+    def vector_for_tokens(self, tokens: list[str]) -> np.ndarray:
+        """Project arbitrary tokens (e.g. a query) into the space."""
+        vec = np.zeros(len(self.vocabulary))
+        for token in tokens:
+            idx = self.vocabulary.get(token)
+            if idx is not None:
+                vec[idx] += 1.0
+        if vec.any():
+            vec = vec * self.idf
+            norm = np.linalg.norm(vec)
+            if norm > 0:
+                vec /= norm
+        return vec
+
+
+def fit_tfidf(features: list[DocumentFeatures]) -> TfIdfModel:
+    """Fit a tf-idf model over the given documents."""
+    vocabulary: dict[str, int] = {}
+    for feat in features:
+        for term in feat.term_counts:
+            vocabulary.setdefault(term, len(vocabulary))
+    n_docs, n_terms = len(features), len(vocabulary)
+    counts = np.zeros((n_docs, n_terms))
+    for i, feat in enumerate(features):
+        for term, count in feat.term_counts.items():
+            counts[i, vocabulary[term]] = count
+    df = (counts > 0).sum(axis=0)
+    # Smoothed idf, never negative.
+    idf = np.log((1.0 + n_docs) / (1.0 + df)) + 1.0 if n_terms else \
+        np.zeros(0)
+    matrix = counts * idf
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    matrix = matrix / norms
+    return TfIdfModel(vocabulary, matrix, [f.doc for f in features], idf)
+
+
+def cosine_similarity_matrix(model: TfIdfModel) -> np.ndarray:
+    """Pairwise cosine similarities (rows are L2-normalised already)."""
+    return model.matrix @ model.matrix.T
+
+
+def top_terms(model: TfIdfModel, doc, k: int = 5) -> list[str]:
+    """The ``k`` most characteristic terms of one document."""
+    row = model.matrix[model.row_of(doc)]
+    if not row.any():
+        return []
+    inverse = {idx: term for term, idx in model.vocabulary.items()}
+    order = np.argsort(row)[::-1]
+    return [inverse[int(i)] for i in order[:k] if row[int(i)] > 0]
+
+
+def similar_documents(model: TfIdfModel, doc, k: int = 5) -> list[tuple]:
+    """The ``k`` most similar other documents as ``(doc, score)``."""
+    sims = cosine_similarity_matrix(model)
+    row = sims[model.row_of(doc)].copy()
+    row[model.row_of(doc)] = -1.0
+    order = np.argsort(row)[::-1]
+    return [
+        (model.doc_ids[int(i)], float(row[int(i)]))
+        for i in order[:k] if row[int(i)] > 0
+    ]
+
+
+def kmeans_clusters(model: TfIdfModel, k: int, *,
+                    seed: int = 7, iterations: int = 25) -> list[int]:
+    """Deterministic k-means over the tf-idf rows; returns labels.
+
+    Small and self-contained (scipy's kmeans is avoided to keep control of
+    determinism across platforms).
+    """
+    data = model.matrix
+    n = data.shape[0]
+    if n == 0:
+        return []
+    k = max(1, min(k, n))
+    rng = np.random.default_rng(seed)
+    centers = data[rng.choice(n, size=k, replace=False)].copy()
+    labels = np.zeros(n, dtype=int)
+    for __ in range(iterations):
+        distances = np.linalg.norm(
+            data[:, None, :] - centers[None, :, :], axis=2)
+        new_labels = distances.argmin(axis=1)
+        if (new_labels == labels).all():
+            labels = new_labels
+            break
+        labels = new_labels
+        for j in range(k):
+            members = data[labels == j]
+            if len(members):
+                centers[j] = members.mean(axis=0)
+    return [int(label) for label in labels]

@@ -1,0 +1,176 @@
+"""Visual mining: the document-space map (the programmatic Fig. 2).
+
+§3: "The information visualization plug-in provides a graphical overview
+of all documents ... It is possible to navigate the document and meta
+data dimensions to gain an understanding of the entire document space."
+
+:class:`VisualMiner` lays all documents out in 2-D: documents are nodes,
+content similarity above a threshold becomes weighted edges, and a
+deterministic force-directed embedding (networkx spring layout) assigns
+coordinates.  The result, a :class:`DocumentMap`, supports the "dimension
+navigation" of the demo — grouping/colouring by creator, state, size,
+cluster — plus an ASCII scatter render for terminals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from ..db import Database
+from ..errors import MiningError
+from .features import DocumentFeatures, FeatureExtractor
+from .textmine import (
+    TfIdfModel,
+    cosine_similarity_matrix,
+    fit_tfidf,
+    kmeans_clusters,
+    top_terms,
+)
+
+#: Metadata dimensions the map can be grouped by.
+DIMENSIONS = ("creator", "state", "cluster", "size_band")
+
+
+@dataclass
+class MapPoint:
+    """One document in the map."""
+
+    doc: object
+    name: str
+    x: float
+    y: float
+    creator: str
+    state: str
+    size: int
+    cluster: int
+    top_terms: list = field(default_factory=list)
+
+    def size_band(self) -> str:
+        """Coarse size bucket: small / medium / large."""
+        if self.size < 100:
+            return "small"
+        if self.size < 1000:
+            return "medium"
+        return "large"
+
+
+@dataclass
+class DocumentMap:
+    """The laid-out document space."""
+
+    points: list
+    edges: list                     # (doc_a, doc_b, similarity)
+    model: TfIdfModel
+
+    def point_of(self, doc) -> MapPoint:
+        """The map point of one document (raises if absent)."""
+        for point in self.points:
+            if point.doc == doc:
+                return point
+        raise MiningError(f"document {doc} not in map")
+
+    def group_by(self, dimension: str) -> dict:
+        """Group points along a metadata dimension (demo navigation)."""
+        if dimension not in DIMENSIONS:
+            raise MiningError(f"unknown dimension {dimension!r}")
+        groups: dict[object, list[MapPoint]] = {}
+        for point in self.points:
+            if dimension == "creator":
+                key: object = point.creator
+            elif dimension == "state":
+                key = point.state
+            elif dimension == "cluster":
+                key = point.cluster
+            else:
+                key = point.size_band()
+            groups.setdefault(key, []).append(point)
+        return groups
+
+    def stats(self) -> dict:
+        """Aggregate numbers for the overview pane."""
+        return {
+            "documents": len(self.points),
+            "similarity_edges": len(self.edges),
+            "clusters": len({p.cluster for p in self.points}),
+            "creators": len({p.creator for p in self.points}),
+            "total_chars": sum(p.size for p in self.points),
+        }
+
+    def ascii_scatter(self, *, width: int = 60, height: int = 18,
+                      label: str = "cluster") -> str:
+        """Terminal scatter plot; each document renders as a digit/letter."""
+        if not self.points:
+            return "(empty document space)"
+        xs = np.array([p.x for p in self.points])
+        ys = np.array([p.y for p in self.points])
+        x_min, x_max = xs.min(), xs.max()
+        y_min, y_max = ys.min(), ys.max()
+        x_span = (x_max - x_min) or 1.0
+        y_span = (y_max - y_min) or 1.0
+        grid = [[" "] * width for __ in range(height)]
+        for point in self.points:
+            cx = int((point.x - x_min) / x_span * (width - 1))
+            cy = int((point.y - y_min) / y_span * (height - 1))
+            if label == "cluster":
+                mark = str(point.cluster % 10)
+            else:
+                mark = point.creator[:1] or "?"
+            grid[height - 1 - cy][cx] = mark
+        border = "+" + "-" * width + "+"
+        body = "\n".join("|" + "".join(row) + "|" for row in grid)
+        return f"{border}\n{body}\n{border}"
+
+
+class VisualMiner:
+    """Build :class:`DocumentMap` objects from a database."""
+
+    def __init__(self, db: Database, *, seed: int = 7) -> None:
+        self.db = db
+        self.seed = seed
+        self.extractor = FeatureExtractor(db)
+
+    def build_map(self, *, similarity_threshold: float = 0.15,
+                  n_clusters: int | None = None) -> DocumentMap:
+        """Lay out the entire document space."""
+        features = self.extractor.extract_all()
+        return self.build_map_for(features,
+                                  similarity_threshold=similarity_threshold,
+                                  n_clusters=n_clusters)
+
+    def build_map_for(self, features: list[DocumentFeatures], *,
+                      similarity_threshold: float = 0.15,
+                      n_clusters: int | None = None) -> DocumentMap:
+        """Lay out an explicit feature list (tests/benches)."""
+        model = fit_tfidf(features)
+        n = len(features)
+        if n == 0:
+            return DocumentMap([], [], model)
+        sims = cosine_similarity_matrix(model)
+        graph = nx.Graph()
+        for feat in features:
+            graph.add_node(feat.doc)
+        edges = []
+        for i in range(n):
+            for j in range(i + 1, n):
+                sim = float(sims[i, j])
+                if sim >= similarity_threshold:
+                    graph.add_edge(features[i].doc, features[j].doc,
+                                   weight=sim)
+                    edges.append((features[i].doc, features[j].doc, sim))
+        positions = nx.spring_layout(graph, seed=self.seed)
+        if n_clusters is None:
+            n_clusters = max(1, min(5, n // 3 or 1))
+        labels = kmeans_clusters(model, n_clusters, seed=self.seed)
+        points = []
+        for i, feat in enumerate(features):
+            x, y = positions[feat.doc]
+            points.append(MapPoint(
+                doc=feat.doc, name=feat.name, x=float(x), y=float(y),
+                creator=feat.creator, state=feat.state, size=feat.size,
+                cluster=labels[i],
+                top_terms=top_terms(model, feat.doc, 3),
+            ))
+        return DocumentMap(points, edges, model)

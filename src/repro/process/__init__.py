@@ -1,0 +1,17 @@
+"""Dynamic in-document business processes (workflows and task lists)."""
+
+from .tasks import TaskList
+from .workflow import (
+    PROCESS_STATES,
+    TASK_STATES,
+    WorkflowManager,
+    install_process_schema,
+)
+
+__all__ = [
+    "PROCESS_STATES",
+    "TASK_STATES",
+    "TaskList",
+    "WorkflowManager",
+    "install_process_schema",
+]

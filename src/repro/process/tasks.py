@@ -1,0 +1,65 @@
+"""Task lists: the per-user work inbox over all running workflows.
+
+The demo assigns tasks "to specific users or roles"; a user's task list is
+therefore the union of tasks assigned to them directly and tasks assigned
+to any role they hold.
+"""
+
+from __future__ import annotations
+
+from ..db import Database, col
+from ..ids import Oid
+from ..security import PrincipalRegistry
+from .workflow import TASKS, WorkflowManager
+
+
+class TaskList:
+    """Query the task inbox of users and roles."""
+
+    def __init__(self, workflow: WorkflowManager) -> None:
+        self.workflow = workflow
+        self.db: Database = workflow.db
+        self.principals: PrincipalRegistry = workflow.principals
+
+    def tasks_for(self, user: str, *,
+                  states: tuple = ("ready", "in_progress")) -> list[dict]:
+        """Actionable tasks for ``user`` (direct or via roles)."""
+        principals = self.principals.principals_of(user)
+        out: list[dict] = []
+        for principal in principals:
+            rows = (self.db.query(TASKS)
+                    .where(col("assignee") == principal).run())
+            out.extend(dict(r) for r in rows if r["state"] in states)
+        out.sort(key=lambda t: t["created_at"])
+        return out
+
+    def tasks_in_document(self, doc: Oid, *,
+                          states: tuple | None = None) -> list[dict]:
+        """All tasks anchored in one document, oldest first."""
+        rows = self.db.query(TASKS).where(col("doc") == doc).run()
+        out = [dict(r) for r in rows
+               if states is None or r["state"] in states]
+        out.sort(key=lambda t: t["created_at"])
+        return out
+
+    def workload_by_assignee(self) -> dict[str, int]:
+        """Open-task counts per assignee (users and roles)."""
+        rows = self.db.query(TASKS).where(
+            col("state").isin(["ready", "in_progress", "waiting"])).run()
+        counts: dict[str, int] = {}
+        for row in rows:
+            counts[row["assignee"]] = counts.get(row["assignee"], 0) + 1
+        return counts
+
+    def render_inbox(self, user: str) -> str:
+        """Printable task inbox (demo output)."""
+        tasks = self.tasks_for(user)
+        if not tasks:
+            return f"{user}: no open tasks"
+        lines = [f"{user}: {len(tasks)} open task(s)"]
+        for task in tasks:
+            lines.append(
+                f"  [{task['state']:<11}] {task['name']} "
+                f"({task['kind']}, via {task['assignee']})"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,324 @@
+"""Dynamic business processes within documents.
+
+§3: "We will define and run a dynamic workflow within a document for
+ad-hoc cooperation on that document.  Tasks such as translation or
+verification of a certain document part can be assigned to specific users
+or roles.  The workflow tasks can be created, changed and routed
+dynamically, i.e. at run-time."
+
+A *process* belongs to a document; its *tasks* form a dependency DAG.
+Tasks are assigned to users or roles, may be anchored to a document part
+(a character range, OID-anchored as usual), and can be added, re-routed or
+cancelled while the process runs.  Task state changes are ordinary
+transactions, so they are logged, recoverable and visible to every editor
+immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..db import Database, col, column
+from ..errors import ProcessError, RoutingError, TaskStateError
+from ..ids import Oid
+from ..security import PrincipalRegistry
+from ..text import dbschema as S
+
+PROCESSES = "tx_processes"
+TASKS = "tx_tasks"
+
+#: Task lifecycle states.
+TASK_STATES = ("waiting", "ready", "in_progress", "done", "cancelled")
+PROCESS_STATES = ("defined", "running", "completed", "cancelled")
+
+#: Cap on the per-task ``history`` audit list.  The row-level history is a
+#: convenience view; the complete audit trail is the WAL.  Without a cap a
+#: task that is re-routed thousands of times would rewrite an ever-growing
+#: JSON payload on every event (quadratic I/O).
+TASK_HISTORY_LIMIT = 100
+
+
+def install_process_schema(db: Database) -> None:
+    """Create the workflow tables (idempotent)."""
+    if not db.has_table(PROCESSES):
+        db.create_table(PROCESSES, [
+            column("process", "oid"),
+            column("doc", "oid"),
+            column("name", "str"),
+            column("state", "str", default="defined"),
+            column("created_by", "str"),
+            column("created_at", "timestamp"),
+        ], key="process")
+        db.create_index(PROCESSES, "doc")
+    if not db.has_table(TASKS):
+        db.create_table(TASKS, [
+            column("task", "oid"),
+            column("process", "oid"),
+            column("doc", "oid"),
+            column("name", "str"),
+            column("kind", "str", default="generic"),
+            column("description", "str", default=""),
+            column("assignee", "str"),            # user or role name
+            column("state", "str", default="waiting"),
+            column("depends_on", "json"),          # list of task oid strings
+            column("start_char", "oid", nullable=True),
+            column("end_char", "oid", nullable=True),
+            column("created_by", "str"),
+            column("created_at", "timestamp"),
+            column("started_by", "str", nullable=True),
+            column("started_at", "timestamp", nullable=True),
+            column("completed_by", "str", nullable=True),
+            column("completed_at", "timestamp", nullable=True),
+            column("history", "json"),             # routing/audit trail
+        ], key="task")
+        db.create_index(TASKS, "process")
+        db.create_index(TASKS, "doc")
+        db.create_index(TASKS, "assignee")
+        db.create_index(TASKS, "state")
+
+
+class WorkflowManager:
+    """Define and run dynamic in-document workflows."""
+
+    def __init__(self, db: Database,
+                 principals: PrincipalRegistry | None = None) -> None:
+        self.db = db
+        self.principals = principals or PrincipalRegistry(db)
+        install_process_schema(db)
+        S.install_text_schema(db)
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+
+    def define_process(self, doc: Oid, name: str, user: str) -> Oid:
+        """Create an (initially empty, not yet running) process."""
+        process = self.db.new_oid("proc")
+        self.db.insert(PROCESSES, {
+            "process": process, "doc": doc, "name": name,
+            "created_by": user, "created_at": self.db.now(),
+        })
+        return process
+
+    def _process_view(self, process: Oid):
+        row = (self.db.query(PROCESSES)
+               .where(col("process") == process).first())
+        if row is None:
+            raise ProcessError(f"no process {process}")
+        return row
+
+    def process_info(self, process: Oid) -> dict:
+        """The process row as a mapping."""
+        return dict(self._process_view(process))
+
+    def processes_in(self, doc: Oid) -> list[dict]:
+        """Processes of a document, oldest first."""
+        rows = self.db.query(PROCESSES).where(col("doc") == doc).run()
+        return sorted((dict(r) for r in rows), key=lambda r: r["created_at"])
+
+    def start_process(self, process: Oid, user: str) -> list[Oid]:
+        """Start the process: tasks without dependencies become ready."""
+        view = self._process_view(process)
+        if view["state"] != "defined":
+            raise ProcessError(f"process is {view['state']}, not defined")
+        self.db.update(PROCESSES, view.rowid, {"state": "running"})
+        return self._promote_ready(process)
+
+    def cancel_process(self, process: Oid, user: str) -> None:
+        """Cancel a process and all its open tasks."""
+        view = self._process_view(process)
+        with self.db.transaction() as txn:
+            txn.update(PROCESSES, view.rowid, {"state": "cancelled"})
+            for task_row in txn.query(TASKS).where(
+                    col("process") == process).run():
+                if task_row["state"] not in ("done", "cancelled"):
+                    txn.update(TASKS, task_row.rowid, {"state": "cancelled"})
+
+    # ------------------------------------------------------------------
+    # Tasks (creatable and routable at runtime)
+    # ------------------------------------------------------------------
+
+    def add_task(
+        self,
+        process: Oid,
+        name: str,
+        assignee: str,
+        created_by: str,
+        *,
+        kind: str = "generic",
+        description: str = "",
+        depends_on: Iterable[Oid] = (),
+        start_char: Oid | None = None,
+        end_char: Oid | None = None,
+    ) -> Oid:
+        """Add a task — allowed before *and during* the run (dynamic)."""
+        view = self._process_view(process)
+        if view["state"] in ("completed", "cancelled"):
+            raise ProcessError(f"process is {view['state']}")
+        self._check_assignable(assignee)
+        depends = list(depends_on)
+        for dep in depends:
+            dep_row = self._task_view(dep)
+            if dep_row["process"] != process:
+                raise ProcessError("dependency from a different process")
+        task = self.db.new_oid("task")
+        self.db.insert(TASKS, {
+            "task": task, "process": process, "doc": view["doc"],
+            "name": name, "kind": kind, "description": description,
+            "assignee": assignee, "depends_on": [str(d) for d in depends],
+            "start_char": start_char, "end_char": end_char,
+            "created_by": created_by, "created_at": self.db.now(),
+            "history": [{"event": "created", "by": created_by,
+                         "at": self.db.now()}],
+        })
+        if view["state"] == "running":
+            self._promote_ready(process)
+        return task
+
+    def _check_assignable(self, assignee: str) -> None:
+        if not (self.principals.has_user(assignee)
+                or self.principals.has_role(assignee)):
+            raise RoutingError(
+                f"assignee {assignee!r} is neither a user nor a role"
+            )
+
+    def _task_view(self, task: Oid):
+        row = self.db.query(TASKS).where(col("task") == task).first()
+        if row is None:
+            raise ProcessError(f"no task {task}")
+        return row
+
+    def task_info(self, task: Oid) -> dict:
+        """The task row as a mapping."""
+        return dict(self._task_view(task))
+
+    def tasks_of(self, process: Oid) -> list[dict]:
+        """Tasks of a process, oldest first."""
+        rows = self.db.query(TASKS).where(col("process") == process).run()
+        return sorted((dict(r) for r in rows), key=lambda r: r["created_at"])
+
+    # -- routing -------------------------------------------------------------
+
+    def route_task(self, task: Oid, new_assignee: str, by: str) -> None:
+        """Re-assign a task at runtime (the demo's dynamic routing)."""
+        self._check_assignable(new_assignee)
+        view = self._task_view(task)
+        if view["state"] in ("done", "cancelled"):
+            raise TaskStateError(f"task is {view['state']}")
+        history = list(view["history"] or [])
+        history.append({"event": "routed", "by": by, "to": new_assignee,
+                        "at": self.db.now()})
+        history = history[-TASK_HISTORY_LIMIT:]
+        self.db.update(TASKS, view.rowid, {
+            "assignee": new_assignee, "history": history,
+        })
+
+    # -- state transitions ------------------------------------------------------
+
+    def start_task(self, task: Oid, user: str) -> None:
+        """Claim a ready task (user must match the assignment)."""
+        view = self._task_view(task)
+        if view["state"] != "ready":
+            raise TaskStateError(f"task is {view['state']}, not ready")
+        if not self._user_matches(user, view["assignee"]):
+            raise RoutingError(
+                f"user {user!r} is not assigned to task {view['name']!r}"
+            )
+        history = list(view["history"] or [])
+        history.append({"event": "started", "by": user, "at": self.db.now()})
+        history = history[-TASK_HISTORY_LIMIT:]
+        self.db.update(TASKS, view.rowid, {
+            "state": "in_progress", "started_by": user,
+            "started_at": self.db.now(), "history": history,
+        })
+
+    def complete_task(self, task: Oid, user: str) -> list[Oid]:
+        """Finish a task; returns tasks that became ready as a result."""
+        view = self._task_view(task)
+        if view["state"] not in ("ready", "in_progress"):
+            raise TaskStateError(f"task is {view['state']}")
+        if not self._user_matches(user, view["assignee"]):
+            raise RoutingError(
+                f"user {user!r} is not assigned to task {view['name']!r}"
+            )
+        history = list(view["history"] or [])
+        history.append({"event": "completed", "by": user,
+                        "at": self.db.now()})
+        history = history[-TASK_HISTORY_LIMIT:]
+        self.db.update(TASKS, view.rowid, {
+            "state": "done", "completed_by": user,
+            "completed_at": self.db.now(), "history": history,
+        })
+        newly_ready = self._promote_ready(view["process"])
+        self._maybe_complete_process(view["process"])
+        return newly_ready
+
+    def cancel_task(self, task: Oid, user: str) -> None:
+        """Cancel one task (unblocks dependants)."""
+        view = self._task_view(task)
+        if view["state"] in ("done", "cancelled"):
+            raise TaskStateError(f"task is {view['state']}")
+        history = list(view["history"] or [])
+        history.append({"event": "cancelled", "by": user,
+                        "at": self.db.now()})
+        history = history[-TASK_HISTORY_LIMIT:]
+        self.db.update(TASKS, view.rowid, {
+            "state": "cancelled", "history": history,
+        })
+        self._promote_ready(view["process"])
+        self._maybe_complete_process(view["process"])
+
+    def _user_matches(self, user: str, assignee: str) -> bool:
+        return assignee in self.principals.principals_of(user)
+
+    def _promote_ready(self, process: Oid) -> list[Oid]:
+        """Move waiting tasks whose dependencies are settled to ready.
+
+        Only *waiting* tasks are examined (via the state index) and only
+        their declared dependencies are probed, so a completion costs
+        O(waiting tasks of the process), not O(all tasks).
+        """
+        proc = self._process_view(process)
+        if proc["state"] != "running":
+            return []
+        waiting = (self.db.query(TASKS)
+                   .where((col("state") == "waiting")
+                          & (col("process") == process))
+                   .run())
+        promoted: list[Oid] = []
+        for view in waiting:
+            depends = [Oid.parse(s) for s in (view["depends_on"] or [])]
+            if all(self._task_view(dep)["state"] in ("done", "cancelled")
+                   for dep in depends):
+                self.db.update(TASKS, view.rowid, {"state": "ready"})
+                promoted.append(view["task"])
+        return promoted
+
+    def _maybe_complete_process(self, process: Oid) -> None:
+        proc = self._process_view(process)
+        if proc["state"] != "running":
+            return
+        open_states = ["waiting", "ready", "in_progress"]
+        any_open = (self.db.query(TASKS)
+                    .where((col("state").isin(open_states))
+                           & (col("process") == process))
+                    .first())
+        if any_open is not None:
+            return
+        has_any = self.db.query(TASKS).where(
+            col("process") == process).first() is not None
+        if has_any:
+            self.db.update(PROCESSES, proc.rowid, {"state": "completed"})
+
+    # ------------------------------------------------------------------
+    # Status
+    # ------------------------------------------------------------------
+
+    def process_status(self, process: Oid) -> dict:
+        """Summary: state plus task counts by state."""
+        proc = self.process_info(process)
+        counts: dict[str, int] = {state: 0 for state in TASK_STATES}
+        for task in self.tasks_of(process):
+            counts[task["state"]] += 1
+        return {"process": process, "name": proc["name"],
+                "state": proc["state"], "tasks": counts}

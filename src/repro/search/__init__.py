@@ -1,0 +1,16 @@
+"""Search over content, structure and creation-process metadata."""
+
+from .engine import SearchEngine, SearchResult
+from .index import InvertedIndex
+from .query import SearchQuery, parse_query
+from .ranking import RANKINGS, Ranker
+
+__all__ = [
+    "RANKINGS",
+    "InvertedIndex",
+    "Ranker",
+    "SearchEngine",
+    "SearchQuery",
+    "SearchResult",
+    "parse_query",
+]

@@ -1,0 +1,208 @@
+"""The search engine facade.
+
+§3: "Documents and parts of documents can either be found based on the
+document content, or structure, or document creation process meta data."
+
+* **content** — terms against the incrementally maintained inverted index;
+* **metadata** — ``field:value`` filters evaluated on document profiles
+  (creator, state, name, readers, authors, user-defined properties);
+* **structure** — :meth:`SearchEngine.search_structure` matches structure
+  node labels and returns the node's text context.
+
+Results are document profiles ranked by any of the paper's options.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..db import Database, col
+from ..ids import Oid
+from ..meta import MetadataCollector
+from ..mining.features import FeatureExtractor
+from ..text import dbschema as S
+from .index import InvertedIndex
+from .query import SearchQuery, parse_query
+from .ranking import RANKINGS, Ranker, relevance_scores
+
+
+@dataclass
+class SearchResult:
+    """One hit."""
+
+    doc: Oid
+    name: str
+    score: float
+    profile: dict = field(default_factory=dict, repr=False)
+    snippet: str = ""
+
+
+class SearchEngine:
+    """Content + structure + metadata search with pluggable ranking."""
+
+    def __init__(self, db: Database,
+                 meta: MetadataCollector | None = None) -> None:
+        self.db = db
+        self.meta = meta or MetadataCollector(db)
+        self.index = InvertedIndex(db)
+        self.ranker = Ranker(self.meta)
+        self.extractor = FeatureExtractor(db)
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+
+    def search(self, query: str | SearchQuery, *,
+               ranking: str = "relevance",
+               limit: int = 20) -> list[SearchResult]:
+        """Run a query; returns ranked results."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        self.index.ensure_fresh()
+
+        if query.terms or query.phrases:
+            candidates = self.index.matching_docs(query.all_terms)
+            for phrase in query.phrases:
+                candidates &= self.index.phrase_docs(phrase)
+        else:
+            candidates = {
+                r["doc"] for r in
+                self.db.query(S.DOCUMENTS).select("doc").run()
+            }
+        # Build *light* profiles: the document row plus only the derived
+        # metadata the filters and the ranking actually consult.  (The
+        # full consolidated profile scans every character row of a
+        # document — far too expensive per search candidate.)
+        filter_fields = {f[0] for f in query.filters}
+        need_readers = "reader" in filter_fields or ranking == "most_read"
+        need_authors = bool({"author", "writer"} & filter_fields)
+        profiles = []
+        for doc in candidates:
+            profile = self._light_profile(doc, need_readers=need_readers,
+                                          need_authors=need_authors)
+            if profile is not None and \
+                    self._passes_filters(profile, query.filters):
+                profiles.append(profile)
+        relevance = relevance_scores(
+            self.index, query.all_terms, {p["doc"] for p in profiles})
+        ordered = self.ranker.sort(profiles, ranking, relevance=relevance)
+        results = []
+        for profile in ordered[:limit]:
+            results.append(SearchResult(
+                doc=profile["doc"],
+                name=profile["name"],
+                score=relevance.get(profile["doc"], 0.0),
+                profile=profile,
+                snippet=self._snippet(profile["doc"], query.all_terms),
+            ))
+        return results
+
+    def _light_profile(self, doc: Oid, *, need_readers: bool,
+                       need_authors: bool) -> dict | None:
+        """Document-row metadata, with derived fields only on demand.
+
+        Callers who want the complete creation-process record should use
+        :meth:`~repro.meta.collector.MetadataCollector.document_profile`.
+        """
+        row = self.db.query(S.DOCUMENTS).where(col("doc") == doc).first()
+        if row is None:
+            return None
+        profile = dict(row)
+        profile["props"] = dict(row["props"] or {})
+        if need_readers:
+            profile["readers"] = sorted(self.meta.readers_of(doc))
+        if need_authors:
+            profile["authors"] = sorted(self.meta.author_contributions(doc))
+        return profile
+
+    def _passes_filters(self, profile: dict, filters: list) -> bool:
+        for fieldname, value in filters:
+            if fieldname == "creator":
+                if profile["creator"] != value:
+                    return False
+            elif fieldname == "state":
+                if profile["state"] != value:
+                    return False
+            elif fieldname == "name":
+                if value.lower() not in profile["name"].lower():
+                    return False
+            elif fieldname == "reader":
+                if value not in profile["readers"]:
+                    return False
+            elif fieldname in ("author", "writer"):
+                if value not in profile["authors"]:
+                    return False
+            elif fieldname == "prop":
+                key, sep, expected = value.partition("=")
+                props = profile["props"]
+                if key not in props:
+                    return False
+                if sep and str(props[key]) != expected:
+                    return False
+        return True
+
+    def _snippet(self, doc: Oid, terms: list, *, radius: int = 30) -> str:
+        """A text window around the first matching term."""
+        text = self.index.cached_text(doc)
+        if not text:
+            return ""
+        lowered = text.lower()
+        best = -1
+        for term in terms:
+            pos = lowered.find(term)
+            if pos >= 0 and (best < 0 or pos < best):
+                best = pos
+        if best < 0:
+            return text[: 2 * radius].strip()
+        start = max(0, best - radius)
+        end = min(len(text), best + radius)
+        prefix = "..." if start > 0 else ""
+        suffix = "..." if end < len(text) else ""
+        return f"{prefix}{text[start:end].strip()}{suffix}"
+
+    # ------------------------------------------------------------------
+    # Structure search
+    # ------------------------------------------------------------------
+
+    def search_structure(self, term: str, *,
+                         kind: str | None = None) -> list[dict]:
+        """Find structure nodes whose label contains ``term``.
+
+        Returns node rows augmented with their document name — "parts of
+        documents can ... be found based on ... structure".
+        """
+        needle = term.lower()
+        rows = self.db.query(S.STRUCTURE).run()
+        names = {
+            r["doc"]: r["name"] for r in self.db.query(S.DOCUMENTS).run()
+        }
+        hits = []
+        for row in rows:
+            if kind is not None and row["kind"] != kind:
+                continue
+            if needle in row["label"].lower():
+                hit = dict(row)
+                hit["doc_name"] = names.get(row["doc"], str(row["doc"]))
+                hits.append(hit)
+        hits.sort(key=lambda r: (r["doc_name"], r["pos"]))
+        return hits
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+
+    def rankings(self) -> tuple:
+        """The supported ranking option names."""
+        return RANKINGS
+
+    def render_results(self, results: list) -> str:
+        """Printable result list (demo output)."""
+        if not results:
+            return "(no results)"
+        lines = []
+        for i, result in enumerate(results, 1):
+            lines.append(
+                f"{i:>2}. {result.name}  [score {result.score:.3f}] "
+                f"— {result.snippet}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""Inverted index over document content, kept fresh incrementally.
+
+Documents are indexed from their reconstructed text.  A commit trigger on
+the character table marks edited documents *dirty*; the next query
+re-indexes exactly those — so index maintenance cost is proportional to
+what changed, not to corpus size (the same event-driven pattern as dynamic
+folders).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING
+
+from ..db import Database
+from ..ids import Oid
+from ..mining.features import FeatureExtractor, tokenize
+from ..text import dbschema as S
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..db.transaction import Change, Transaction
+
+
+class InvertedIndex:
+    """term -> {doc: token positions}, with incremental refresh.
+
+    Postings store token *positions*, so term frequency (their count)
+    and phrase adjacency queries both come from one structure.
+    """
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self.extractor = FeatureExtractor(db)
+        self._postings: dict[str, dict[Oid, list[int]]] = defaultdict(dict)
+        self._doc_terms: dict[Oid, dict[str, int]] = {}
+        self._doc_len: dict[Oid, int] = {}
+        self._doc_text: dict[Oid, str] = {}
+        self._dirty: set[Oid] = set()
+        self._known_docs: set[Oid] = set()
+        self._trigger = db.triggers.on_commit(S.CHARS, self._on_commit)
+        self.stats = {"reindexed_docs": 0, "full_builds": 0}
+        self.rebuild()
+
+    def close(self) -> None:
+        """Stop tracking commits (the index goes stale)."""
+        self._trigger.remove()
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def _on_commit(self, txn: "Transaction",
+                   changes: "list[Change]") -> None:
+        for change in changes:
+            row = change.row
+            if row is not None and row.get("ch"):
+                self._dirty.add(row["doc"])
+
+    def rebuild(self) -> None:
+        """Index every document from scratch."""
+        self._postings.clear()
+        self._doc_terms.clear()
+        self._doc_len.clear()
+        self._doc_text.clear()
+        self._known_docs = {
+            r["doc"] for r in self.db.query(S.DOCUMENTS).select("doc").run()
+        }
+        for doc in self._known_docs:
+            self._index_doc(doc)
+        self._dirty.clear()
+        self.stats["full_builds"] += 1
+
+    def ensure_fresh(self) -> int:
+        """Re-index dirty documents; returns how many were refreshed."""
+        current = {
+            r["doc"] for r in self.db.query(S.DOCUMENTS).select("doc").run()
+        }
+        new_docs = current - self._known_docs
+        self._known_docs = current
+        dirty = (self._dirty | new_docs) & current
+        for doc in dirty:
+            self._unindex_doc(doc)
+            self._index_doc(doc)
+        refreshed = len(dirty)
+        self._dirty.clear()
+        return refreshed
+
+    def _index_doc(self, doc: Oid) -> None:
+        text = self.extractor.document_text(doc)
+        self._doc_text[doc] = text
+        positions: dict[str, list[int]] = defaultdict(list)
+        for i, token in enumerate(tokenize(text)):
+            positions[token].append(i)
+        self._doc_terms[doc] = {t: len(p) for t, p in positions.items()}
+        self._doc_len[doc] = sum(len(p) for p in positions.values())
+        for term, pos_list in positions.items():
+            self._postings[term][doc] = pos_list
+        self.stats["reindexed_docs"] += 1
+
+    def _unindex_doc(self, doc: Oid) -> None:
+        for term in self._doc_terms.pop(doc, {}):
+            bucket = self._postings.get(term)
+            if bucket is not None:
+                bucket.pop(doc, None)
+                if not bucket:
+                    del self._postings[term]
+        self._doc_len.pop(doc, None)
+        self._doc_text.pop(doc, None)
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def postings(self, term: str) -> dict[Oid, int]:
+        """Documents containing ``term`` with term frequencies."""
+        return {doc: len(positions)
+                for doc, positions in self._postings.get(term, {}).items()}
+
+    def positions(self, term: str, doc: Oid) -> list[int]:
+        """Token positions of ``term`` in ``doc`` (for phrase queries)."""
+        return list(self._postings.get(term, {}).get(doc, ()))
+
+    def phrase_docs(self, phrase_terms: list[str]) -> set[Oid]:
+        """Documents containing the terms *adjacently, in order*."""
+        if not phrase_terms:
+            return set()
+        candidates = self.matching_docs(phrase_terms)
+        if len(phrase_terms) == 1:
+            return candidates
+        hits: set[Oid] = set()
+        for doc in candidates:
+            starts = set(self.positions(phrase_terms[0], doc))
+            for offset, term in enumerate(phrase_terms[1:], start=1):
+                next_positions = set(self.positions(term, doc))
+                starts = {s for s in starts if s + offset in next_positions}
+                if not starts:
+                    break
+            if starts:
+                hits.add(doc)
+        return hits
+
+    def cached_text(self, doc: Oid) -> str:
+        """The document text as of the last (re)index — snippet source."""
+        return self._doc_text.get(doc, "")
+
+    def doc_count(self) -> int:
+        """Number of indexed documents."""
+        return len(self._doc_terms)
+
+    def doc_length(self, doc: Oid) -> int:
+        """Token count of one document (0 if unindexed)."""
+        return self._doc_len.get(doc, 0)
+
+    def vocabulary_size(self) -> int:
+        """Number of distinct indexed terms."""
+        return len(self._postings)
+
+    def matching_docs(self, terms: list[str], *,
+                      require_all: bool = True) -> set[Oid]:
+        """Documents containing all (or any) of the terms."""
+        if not terms:
+            return set(self._doc_terms)
+        sets = [set(self._postings.get(term, {})) for term in terms]
+        if require_all:
+            result = sets[0]
+            for s in sets[1:]:
+                result = result & s
+            return result
+        result = set()
+        for s in sets:
+            result |= s
+        return result

@@ -1,0 +1,78 @@
+"""Search query parsing.
+
+A query string mixes free-text terms, quoted phrases and ``field:value``
+filters::
+
+    budget report "quarterly forecast" creator:ana state:final
+
+Supported filter fields: ``creator``, ``state``, ``name``, ``reader``,
+``author``, ``writer``, ``prop`` (``prop:key`` or ``prop:key=value``).
+Quoted segments become *phrases*: their terms must appear adjacently, in
+order.  Everything else is a content term.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..errors import QuerySyntaxError
+from ..mining.features import tokenize
+
+FILTER_FIELDS = ("creator", "state", "name", "reader", "author", "writer",
+                 "prop")
+
+_PHRASE_RE = re.compile(r'"([^"]*)"')
+
+
+@dataclass
+class SearchQuery:
+    """A parsed query: content terms, phrases, and metadata filters."""
+
+    terms: list = field(default_factory=list)
+    phrases: list = field(default_factory=list)   # list of term lists
+    filters: list = field(default_factory=list)   # (field, value) pairs
+    raw: str = ""
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.terms and not self.phrases and not self.filters
+
+    @property
+    def all_terms(self) -> list:
+        """Every content term, including those inside phrases."""
+        out = list(self.terms)
+        for phrase in self.phrases:
+            out.extend(phrase)
+        return out
+
+
+def parse_query(raw: str) -> SearchQuery:
+    """Parse a query string; raises on malformed filters."""
+    phrases: list[list[str]] = []
+
+    def collect_phrase(match: "re.Match[str]") -> str:
+        phrase_terms = tokenize(match.group(1))
+        if phrase_terms:
+            phrases.append(phrase_terms)
+        return " "
+
+    remainder = _PHRASE_RE.sub(collect_phrase, raw)
+
+    terms: list[str] = []
+    filters: list[tuple[str, str]] = []
+    for token in remainder.split():
+        if ":" in token:
+            fieldname, __, value = token.partition(":")
+            fieldname = fieldname.lower()
+            if fieldname in FILTER_FIELDS:
+                if not value:
+                    raise QuerySyntaxError(
+                        f"filter {fieldname!r} needs a value"
+                    )
+                filters.append((fieldname, value))
+                continue
+            # Unknown field -> treat the whole token as content.
+        terms.extend(tokenize(token))
+    return SearchQuery(terms=terms, phrases=phrases, filters=filters,
+                       raw=raw)

@@ -1,0 +1,69 @@
+"""Result ranking options.
+
+§3: "The search result can be ranked according to different ranking
+options, e.g. 'most cited', 'newest' etc."  Citation here is TeNDaX's own
+notion: a document is cited when content is copied *out of* it into
+another document (the copy log), which only a database-backed editor can
+know.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from ..meta import MetadataCollector
+from .index import InvertedIndex
+
+RANKINGS = ("relevance", "newest", "oldest", "most_cited", "most_read",
+            "largest")
+
+
+def relevance_scores(index: InvertedIndex, terms: list[str],
+                     docs: set) -> dict:
+    """tf-idf scores for ``docs`` against the query terms."""
+    n = max(index.doc_count(), 1)
+    scores: dict = {doc: 0.0 for doc in docs}
+    for term in terms:
+        postings = index.postings(term)
+        if not postings:
+            continue
+        idf = math.log((1 + n) / (1 + len(postings))) + 1.0
+        for doc, tf in postings.items():
+            if doc in scores:
+                length = max(index.doc_length(doc), 1)
+                scores[doc] += (tf / length) * idf
+    return scores
+
+
+class Ranker:
+    """Produces sort keys for each ranking option."""
+
+    def __init__(self, meta: MetadataCollector) -> None:
+        self.meta = meta
+
+    def sort(self, docs: list, ranking: str, *,
+             relevance: dict | None = None) -> list:
+        """Order ``docs`` (a list of profile dicts) by the ranking option."""
+        if ranking not in RANKINGS:
+            from ..errors import SearchError
+            raise SearchError(f"unknown ranking {ranking!r}")
+        key: Callable
+        reverse = True
+        if ranking == "relevance":
+            rel = relevance or {}
+            key = lambda p: (rel.get(p["doc"], 0.0), p["last_modified"])
+        elif ranking == "newest":
+            key = lambda p: p["last_modified"]
+        elif ranking == "oldest":
+            key = lambda p: p["created_at"]
+            reverse = False
+        elif ranking == "most_cited":
+            citations = self.meta.citation_counts()
+            key = lambda p: (citations.get(p["doc"], 0), p["last_modified"])
+        elif ranking == "most_read":
+            key = lambda p: (len(p.get("readers", ())),
+                             p["last_modified"])
+        else:  # largest
+            key = lambda p: p["size"]
+        return sorted(docs, key=key, reverse=reverse)

@@ -1,0 +1,12 @@
+"""Security: principals (users/roles) and fine-grained access control."""
+
+from .acl import PERMISSIONS, AccessController, install_acl_schema
+from .principals import PrincipalRegistry, install_principal_schema
+
+__all__ = [
+    "PERMISSIONS",
+    "AccessController",
+    "PrincipalRegistry",
+    "install_acl_schema",
+    "install_principal_schema",
+]

@@ -1,0 +1,125 @@
+"""Principals: users and roles, stored in the database.
+
+The paper gathers metadata "on character level (author, roles, ...)" and
+routes workflow tasks "to specific users or roles".  Principals are rows:
+``tx_users``, ``tx_roles`` and the ``tx_user_roles`` membership relation.
+"""
+
+from __future__ import annotations
+
+from ..db import Database, col, column
+from ..errors import SecurityError, UnknownPrincipalError
+
+USERS = "tx_users"
+ROLES = "tx_roles"
+USER_ROLES = "tx_user_roles"
+
+
+def install_principal_schema(db: Database) -> None:
+    """Create the principal tables (idempotent)."""
+    if not db.has_table(USERS):
+        db.create_table(USERS, [
+            column("name", "str"),
+            column("display", "str", default=""),
+            column("created_at", "timestamp"),
+        ], key="name")
+    if not db.has_table(ROLES):
+        db.create_table(ROLES, [
+            column("name", "str"),
+            column("description", "str", default=""),
+            column("created_at", "timestamp"),
+        ], key="name")
+    if not db.has_table(USER_ROLES):
+        db.create_table(USER_ROLES, [
+            column("user", "str"),
+            column("role", "str"),
+        ])
+        db.create_index(USER_ROLES, "user")
+        db.create_index(USER_ROLES, "role")
+
+
+class PrincipalRegistry:
+    """Create and resolve users, roles and memberships."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        install_principal_schema(db)
+
+    # -- users ---------------------------------------------------------------
+
+    def add_user(self, name: str, display: str = "") -> str:
+        """Register a user; returns the name (the principal id)."""
+        if not name:
+            raise SecurityError("user name must be non-empty")
+        self.db.insert(USERS, {
+            "name": name, "display": display or name,
+            "created_at": self.db.now(),
+        })
+        return name
+
+    def has_user(self, name: str) -> bool:
+        """Whether the user exists."""
+        return self.db.query(USERS).where(col("name") == name).count() > 0
+
+    def require_user(self, name: str) -> dict:
+        """Fetch a user row, raising if unknown."""
+        row = self.db.query(USERS).where(col("name") == name).first()
+        if row is None:
+            raise UnknownPrincipalError(f"no user {name!r}")
+        return dict(row)
+
+    def users(self) -> list[str]:
+        """All user names, sorted."""
+        return sorted(r["name"] for r in self.db.query(USERS).run())
+
+    # -- roles ----------------------------------------------------------------
+
+    def add_role(self, name: str, description: str = "") -> str:
+        """Register a role; returns its name."""
+        if not name:
+            raise SecurityError("role name must be non-empty")
+        self.db.insert(ROLES, {
+            "name": name, "description": description,
+            "created_at": self.db.now(),
+        })
+        return name
+
+    def has_role(self, name: str) -> bool:
+        """Whether the role exists."""
+        return self.db.query(ROLES).where(col("name") == name).count() > 0
+
+    def roles(self) -> list[str]:
+        """All role names, sorted."""
+        return sorted(r["name"] for r in self.db.query(ROLES).run())
+
+    # -- membership --------------------------------------------------------------
+
+    def assign_role(self, user: str, role: str) -> None:
+        """Put ``user`` into ``role``."""
+        self.require_user(user)
+        if not self.has_role(role):
+            raise UnknownPrincipalError(f"no role {role!r}")
+        if role in self.roles_of(user):
+            return
+        self.db.insert(USER_ROLES, {"user": user, "role": role})
+
+    def remove_role(self, user: str, role: str) -> None:
+        """Take ``user`` out of ``role``."""
+        rows = (self.db.query(USER_ROLES)
+                .where((col("user") == user) & (col("role") == role)).run())
+        for row in rows:
+            self.db.delete(USER_ROLES, row.rowid)
+
+    def roles_of(self, user: str) -> set[str]:
+        """The roles a user holds."""
+        rows = self.db.query(USER_ROLES).where(col("user") == user).run()
+        return {r["role"] for r in rows}
+
+    def members_of(self, role: str) -> set[str]:
+        """The users holding a role."""
+        rows = self.db.query(USER_ROLES).where(col("role") == role).run()
+        return {r["user"] for r in rows}
+
+    def principals_of(self, user: str) -> set[str]:
+        """The user plus every role they hold (for ACL matching)."""
+        return {user} | self.roles_of(user)

@@ -1,0 +1,33 @@
+"""The Text Native Database eXtension (the paper's core contribution).
+
+Documents stored as neighbour-linked character rows with full per-character
+metadata, plus the surrounding document machinery: structure trees, styles
+and templates, embedded objects, notes and versioning.
+"""
+
+from .dbschema import install_text_schema
+from .document import DocumentHandle, DocumentStore
+from .io import export_json, export_text, import_json
+from .layout import StyleManager, render_ansi
+from .notes import NoteManager
+from .objects import ObjectManager
+from .render import export_markdown
+from .structure import StructureManager
+from .versioning import VersionDiff, VersionManager
+
+__all__ = [
+    "DocumentHandle",
+    "DocumentStore",
+    "NoteManager",
+    "ObjectManager",
+    "StructureManager",
+    "StyleManager",
+    "VersionDiff",
+    "VersionManager",
+    "export_json",
+    "export_markdown",
+    "export_text",
+    "import_json",
+    "install_text_schema",
+    "render_ansi",
+]

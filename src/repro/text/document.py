@@ -1,0 +1,438 @@
+"""Documents: creation, opening, and position-addressed editing.
+
+:class:`DocumentStore` is the library's entry point for document management
+(create/open/list), and :class:`DocumentHandle` is an open document — the
+thing an editor client holds.  A handle keeps an in-memory *order cache*
+(the live character OIDs in document order), maintained incrementally from
+commit notifications, which is how the real TeNDaX editors mirror the
+database state: the database stores neighbour-linked characters; the editor
+materialises the sequence.
+
+Editing through a handle is transactional: one call = one committed
+"real-time transaction" (insert rows + neighbour pointer updates + document
+metadata update + access log), exactly the granularity the paper describes
+for collaborative keystroke-level editing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Sequence
+
+from ..db import Database, Transaction, col
+from ..errors import InvalidPositionError, UnknownDocumentError
+from ..ids import Oid
+from . import chars as C
+from . import dbschema as S
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..db.transaction import Change
+
+
+class DocumentStore:
+    """Create, open and enumerate documents in one database.
+
+    Parameters
+    ----------
+    db:
+        The engine to store documents in.  The TeNDaX schema is installed
+        on first use.
+    log_reads / log_writes:
+        Whether to append ``tx_access_log`` rows on opens and edits.  The
+        log feeds dynamic folders and search ranking; benchmarks that only
+        measure keystroke cost may switch write logging off.
+    """
+
+    def __init__(self, db: Database, *, log_reads: bool = True,
+                 log_writes: bool = True) -> None:
+        self.db = db
+        self.log_reads = log_reads
+        self.log_writes = log_writes
+        S.install_text_schema(db)
+
+    # ------------------------------------------------------------------
+    # Document lifecycle
+    # ------------------------------------------------------------------
+
+    def create(
+        self,
+        name: str,
+        creator: str,
+        *,
+        text: str = "",
+        template: Oid | None = None,
+        props: dict | None = None,
+    ) -> "DocumentHandle":
+        """Create a document (optionally with initial text) and open it."""
+        doc = self.db.new_oid("doc")
+        now = self.db.now()
+        with self.db.transaction() as txn:
+            rowid = txn.insert(S.DOCUMENTS, {
+                "doc": doc, "name": name, "creator": creator,
+                "created_at": now, "last_modified": now,
+                "last_modified_by": creator, "template": template,
+                "props": props,
+            })
+            begin, end = C.create_anchors(txn, self.db, doc, creator, now)
+            txn.update(S.DOCUMENTS, rowid, {
+                "begin_char": begin, "end_char": end,
+            })
+            txn.insert(S.ACCESS_LOG, {
+                "entry": self.db.new_oid("log"), "doc": doc,
+                "user": creator, "action": "create", "at": now,
+            })
+        handle = DocumentHandle(self, doc)
+        if text:
+            handle.insert_text(0, text, creator)
+        return handle
+
+    def open(self, doc: Oid, user: str) -> "DocumentHandle":
+        """Open an existing document for ``user`` (logged as a read)."""
+        self.meta(doc)  # raises if unknown
+        if self.log_reads:
+            self.db.insert(S.ACCESS_LOG, {
+                "entry": self.db.new_oid("log"), "doc": doc,
+                "user": user, "action": "read", "at": self.db.now(),
+            })
+        return DocumentHandle(self, doc)
+
+    def handle(self, doc: Oid) -> "DocumentHandle":
+        """Open without logging (internal tooling, tests)."""
+        self.meta(doc)
+        return DocumentHandle(self, doc)
+
+    def meta(self, doc: Oid) -> dict:
+        """The document-level metadata row."""
+        row = self.db.query(S.DOCUMENTS).where(col("doc") == doc).first()
+        if row is None:
+            raise UnknownDocumentError(f"no document {doc}")
+        return dict(row)
+
+    def find_by_name(self, name: str) -> list[dict]:
+        """Documents with exactly this name (names may repeat)."""
+        return [dict(r) for r in
+                self.db.query(S.DOCUMENTS).where(col("name") == name).run()]
+
+    def list_documents(self) -> list[dict]:
+        """Metadata rows of every document."""
+        return [dict(r) for r in self.db.query(S.DOCUMENTS).run()]
+
+    def set_state(self, doc: Oid, state: str, user: str) -> None:
+        """Move a document through its lifecycle (draft/review/final...)."""
+        row = self.db.query(S.DOCUMENTS).where(col("doc") == doc).first()
+        if row is None:
+            raise UnknownDocumentError(f"no document {doc}")
+        now = self.db.now()
+        with self.db.transaction() as txn:
+            txn.update(S.DOCUMENTS, row.rowid, {
+                "state": state, "last_modified": now,
+                "last_modified_by": user,
+            })
+
+    def set_property(self, doc: Oid, key: str, value: Any,
+                     user: str) -> None:
+        """Set a user-defined document property (paper §2 metadata)."""
+        row = self.db.query(S.DOCUMENTS).where(col("doc") == doc).first()
+        if row is None:
+            raise UnknownDocumentError(f"no document {doc}")
+        props = dict(row["props"] or {})
+        props[key] = value
+        with self.db.transaction() as txn:
+            txn.update(S.DOCUMENTS, row.rowid, {"props": props})
+
+    # ------------------------------------------------------------------
+    # Access logging
+    # ------------------------------------------------------------------
+
+    def _log_write(self, txn: Transaction, doc: Oid, user: str,
+                   now: float) -> None:
+        if self.log_writes:
+            txn.insert(S.ACCESS_LOG, {
+                "entry": self.db.new_oid("log"), "doc": doc,
+                "user": user, "action": "write", "at": now,
+            })
+
+
+class DocumentHandle:
+    """An open document: position-addressed edits over the character chain.
+
+    The handle's *order cache* lists live character OIDs in document order.
+    It is updated incrementally by a commit trigger, so it reflects both
+    this handle's edits and edits committed by any other handle/session on
+    the same engine — the mechanism behind "everything which is typed
+    appears within the editor as soon as [it is] stored persistently".
+    """
+
+    def __init__(self, store: DocumentStore, doc: Oid) -> None:
+        self.store = store
+        self.db = store.db
+        self.doc = doc
+        meta = store.meta(doc)
+        self.begin_char: Oid = meta["begin_char"]
+        self.end_char: Oid = meta["end_char"]
+        self._order: list[Oid] = []
+        self._present: set[Oid] = set()
+        self._hint = 0
+        self._closed = False
+        self.refresh()
+        self._trigger = self.db.triggers.on_commit(S.CHARS, self._on_commit)
+
+    # ------------------------------------------------------------------
+    # Cache
+    # ------------------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Rebuild the order cache from the database chain."""
+        rows = C.traverse(self.db, self.doc, self.begin_char)
+        self._order = [row["char"] for row in rows]
+        self._present = set(self._order)
+        self._hint = 0
+
+    def close(self) -> None:
+        """Detach from commit notifications."""
+        if not self._closed:
+            self._closed = True
+            self._trigger.remove()
+
+    def _on_commit(self, txn: Transaction, changes: "list[Change]") -> None:
+        for change in changes:
+            row = change.row
+            if change.kind == "delete":
+                # Physical char deletion only happens on document purge.
+                continue
+            if row is None or row["doc"] != self.doc or not row["ch"]:
+                continue
+            oid = row["char"]
+            if change.kind == "insert":
+                if not row["deleted"] and oid not in self._present:
+                    self._splice_in(oid, row["prev"])
+            elif change.kind == "update":
+                if row["deleted"] and oid in self._present:
+                    self._splice_out(oid)
+                elif not row["deleted"] and oid not in self._present:
+                    self._splice_in(oid, row["prev"])
+                # style/pointer-only updates do not move the cache
+
+    def _splice_in(self, oid: Oid, prev: Oid | None) -> None:
+        index = self._position_after(prev)
+        self._order.insert(index, oid)
+        self._present.add(oid)
+        self._hint = index
+
+    def _splice_out(self, oid: Oid) -> None:
+        index = self._index_of(oid)
+        del self._order[index]
+        self._present.discard(oid)
+        self._hint = index
+
+    def _position_after(self, prev: Oid | None) -> int:
+        """Cache position just after ``prev``, skipping deleted ancestors.
+
+        The walk may cross arbitrarily many deleted predecessors (far more
+        than the cache holds visible characters), so the only stop
+        conditions are reaching a visible character, reaching the BEGIN
+        sentinel, or detecting a cycle (corrupt chain).
+        """
+        current = prev
+        seen: set[Oid] = set()
+        while current is not None and current != self.begin_char:
+            if current in self._present:
+                return self._index_of(current) + 1
+            if current in seen:
+                break  # corrupt chain; fall back to the front
+            seen.add(current)
+            # A deleted (or not-yet-spliced) predecessor: walk left.
+            __, row = C.char_row(self.db, current)
+            current = row["prev"]
+        return 0
+
+    def _index_of(self, oid: Oid) -> int:
+        """Index with a locality hint (typing is usually sequential)."""
+        order = self._order
+        hint = self._hint
+        for probe in (hint - 1, hint, hint + 1):
+            if 0 <= probe < len(order) and order[probe] == oid:
+                return probe
+        return order.index(oid)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def text(self) -> str:
+        """The document's visible text (from the cache)."""
+        rows = C.doc_char_rows(self.db, self.doc)
+        return "".join(rows[oid]["ch"] for oid in self._order)
+
+    def length(self) -> int:
+        """Number of visible characters."""
+        return len(self._order)
+
+    def char_oids(self) -> list[Oid]:
+        """Live character OIDs in document order (copy)."""
+        return list(self._order)
+
+    def char_oid_at(self, pos: int) -> Oid:
+        """OID of the character at position ``pos``."""
+        if not 0 <= pos < len(self._order):
+            raise InvalidPositionError(
+                f"position {pos} outside document of length {len(self._order)}"
+            )
+        return self._order[pos]
+
+    def position_of(self, oid: Oid) -> int | None:
+        """Current position of a character, or ``None`` if not visible."""
+        if oid not in self._present:
+            return None
+        return self._index_of(oid)
+
+    def anchor_for(self, pos: int) -> Oid:
+        """The character OID an insert *at* ``pos`` goes after."""
+        if pos < 0 or pos > len(self._order):
+            raise InvalidPositionError(
+                f"position {pos} outside document of length {len(self._order)}"
+            )
+        return self.begin_char if pos == 0 else self._order[pos - 1]
+
+    def char_meta(self, pos: int) -> dict:
+        """Full character-level metadata row at ``pos``."""
+        __, row = C.char_row(self.db, self.char_oid_at(pos))
+        return row
+
+    def meta(self) -> dict:
+        """The document's metadata row."""
+        return self.store.meta(self.doc)
+
+    # ------------------------------------------------------------------
+    # Editing (position addressed)
+    # ------------------------------------------------------------------
+
+    def insert_text(self, pos: int, text: str, user: str, *,
+                    style: Oid | None = None) -> list[Oid]:
+        """Insert ``text`` at ``pos`` in one transaction; returns OIDs."""
+        anchor = self.anchor_for(pos)
+        return self.insert_after(anchor, text, user, style=style)
+
+    def insert_after(
+        self,
+        anchor: Oid,
+        text: str,
+        user: str,
+        *,
+        style: Oid | None = None,
+        copy_srcs: Sequence[Oid | None] | None = None,
+        copy_op: Oid | None = None,
+    ) -> list[Oid]:
+        """OID-anchored insert (what collaborative operations use)."""
+        if not text:
+            return []
+        now = self.db.now()
+        with self.db.transaction() as txn:
+            oids = C.insert_chars(
+                txn, self.db, self.doc, anchor, text, user, now,
+                style=style, copy_srcs=copy_srcs, copy_op=copy_op,
+            )
+            self._touch(txn, user, now, size_delta=len(text))
+            self.store._log_write(txn, self.doc, user, now)
+        return oids
+
+    def delete_range(self, pos: int, count: int, user: str) -> list[Oid]:
+        """Logically delete ``count`` characters starting at ``pos``."""
+        if count < 0:
+            raise InvalidPositionError("count must be >= 0")
+        if pos < 0 or pos + count > len(self._order):
+            raise InvalidPositionError(
+                f"range [{pos}, {pos + count}) outside document of "
+                f"length {len(self._order)}"
+            )
+        oids = self._order[pos:pos + count]
+        self.delete_chars(oids, user)
+        return oids
+
+    def delete_chars(self, oids: Sequence[Oid], user: str) -> None:
+        """OID-addressed logical delete (collaborative operations)."""
+        if not oids:
+            return
+        now = self.db.now()
+        with self.db.transaction() as txn:
+            flipped = C.logical_delete(txn, self.db, oids, user, now)
+            self._touch(txn, user, now, size_delta=-flipped)
+            self.store._log_write(txn, self.doc, user, now)
+
+    def undelete_chars(self, oids: Sequence[Oid], user: str) -> None:
+        """Resurrect logically deleted characters (undo of a delete)."""
+        if not oids:
+            return
+        now = self.db.now()
+        with self.db.transaction() as txn:
+            flipped = C.undelete(txn, self.db, oids, user)
+            self._touch(txn, user, now, size_delta=flipped)
+            self.store._log_write(txn, self.doc, user, now)
+
+    def apply_style(self, pos: int, count: int, style: Oid | None,
+                    user: str) -> list[Oid]:
+        """Apply a style to a range (collaborative layouting)."""
+        if pos < 0 or count < 0 or pos + count > len(self._order):
+            raise InvalidPositionError("style range outside document")
+        oids = self._order[pos:pos + count]
+        self.style_chars(oids, style, user)
+        return oids
+
+    def style_chars(self, oids: Sequence[Oid], style: Oid | None,
+                    user: str) -> None:
+        """OID-addressed style application."""
+        if not oids:
+            return
+        now = self.db.now()
+        with self.db.transaction() as txn:
+            C.set_style(txn, self.db, oids, style)
+            self._touch(txn, user, now, size_delta=0)
+            self.store._log_write(txn, self.doc, user, now)
+
+    def _touch(self, txn: Transaction, user: str, now: float,
+               *, size_delta: int) -> None:
+        row = txn.query(S.DOCUMENTS).where(col("doc") == self.doc).first()
+        if row is None:  # pragma: no cover - handle outlived document
+            raise UnknownDocumentError(f"no document {self.doc}")
+        txn.update(S.DOCUMENTS, row.rowid, {
+            "last_modified": now, "last_modified_by": user,
+            "size": max(0, row["size"] + size_delta),
+        })
+
+    # ------------------------------------------------------------------
+    # Rendering helpers
+    # ------------------------------------------------------------------
+
+    def styled_runs(self) -> list[tuple[str, Oid | None]]:
+        """The text as maximal runs of identically-styled characters."""
+        rows = C.doc_char_rows(self.db, self.doc)
+        runs: list[tuple[str, Oid | None]] = []
+        current_style: Oid | None = None
+        buffer: list[str] = []
+        for oid in self._order:
+            row = rows[oid]
+            if buffer and row["style"] != current_style:
+                runs.append(("".join(buffer), current_style))
+                buffer = []
+            current_style = row["style"]
+            buffer.append(row["ch"])
+        if buffer:
+            runs.append(("".join(buffer), current_style))
+        return runs
+
+    def authors(self) -> dict[str, int]:
+        """Visible character counts per author (who wrote what)."""
+        rows = C.doc_char_rows(self.db, self.doc)
+        counts: dict[str, int] = {}
+        for oid in self._order:
+            author = rows[oid]["author"]
+            counts[author] = counts.get(author, 0) + 1
+        return counts
+
+    def check_integrity(self) -> list[str]:
+        """Verify the chain invariants (empty list = healthy)."""
+        return C.check_chain_integrity(
+            self.db, self.doc, self.begin_char, self.end_char
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DocumentHandle({self.doc}, length={len(self._order)})"

@@ -1,0 +1,195 @@
+"""Document export and import.
+
+"Uniform tool access" (§2) — TeNDaX documents can leave and re-enter the
+database:
+
+* **plain text** export/import (content only),
+* **JSON** export/import carrying the full native representation —
+  per-character metadata, styles, structure, objects and notes — so a
+  document can be moved between TeNDaX databases without losing what
+  makes it a TeNDaX document.
+
+Imported characters get fresh OIDs in the target database; their original
+ids are preserved in each character's user-defined properties under
+``imported_from`` so provenance is never silently dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..db import col
+from ..errors import TextError
+from ..ids import Oid
+from . import chars as C
+from . import dbschema as S
+from .document import DocumentHandle, DocumentStore
+
+FORMAT_VERSION = 1
+
+
+def export_text(handle: DocumentHandle) -> str:
+    """The document's visible text."""
+    return handle.text()
+
+
+def export_json(handle: DocumentHandle) -> dict:
+    """Full native export of one document as a JSON-compatible dict."""
+    db = handle.db
+    meta = handle.meta()
+    char_rows = [
+        row for row in C.traverse(db, handle.doc, handle.begin_char,
+                                  include_deleted=True)
+    ]
+    styles = [
+        dict(r) for r in
+        db.query(S.STYLES).where(col("doc") == handle.doc).run()
+    ]
+    structure = [
+        dict(r) for r in
+        db.query(S.STRUCTURE).where(col("doc") == handle.doc).run()
+    ]
+    objects = [
+        dict(r) for r in
+        db.query(S.OBJECTS).where(col("doc") == handle.doc).run()
+    ]
+    notes = [
+        dict(r) for r in
+        db.query(S.NOTES).where(col("doc") == handle.doc).run()
+    ]
+
+    def encode(value: Any) -> Any:
+        if isinstance(value, Oid):
+            return str(value)
+        if isinstance(value, dict):
+            return {k: encode(v) for k, v in value.items()}
+        if isinstance(value, list):
+            return [encode(v) for v in value]
+        return value
+
+    return {
+        "format": FORMAT_VERSION,
+        "document": encode({
+            "name": meta["name"], "creator": meta["creator"],
+            "created_at": meta["created_at"], "state": meta["state"],
+            "props": meta["props"],
+        }),
+        "chars": [encode(row) for row in char_rows],
+        "styles": [encode(row) for row in styles],
+        "structure": [encode(row) for row in structure],
+        "objects": [encode(row) for row in objects],
+        "notes": [encode(row) for row in notes],
+    }
+
+
+def import_json(store: DocumentStore, payload: dict,
+                user: str) -> DocumentHandle:
+    """Recreate an exported document in ``store``'s database.
+
+    Character authorship, timestamps, deletions, styles, structure,
+    objects and notes are preserved; all OIDs are re-minted locally with
+    the originals recorded under ``props["imported_from"]``.
+    """
+    if payload.get("format") != FORMAT_VERSION:
+        raise TextError(
+            f"unsupported export format {payload.get('format')!r}"
+        )
+    db = store.db
+    doc_spec = payload["document"]
+    handle = store.create(doc_spec["name"], user,
+                          props=dict(doc_spec.get("props") or {}))
+    if doc_spec.get("state", "draft") != "draft":
+        store.set_state(handle.doc, doc_spec["state"], user)
+
+    # Styles first (characters reference them).
+    style_map: dict[str, Oid] = {}
+    for style in payload.get("styles", []):
+        new_style = db.new_oid("style")
+        style_map[style["style"]] = new_style
+        db.insert(S.STYLES, {
+            "style": new_style, "doc": handle.doc,
+            "name": style["name"], "attrs": style["attrs"],
+            "author": style["author"], "created_at": style["created_at"],
+        })
+
+    # Characters, preserving order, deletion state and metadata.
+    char_map: dict[str, Oid] = {}
+    anchor = handle.begin_char
+    now = db.now()
+    with db.transaction() as txn:
+        for row in payload.get("chars", []):
+            new_oid = db.new_oid("char")
+            char_map[row["char"]] = new_oid
+            props = dict(row.get("props") or {})
+            props["imported_from"] = row["char"]
+            # Splice at the end of the chain, preserving source order.
+            __, anchor_row = C.char_row(db, anchor, txn)
+            successor = anchor_row["next"]
+            anchor_rowid, __ = C.char_row(db, anchor, txn)
+            txn.insert(S.CHARS, {
+                "char": new_oid, "doc": handle.doc, "ch": row["ch"],
+                "prev": anchor, "next": successor,
+                "author": row["author"], "created_at": row["created_at"],
+                "deleted": row["deleted"],
+                "deleted_by": row.get("deleted_by"),
+                "deleted_at": row.get("deleted_at"),
+                "style": style_map.get(row.get("style")),
+                "version": row.get("version", 0),
+                "props": props,
+            })
+            txn.update(S.CHARS, anchor_rowid, {"next": new_oid})
+            succ_rowid, __ = C.char_row(db, successor, txn)
+            txn.update(S.CHARS, succ_rowid, {"prev": new_oid})
+            anchor = new_oid
+        # Fix the document size (visible characters only).
+        visible = sum(1 for row in payload.get("chars", [])
+                      if not row["deleted"])
+        doc_row = txn.query(S.DOCUMENTS).where(
+            col("doc") == handle.doc).first()
+        txn.update(S.DOCUMENTS, doc_row.rowid, {
+            "size": visible, "last_modified": now,
+            "last_modified_by": user,
+        })
+
+    # Structure tree (two passes: nodes then parent links).
+    node_map: dict[str, Oid] = {}
+    for node in payload.get("structure", []):
+        new_node = db.new_oid("node")
+        node_map[node["node"]] = new_node
+        db.insert(S.STRUCTURE, {
+            "node": new_node, "doc": handle.doc, "kind": node["kind"],
+            "parent": None, "pos": node["pos"], "label": node["label"],
+            "start_char": char_map.get(node.get("start_char")),
+            "end_char": char_map.get(node.get("end_char")),
+            "author": node["author"], "created_at": node["created_at"],
+            "props": node.get("props"),
+        })
+    for node in payload.get("structure", []):
+        parent = node.get("parent")
+        if parent is not None and parent in node_map:
+            view = db.query(S.STRUCTURE).where(
+                col("node") == node_map[node["node"]]).first()
+            db.update(S.STRUCTURE, view.rowid,
+                      {"parent": node_map[parent]})
+
+    for obj in payload.get("objects", []):
+        anchor_oid = char_map.get(obj["anchor"], handle.begin_char)
+        db.insert(S.OBJECTS, {
+            "obj": db.new_oid("obj"), "doc": handle.doc,
+            "kind": obj["kind"], "anchor": anchor_oid,
+            "data": obj["data"], "author": obj["author"],
+            "created_at": obj["created_at"],
+            "deleted": obj.get("deleted", False),
+        })
+
+    for note in payload.get("notes", []):
+        anchor_oid = char_map.get(note["anchor"], handle.begin_char)
+        db.insert(S.NOTES, {
+            "note": db.new_oid("note"), "doc": handle.doc,
+            "anchor": anchor_oid, "author": note["author"],
+            "body": note["body"], "created_at": note["created_at"],
+            "resolved": note.get("resolved", False),
+        })
+
+    handle.refresh()
+    return handle

@@ -1,0 +1,168 @@
+"""Collaborative layout: styles and templates.
+
+Layout in TeNDaX is data, not markup: a *style* is a named row of layout
+attributes (bold, italic, font, size ...), and every character references
+at most one style by OID.  Applying layout is therefore an ordinary
+database transaction over character rows — which is what makes layout
+*collaborative*: two users restyling different ranges of the same paragraph
+are just two transactions (see Hodel et al., "Supporting Collaborative
+Layouting in Word Processing", the paper's reference [2]).
+
+A *template* bundles style definitions plus a default structure outline so
+new documents start with a consistent look.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from ..db import Database, col
+from ..errors import LayoutError
+from ..ids import Oid
+from . import dbschema as S
+from .document import DocumentHandle
+
+#: Attributes a style may define, with their expected types.
+KNOWN_ATTRS = {
+    "bold": bool,
+    "italic": bool,
+    "underline": bool,
+    "font": str,
+    "size": int,
+    "color": str,
+    "align": str,          # left | right | center | justify
+    "heading_level": int,  # 0 = body text
+}
+
+
+def validate_attrs(attrs: Mapping[str, Any]) -> dict:
+    """Check style attributes against :data:`KNOWN_ATTRS`."""
+    out: dict[str, Any] = {}
+    for key, value in attrs.items():
+        expected = KNOWN_ATTRS.get(key)
+        if expected is None:
+            raise LayoutError(f"unknown style attribute {key!r}")
+        if not isinstance(value, expected):
+            raise LayoutError(
+                f"style attribute {key!r} expects {expected.__name__}, "
+                f"got {value!r}"
+            )
+        out[key] = value
+    return out
+
+
+class StyleManager:
+    """Create and resolve styles and templates in one database."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        S.install_text_schema(db)
+
+    # -- styles ---------------------------------------------------------
+
+    def define_style(self, name: str, attrs: Mapping[str, Any], author: str,
+                     *, doc: Oid | None = None) -> Oid:
+        """Define a style; ``doc=None`` makes it globally available."""
+        style = self.db.new_oid("style")
+        self.db.insert(S.STYLES, {
+            "style": style, "doc": doc, "name": name,
+            "attrs": validate_attrs(attrs), "author": author,
+            "created_at": self.db.now(),
+        })
+        return style
+
+    def get_style(self, style: Oid) -> dict:
+        """Fetch a style row by OID (raises if absent)."""
+        row = self.db.query(S.STYLES).where(col("style") == style).first()
+        if row is None:
+            raise LayoutError(f"no style {style}")
+        return dict(row)
+
+    def find_style(self, name: str, *, doc: Oid | None = None) -> dict | None:
+        """Resolve a style by name, preferring document-local definitions."""
+        rows = self.db.query(S.STYLES).where(col("name") == name).run()
+        local = [r for r in rows if r["doc"] == doc]
+        if local:
+            return dict(local[0])
+        global_ = [r for r in rows if r["doc"] is None]
+        return dict(global_[0]) if global_ else None
+
+    def styles_for(self, doc: Oid) -> list[dict]:
+        """All styles visible to a document (its own + global)."""
+        rows = self.db.query(S.STYLES).run()
+        return [dict(r) for r in rows if r["doc"] in (doc, None)]
+
+    def effective_attrs(self, style: Oid | None) -> dict:
+        """The attribute mapping a character with ``style`` renders with."""
+        if style is None:
+            return {}
+        return dict(self.get_style(style)["attrs"])
+
+    # -- templates --------------------------------------------------------
+
+    def define_template(
+        self,
+        name: str,
+        author: str,
+        *,
+        styles: Iterable[Mapping[str, Any]] = (),
+        structure: Iterable[Mapping[str, Any]] = (),
+    ) -> Oid:
+        """Define a template.
+
+        ``styles`` is a list of ``{"name": ..., "attrs": {...}}`` mappings;
+        ``structure`` an outline of ``{"kind": ..., "label": ...}`` nodes.
+        """
+        template = self.db.new_oid("template")
+        style_specs = [
+            {"name": s["name"], "attrs": validate_attrs(s["attrs"])}
+            for s in styles
+        ]
+        self.db.insert(S.TEMPLATES, {
+            "template": template, "name": name,
+            "styles": style_specs, "structure": list(map(dict, structure)),
+            "author": author, "created_at": self.db.now(),
+        })
+        return template
+
+    def get_template(self, template: Oid) -> dict:
+        """Fetch a template row by OID (raises if absent)."""
+        row = (self.db.query(S.TEMPLATES)
+               .where(col("template") == template).first())
+        if row is None:
+            raise LayoutError(f"no template {template}")
+        return dict(row)
+
+    def instantiate_template(self, template: Oid, doc: Oid,
+                             author: str) -> dict[str, Oid]:
+        """Create the template's styles as document-local styles.
+
+        Returns ``style name -> OID`` for the new document.  (The structure
+        outline is instantiated by :class:`~repro.text.structure.StructureManager`.)
+        """
+        spec = self.get_template(template)
+        created: dict[str, Oid] = {}
+        for style_spec in spec["styles"]:
+            created[style_spec["name"]] = self.define_style(
+                style_spec["name"], style_spec["attrs"], author, doc=doc,
+            )
+        return created
+
+
+def render_ansi(handle: DocumentHandle, styles: StyleManager) -> str:
+    """Render a document's styled runs with ANSI escapes (demo output)."""
+    pieces: list[str] = []
+    for text, style in handle.styled_runs():
+        attrs = styles.effective_attrs(style)
+        codes: list[str] = []
+        if attrs.get("bold"):
+            codes.append("1")
+        if attrs.get("italic"):
+            codes.append("3")
+        if attrs.get("underline"):
+            codes.append("4")
+        if codes:
+            pieces.append(f"\x1b[{';'.join(codes)}m{text}\x1b[0m")
+        else:
+            pieces.append(text)
+    return "".join(pieces)

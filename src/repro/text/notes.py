@@ -1,0 +1,95 @@
+"""Margin notes anchored at characters.
+
+"Inserting notes" is one of the editing actions §2 enumerates.  A note is
+a row anchored at a character OID; it follows its anchor through concurrent
+edits and survives (greys out) if the anchor is deleted.
+"""
+
+from __future__ import annotations
+
+from ..db import Database, col
+from ..errors import TextError
+from ..ids import Oid
+from . import chars as C
+from . import dbschema as S
+from .document import DocumentHandle
+
+
+class NoteManager:
+    """Create, resolve and list margin notes."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        S.install_text_schema(db)
+
+    def add_note(self, handle: DocumentHandle, pos: int, body: str,
+                 user: str) -> Oid:
+        """Attach a note to the character at ``pos``."""
+        anchor = handle.char_oid_at(pos)
+        note = self.db.new_oid("note")
+        self.db.insert(S.NOTES, {
+            "note": note, "doc": handle.doc, "anchor": anchor,
+            "author": user, "body": body, "created_at": self.db.now(),
+        })
+        return note
+
+    def _view(self, note: Oid):
+        row = self.db.query(S.NOTES).where(col("note") == note).first()
+        if row is None:
+            raise TextError(f"no note {note}")
+        return row
+
+    def get(self, note: Oid) -> dict:
+        """Fetch a note row by OID (raises if absent)."""
+        return dict(self._view(note))
+
+    def resolve(self, note: Oid, user: str) -> None:
+        """Mark a note handled."""
+        view = self._view(note)
+        self.db.update(S.NOTES, view.rowid, {"resolved": True})
+
+    def reopen(self, note: Oid, user: str) -> None:
+        """Un-resolve a note."""
+        view = self._view(note)
+        self.db.update(S.NOTES, view.rowid, {"resolved": False})
+
+    def notes_in(self, doc: Oid, *, include_resolved: bool = False) -> list[dict]:
+        """Notes of a document, oldest first."""
+        rows = self.db.query(S.NOTES).where(col("doc") == doc).run()
+        out = [dict(r) for r in rows
+               if include_resolved or not r["resolved"]]
+        out.sort(key=lambda r: r["created_at"])
+        return out
+
+    def notes_with_positions(
+        self, handle: DocumentHandle, *, include_resolved: bool = False
+    ) -> list[tuple[int | None, dict]]:
+        """Notes with the current positions of their anchors.
+
+        Position is ``None`` when the anchor character has been deleted
+        (the note becomes an orphan but keeps its context via the anchor's
+        stored metadata).
+        """
+        out: list[tuple[int | None, dict]] = []
+        for row in self.notes_in(handle.doc, include_resolved=include_resolved):
+            out.append((handle.position_of(row["anchor"]), row))
+        out.sort(key=lambda item: (item[0] is None, item[0]))
+        return out
+
+    def anchor_context(self, note: Oid, radius: int = 10) -> str:
+        """Text around the note's anchor (even if the anchor is deleted)."""
+        row = self.get(note)
+        __, anchor = C.char_row(self.db, row["anchor"])
+        doc_meta = (self.db.query(S.DOCUMENTS)
+                    .where(col("doc") == row["doc"]).first())
+        if doc_meta is None:
+            raise TextError(f"document {row['doc']} vanished")
+        chain = list(C.traverse(self.db, row["doc"], doc_meta["begin_char"],
+                                include_deleted=True))
+        oids = [r["char"] for r in chain]
+        try:
+            center = oids.index(row["anchor"])
+        except ValueError:
+            return ""
+        window = chain[max(0, center - radius): center + radius + 1]
+        return "".join(r["ch"] for r in window if not r["deleted"])

@@ -1,0 +1,171 @@
+"""Embedded objects: images and tables inside documents.
+
+The demo edits documents containing "tables, images etc.".  Objects are
+rows in ``tx_objects`` anchored at a character OID (the character they
+follow), so — like structure ranges — they float correctly under
+concurrent editing.  An in-document *table* is itself relational data: a
+JSON grid of cell strings that can be edited cell-by-cell, each cell edit
+being one database transaction.
+"""
+
+from __future__ import annotations
+
+from ..db import Database, col
+from ..errors import TextError
+from ..ids import Oid
+from . import dbschema as S
+from .document import DocumentHandle
+
+
+class ObjectManager:
+    """Insert and edit embedded images and tables."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        S.install_text_schema(db)
+
+    # -- insertion -------------------------------------------------------
+
+    def insert_image(
+        self,
+        handle: DocumentHandle,
+        pos: int,
+        user: str,
+        *,
+        name: str,
+        width: int,
+        height: int,
+        content_ref: str = "",
+    ) -> Oid:
+        """Insert an image object anchored at position ``pos``."""
+        anchor = handle.anchor_for(pos)
+        obj = self.db.new_oid("obj")
+        self.db.insert(S.OBJECTS, {
+            "obj": obj, "doc": handle.doc, "kind": "image",
+            "anchor": anchor, "author": user,
+            "created_at": self.db.now(),
+            "data": {
+                "name": name, "width": width, "height": height,
+                "content_ref": content_ref,
+            },
+        })
+        return obj
+
+    def insert_table(
+        self,
+        handle: DocumentHandle,
+        pos: int,
+        user: str,
+        *,
+        rows: int,
+        cols: int,
+    ) -> Oid:
+        """Insert an empty ``rows x cols`` table at position ``pos``."""
+        if rows <= 0 or cols <= 0:
+            raise TextError("table must have positive dimensions")
+        anchor = handle.anchor_for(pos)
+        obj = self.db.new_oid("obj")
+        self.db.insert(S.OBJECTS, {
+            "obj": obj, "doc": handle.doc, "kind": "table",
+            "anchor": anchor, "author": user,
+            "created_at": self.db.now(),
+            "data": {
+                "rows": rows, "cols": cols,
+                "cells": [["" for __ in range(cols)] for __ in range(rows)],
+            },
+        })
+        return obj
+
+    # -- editing -----------------------------------------------------------
+
+    def _object_view(self, obj: Oid):
+        row = self.db.query(S.OBJECTS).where(col("obj") == obj).first()
+        if row is None or row["deleted"]:
+            raise TextError(f"no object {obj}")
+        return row
+
+    def get(self, obj: Oid) -> dict:
+        """Fetch a live object row by OID (raises if absent/deleted)."""
+        return dict(self._object_view(obj))
+
+    def set_cell(self, obj: Oid, row: int, col_: int, value: str,
+                 user: str) -> None:
+        """Edit one table cell (one transaction, collaborative)."""
+        view = self._object_view(obj)
+        if view["kind"] != "table":
+            raise TextError(f"object {obj} is not a table")
+        data = dict(view["data"])
+        cells = [list(r) for r in data["cells"]]
+        if not (0 <= row < data["rows"] and 0 <= col_ < data["cols"]):
+            raise TextError(
+                f"cell ({row},{col_}) outside {data['rows']}x{data['cols']}"
+            )
+        cells[row][col_] = value
+        data["cells"] = cells
+        self.db.update(S.OBJECTS, view.rowid, {"data": data})
+
+    def add_row(self, obj: Oid, user: str) -> None:
+        """Append a row to a table."""
+        view = self._object_view(obj)
+        if view["kind"] != "table":
+            raise TextError(f"object {obj} is not a table")
+        data = dict(view["data"])
+        cells = [list(r) for r in data["cells"]]
+        cells.append(["" for __ in range(data["cols"])])
+        data["cells"] = cells
+        data["rows"] += 1
+        self.db.update(S.OBJECTS, view.rowid, {"data": data})
+
+    def delete_object(self, obj: Oid, user: str) -> None:
+        """Logically delete an object (undo-able)."""
+        view = self._object_view(obj)
+        self.db.update(S.OBJECTS, view.rowid, {"deleted": True})
+
+    def restore_object(self, obj: Oid, user: str) -> None:
+        """Undo a logical object deletion."""
+        row = self.db.query(S.OBJECTS).where(col("obj") == obj).first()
+        if row is None:
+            raise TextError(f"no object {obj}")
+        self.db.update(S.OBJECTS, row.rowid, {"deleted": False})
+
+    # -- queries ---------------------------------------------------------------
+
+    def objects_in(self, doc: Oid, *, include_deleted: bool = False) -> list[dict]:
+        """Objects of a document (deleted ones on request)."""
+        rows = self.db.query(S.OBJECTS).where(col("doc") == doc).run()
+        return [
+            dict(r) for r in rows if include_deleted or not r["deleted"]
+        ]
+
+    def objects_with_positions(
+        self, handle: DocumentHandle
+    ) -> list[tuple[int | None, dict]]:
+        """Objects of a document with their current anchor positions."""
+        out: list[tuple[int | None, dict]] = []
+        for row in self.objects_in(handle.doc):
+            anchor = row["anchor"]
+            if anchor == handle.begin_char:
+                pos: int | None = 0
+            else:
+                anchor_pos = handle.position_of(anchor)
+                pos = None if anchor_pos is None else anchor_pos + 1
+            out.append((pos, row))
+        out.sort(key=lambda item: (item[0] is None, item[0]))
+        return out
+
+    def render_table(self, obj: Oid) -> str:
+        """ASCII-render a table object (demo output)."""
+        data = self.get(obj)["data"]
+        widths = [
+            max([len(data["cells"][r][c]) for r in range(data["rows"])] + [1])
+            for c in range(data["cols"])
+        ]
+        sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+        lines = [sep]
+        for row_cells in data["cells"]:
+            cells = " | ".join(
+                cell.ljust(widths[c]) for c, cell in enumerate(row_cells)
+            )
+            lines.append(f"| {cells} |")
+            lines.append(sep)
+        return "\n".join(lines)

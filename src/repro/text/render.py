@@ -1,0 +1,130 @@
+"""Rendering documents to portable formats.
+
+Completes the "uniform tool access" story: a TeNDaX document — character
+chain, styles, structure tree, objects, notes — can be rendered to
+Markdown for consumption outside the system.  Headings come from the
+structure tree (or from ``heading_level`` style attributes), bold/italic
+from styles, tables and images from the object store, unresolved notes
+as footnote-style annotations.
+"""
+
+from __future__ import annotations
+
+from ..db import Database
+from .document import DocumentHandle
+from .layout import StyleManager
+from .notes import NoteManager
+from .objects import ObjectManager
+from .structure import StructureManager
+
+
+def _style_wrap(text: str, attrs: dict) -> str:
+    """Apply Markdown emphasis for the style attributes."""
+    if not text.strip():
+        return text
+    if attrs.get("bold") and attrs.get("italic"):
+        return f"***{text}***"
+    if attrs.get("bold"):
+        return f"**{text}**"
+    if attrs.get("italic"):
+        return f"*{text}*"
+    return text
+
+
+def _render_body(handle: DocumentHandle, styles: StyleManager) -> str:
+    """The text with inline styles applied, line structure preserved."""
+    pieces: list[str] = []
+    for run_text, style in handle.styled_runs():
+        attrs = styles.effective_attrs(style)
+        level = attrs.get("heading_level", 0)
+        if level:
+            prefix = "#" * min(level, 6)
+            for line in run_text.splitlines() or [""]:
+                if line.strip():
+                    pieces.append(f"\n{prefix} {line.strip()}\n")
+        else:
+            # Apply emphasis per line so newlines stay outside markers.
+            lines = run_text.split("\n")
+            wrapped = "\n".join(_style_wrap(line, attrs) for line in lines)
+            pieces.append(wrapped)
+    return "".join(pieces)
+
+
+def export_markdown(handle: DocumentHandle) -> str:
+    """Render a document to Markdown.
+
+    Sections:
+
+    * a title line from the document name,
+    * the structure outline (when the document has one),
+    * the styled body,
+    * embedded objects (tables as Markdown tables, images as links),
+    * unresolved margin notes.
+    """
+    db: Database = handle.db
+    styles = StyleManager(db)
+    structure = StructureManager(db)
+    objects = ObjectManager(db)
+    notes = NoteManager(db)
+    meta = handle.meta()
+
+    parts: list[str] = [f"# {meta['name']}", ""]
+
+    outline = structure.outline_text(handle.doc)
+    if outline:
+        parts.append("## Outline")
+        parts.append("")
+        for line in outline.splitlines():
+            indent = (len(line) - len(line.lstrip())) // 2
+            label = line.strip().lstrip("- ")
+            parts.append(f"{'  ' * indent}- {label}")
+        parts.append("")
+
+    parts.append(_render_body(handle, styles).strip())
+    parts.append("")
+
+    doc_objects = objects.objects_with_positions(handle)
+    if doc_objects:
+        parts.append("## Objects")
+        parts.append("")
+        for pos, obj in doc_objects:
+            where = f"at position {pos}" if pos is not None else "detached"
+            if obj["kind"] == "image":
+                data = obj["data"]
+                parts.append(
+                    f"![{data['name']}]({data.get('content_ref') or data['name']}) "
+                    f"({data['width']}x{data['height']}, {where})"
+                )
+            else:
+                parts.append(f"Table {where}:")
+                parts.append("")
+                parts.append(_markdown_table(obj["data"]))
+            parts.append("")
+
+    open_notes = notes.notes_with_positions(handle)
+    if open_notes:
+        parts.append("## Notes")
+        parts.append("")
+        for pos, note in open_notes:
+            where = f"@{pos}" if pos is not None else "@deleted-text"
+            parts.append(f"- [{note['author']} {where}] {note['body']}")
+        parts.append("")
+
+    parts.append(
+        f"---\n*{meta['creator']}'s document, "
+        f"state: {meta['state']}, {meta['size']} characters.*"
+    )
+    return "\n".join(parts).strip() + "\n"
+
+
+def _markdown_table(data: dict) -> str:
+    """Render an object-store table grid as a Markdown table."""
+    cells = data["cells"]
+    if not cells:
+        return ""
+    header = cells[0]
+    out = ["| " + " | ".join(cell or " " for cell in header) + " |"]
+    out.append("|" + "---|" * len(header))
+    for row in cells[1:]:
+        out.append("| " + " | ".join(cell or " " for cell in row) + " |")
+    return "\n".join(out)

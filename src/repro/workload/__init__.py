@@ -1,0 +1,35 @@
+"""Workload generation: corpora, simulated typists, demo scenarios."""
+
+from .corpus import (
+    TOPICS,
+    CorpusSpec,
+    GeneratedDoc,
+    generate_corpus,
+    generate_text,
+    load_corpus,
+)
+from .scenarios import (
+    DEFAULT_PARTY,
+    KnowledgeBase,
+    LanPartyReport,
+    build_knowledge_base,
+    run_lan_party,
+)
+from .typist import DEFAULT_MIX, SimulatedTypist, TypistStats
+
+__all__ = [
+    "DEFAULT_MIX",
+    "DEFAULT_PARTY",
+    "CorpusSpec",
+    "GeneratedDoc",
+    "KnowledgeBase",
+    "LanPartyReport",
+    "SimulatedTypist",
+    "TOPICS",
+    "TypistStats",
+    "build_knowledge_base",
+    "generate_corpus",
+    "generate_text",
+    "load_corpus",
+    "run_lan_party",
+]

@@ -1,0 +1,132 @@
+"""Simulated typists: deterministic editor-driving agents.
+
+A typist drives an :class:`~repro.collab.editor.EditorClient` with a
+seeded random mix of the operations §2 enumerates — "writing and deleting
+text (characters), copying and pasting, defining layout ..." — so the
+LAN-party scenario and the benchmarks get reproducible multi-user load
+with a realistic operation profile.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..collab.editor import EditorClient
+from ..errors import TendaxError
+from .corpus import COMMON, TOPICS, zipf_choice
+
+#: Default operation mix (weights).
+DEFAULT_MIX = {
+    "type_word": 60,
+    "type_punctuation": 10,
+    "backspace": 10,
+    "move": 10,
+    "copy_paste": 5,
+    "style": 5,
+}
+
+
+@dataclass
+class TypistStats:
+    """What one typist did."""
+
+    operations: int = 0
+    chars_typed: int = 0
+    chars_deleted: int = 0
+    pastes: int = 0
+    style_ops: int = 0
+    moves: int = 0
+    errors: int = 0
+    by_kind: dict = field(default_factory=dict)
+
+
+class SimulatedTypist:
+    """Drives one editor with a weighted random operation mix."""
+
+    def __init__(self, editor: EditorClient, *, seed: int,
+                 topic: str = "editing",
+                 mix: dict | None = None) -> None:
+        self.editor = editor
+        self.rng = random.Random(seed)
+        self.topic = topic
+        self.mix = dict(mix or DEFAULT_MIX)
+        self.stats = TypistStats()
+        self._styles: list = []
+
+    def add_style(self, style) -> None:
+        """Give the typist a style OID it may apply."""
+        self._styles.append(style)
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> str:
+        """Perform one operation; returns its kind."""
+        kinds = list(self.mix)
+        weights = [self.mix[k] for k in kinds]
+        kind = self.rng.choices(kinds, weights=weights, k=1)[0]
+        try:
+            getattr(self, f"_op_{kind}")()
+        except TendaxError:
+            # Racing editors can invalidate a precomputed position;
+            # a real editor would just beep.
+            self.stats.errors += 1
+        self.stats.operations += 1
+        self.stats.by_kind[kind] = self.stats.by_kind.get(kind, 0) + 1
+        return kind
+
+    def run(self, n_ops: int) -> TypistStats:
+        """Perform ``n_ops`` operations; returns the stats."""
+        for __ in range(n_ops):
+            self.step()
+        return self.stats
+
+    # -- operations ------------------------------------------------------
+
+    def _random_position(self) -> int:
+        return self.rng.randint(0, self.editor.handle.length())
+
+    def _op_type_word(self) -> None:
+        pool = TOPICS[self.topic] if self.rng.random() < 0.6 else COMMON
+        word = zipf_choice(self.rng, pool) + " "
+        self.editor.type(word)
+        self.stats.chars_typed += len(word)
+
+    def _op_type_punctuation(self) -> None:
+        mark = self.rng.choice([". ", ", ", "! ", "? ", "\n"])
+        self.editor.type(mark)
+        self.stats.chars_typed += len(mark)
+
+    def _op_backspace(self) -> None:
+        deleted = self.editor.backspace(self.rng.randint(1, 4))
+        self.stats.chars_deleted += deleted
+
+    def _op_move(self) -> None:
+        self.editor.move_to(self._random_position())
+        self.stats.moves += 1
+
+    def _op_copy_paste(self) -> None:
+        length = self.editor.handle.length()
+        if length < 4:
+            return
+        count = self.rng.randint(2, min(12, length))
+        pos = self.rng.randint(0, length - count)
+        self.editor.select(pos, count)
+        self.editor.copy()
+        self.editor.move_to(self._random_position())
+        pasted = self.editor.paste()
+        self.stats.pastes += 1
+        self.stats.chars_typed += len(pasted)
+
+    def _op_style(self) -> None:
+        if not self._styles:
+            return
+        length = self.editor.handle.length()
+        if length < 2:
+            return
+        count = self.rng.randint(1, min(10, length))
+        pos = self.rng.randint(0, length - count)
+        self.editor.select(pos, count)
+        self.editor.style_selection(self.rng.choice(self._styles))
+        self.editor.clear_selection()
+        self.stats.style_ops += 1

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.db import Database, column
+
+
+@pytest.fixture
+def clock() -> SimulatedClock:
+    return SimulatedClock()
+
+
+@pytest.fixture
+def db(clock: SimulatedClock) -> Database:
+    """A fresh in-memory database with a deterministic clock."""
+    return Database("test", clock=clock)
+
+
+@pytest.fixture
+def people_db(db: Database) -> Database:
+    """A database with a small `people` table used across query tests."""
+    db.create_table(
+        "people",
+        [
+            column("name", "str"),
+            column("age", "int"),
+            column("city", "str", nullable=True),
+        ],
+        key="name",
+    )
+    db.create_index("people", "age", kind="ordered")
+    rows = [
+        ("ana", 34, "zurich"),
+        ("ben", 27, "bolzano"),
+        ("cleo", 41, "zurich"),
+        ("dan", 27, None),
+        ("eva", 55, "geneva"),
+    ]
+    for name, age, city in rows:
+        db.insert("people", {"name": name, "age": age, "city": city})
+    return db

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(list(argv))
+    return code, buffer.getvalue()
+
+
+class TestCli:
+    def test_lan_party(self):
+        code, out = run_cli("lan-party", "--rounds", "10", "--seed", "1")
+        assert code == 0
+        assert "converged    : True" in out
+
+    def test_portal(self):
+        code, out = run_cli("portal", "--docs", "8", "--seed", "1")
+        assert code == 0
+        assert "# Dynamic folders" in out
+        assert "# Data lineage (Fig. 1)" in out
+        assert "# Document space (Fig. 2)" in out
+
+    def test_search(self):
+        code, out = run_cli("search", "database", "--docs", "8",
+                            "--seed", "1", "--limit", "2")
+        assert code == 0
+        assert "1." in out
+
+    def test_search_ranking_option(self):
+        code, out = run_cli("search", "database", "--docs", "8",
+                            "--seed", "1", "--ranking", "newest")
+        assert code == 0
+
+    def test_stats(self):
+        code, out = run_cli("stats", "--docs", "4", "--seed", "1")
+        assert code == 0
+        assert "tx_documents" in out
+        assert "total rows" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestDumpLoad:
+    def test_dump_then_load_roundtrip(self, tmp_path):
+        out = str(tmp_path / "export")
+        code, dump_out = run_cli("dump", "--docs", "2", "--seed", "1",
+                                 "--out", out)
+        assert code == 0
+        files = sorted((tmp_path / "export").glob("*.tendax.json"))
+        assert len(files) == 2
+        code, load_out = run_cli("load", str(files[0]))
+        assert code == 0
+        assert "imported" in load_out

@@ -1,0 +1,212 @@
+"""Tests for the headless editor client."""
+
+import pytest
+
+from repro.collab import CollaborationServer, EditorClient
+from repro.errors import ClipboardError, InvalidPositionError
+
+
+@pytest.fixture
+def server():
+    server = CollaborationServer()
+    for user in ("ana", "ben"):
+        server.register_user(user)
+    return server
+
+
+@pytest.fixture
+def editors(server):
+    s1 = server.connect("ana", os_name="windows")
+    s2 = server.connect("ben", os_name="macos")
+    handle = s1.create_document("d", text="hello world")
+    e1 = EditorClient(s1, handle.doc)
+    e2 = EditorClient(s2, handle.doc)
+    return e1, e2
+
+
+class TestCursorAndTyping:
+    def test_type_at_cursor(self, editors):
+        e1, __ = editors
+        e1.move_end()
+        e1.type("!")
+        assert e1.text() == "hello world!"
+        assert e1.cursor() == 12
+
+    def test_type_in_middle(self, editors):
+        e1, __ = editors
+        e1.move_to(5)
+        e1.type(",")
+        assert e1.text() == "hello, world"
+        assert e1.cursor() == 6
+
+    def test_cursor_bounds(self, editors):
+        e1, __ = editors
+        with pytest.raises(InvalidPositionError):
+            e1.move_to(99)
+        with pytest.raises(InvalidPositionError):
+            e1.move_to(-1)
+
+    def test_arrow_movement_clamps(self, editors):
+        e1, __ = editors
+        e1.move_home()
+        assert e1.move_left() == 0
+        assert e1.move_right(3) == 3
+        e1.move_end()
+        assert e1.move_right() == 11
+
+    def test_backspace(self, editors):
+        e1, __ = editors
+        e1.move_to(5)
+        assert e1.backspace(2) == 2
+        assert e1.text() == "hel world"
+        assert e1.cursor() == 3
+
+    def test_backspace_at_home_is_noop(self, editors):
+        e1, __ = editors
+        e1.move_home()
+        assert e1.backspace() == 0
+
+    def test_delete_forward(self, editors):
+        e1, __ = editors
+        e1.move_home()
+        assert e1.delete_forward(6) == 6
+        assert e1.text() == "world"
+
+    def test_delete_forward_clamps(self, editors):
+        e1, __ = editors
+        e1.move_to(9)
+        assert e1.delete_forward(10) == 2
+
+    def test_cursor_follows_remote_inserts(self, editors):
+        e1, e2 = editors
+        e1.move_to(5)
+        e2.move_home()
+        e2.type(">>> ")
+        assert e1.cursor() == 9
+        e1.type("!")
+        assert e1.text() == ">>> hello! world"
+
+    def test_cursor_survives_remote_delete_of_anchor(self, editors):
+        e1, e2 = editors
+        e1.move_to(5)
+        e2.select(2, 5)
+        e2.delete_selection()
+        assert e1.cursor() == 2
+        e1.type("#")
+        assert "#" in e1.text()
+
+
+class TestSelection:
+    def test_select_and_read(self, editors):
+        e1, __ = editors
+        assert e1.select(0, 5) == "hello"
+        assert e1.selected_text() == "hello"
+
+    def test_selection_replaced_by_typing(self, editors):
+        e1, __ = editors
+        e1.select(0, 5)
+        e1.type("goodbye")
+        assert e1.text() == "goodbye world"
+
+    def test_selection_shrinks_on_remote_delete(self, editors):
+        e1, e2 = editors
+        e1.select(0, 5)
+        e2.session.delete(e2.doc, 1, 2)  # deletes "el"
+        assert e1.selected_text() == "hlo"
+
+    def test_move_clears_selection(self, editors):
+        e1, __ = editors
+        e1.select(0, 5)
+        e1.move_to(2)
+        assert e1.selection() == ()
+
+    def test_cut(self, editors):
+        e1, __ = editors
+        e1.select(0, 6)
+        assert e1.cut() == "hello "
+        assert e1.text() == "world"
+
+    def test_copy_requires_selection(self, editors):
+        e1, __ = editors
+        with pytest.raises(ClipboardError):
+            e1.copy()
+
+
+class TestClipboardFlow:
+    def test_copy_paste_within_document(self, editors):
+        e1, __ = editors
+        e1.select(0, 5)
+        e1.copy()
+        e1.move_end()
+        e1.paste()
+        assert e1.text() == "hello worldhello"
+
+    def test_paste_replaces_selection(self, editors):
+        e1, __ = editors
+        e1.select(0, 5)
+        e1.copy()
+        e1.select(6, 5)  # "world"
+        e1.paste()
+        assert e1.text() == "hello hello"
+
+    def test_clipboards_are_per_session(self, editors):
+        e1, e2 = editors
+        e1.select(0, 5)
+        e1.copy()
+        with pytest.raises(ClipboardError):
+            e2.paste()
+
+
+class TestStyling:
+    def test_style_selection(self, server, editors):
+        e1, __ = editors
+        bold = server.styles.define_style("b", {"bold": True}, "ana")
+        e1.select(0, 5)
+        e1.style_selection(bold)
+        runs = e1.handle.styled_runs()
+        assert runs[0] == ("hello", bold)
+
+    def test_ansi_render(self, server, editors):
+        e1, __ = editors
+        bold = server.styles.define_style("b", {"bold": True}, "ana")
+        e1.select(0, 5)
+        e1.style_selection(bold)
+        out = e1.render(ansi=True)
+        assert out.startswith("\x1b[1mhello\x1b[0m")
+
+
+class TestUndoThroughEditor:
+    def test_editor_undo_redo(self, editors):
+        e1, __ = editors
+        e1.move_end()
+        e1.type("!!!")
+        e1.undo()
+        assert e1.text() == "hello world"
+        e1.redo()
+        assert e1.text() == "hello world!!!"
+
+    def test_global_undo_via_editor(self, editors):
+        e1, e2 = editors
+        e2.move_home()
+        e2.type("X")
+        e1.undo_global()
+        assert e1.text() == "hello world"
+
+
+class TestRendering:
+    def test_render_with_cursors(self, editors):
+        e1, e2 = editors
+        e1.move_to(5)
+        e2.move_home()
+        out = e1.render(show_cursors=True)
+        assert "|ana|" in out and "|ben|" in out
+        assert out.index("|ben|") < out.index("|ana|")
+
+    def test_render_plain(self, editors):
+        e1, __ = editors
+        assert e1.render() == "hello world"
+
+    def test_close(self, editors):
+        e1, e2 = editors
+        e2.close()
+        assert e1.session.server.awareness.participants(e1.doc) == ["ana"]

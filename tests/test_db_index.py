@@ -1,0 +1,125 @@
+"""Unit tests for hash and ordered indexes."""
+
+import pytest
+
+from repro.db.index import HashIndex, OrderedIndex
+from repro.errors import UniqueViolation
+
+
+class TestHashIndex:
+    def test_add_probe(self):
+        idx = HashIndex("i", "c")
+        idx.add("a", 1)
+        idx.add("a", 2)
+        idx.add("b", 3)
+        assert set(idx.probe_eq("a")) == {1, 2}
+        assert set(idx.probe_eq("b")) == {3}
+        assert set(idx.probe_eq("zzz")) == set()
+
+    def test_remove(self):
+        idx = HashIndex("i", "c")
+        idx.add("a", 1)
+        idx.add("a", 2)
+        idx.remove("a", 1)
+        assert set(idx.probe_eq("a")) == {2}
+        idx.remove("a", 2)
+        assert set(idx.probe_eq("a")) == set()
+
+    def test_remove_absent_is_noop(self):
+        idx = HashIndex("i", "c")
+        idx.remove("a", 1)  # must not raise
+
+    def test_none_keys_ignored(self):
+        idx = HashIndex("i", "c")
+        idx.add(None, 1)
+        assert len(idx) == 0
+        assert list(idx.probe_eq(None)) == []
+
+    def test_unique_violation(self):
+        idx = HashIndex("i", "c", unique=True)
+        idx.add("a", 1)
+        with pytest.raises(UniqueViolation):
+            idx.add("a", 2)
+
+    def test_unique_allows_reuse_after_remove(self):
+        idx = HashIndex("i", "c", unique=True)
+        idx.add("a", 1)
+        idx.remove("a", 1)
+        idx.add("a", 2)  # ok
+        assert set(idx.probe_eq("a")) == {2}
+
+    def test_probe_in_dedupes(self):
+        idx = HashIndex("i", "c")
+        idx.add("a", 1)
+        idx.add("b", 1)
+        assert list(idx.probe_in(["a", "b"])) == [1]
+
+    def test_len_counts_entries(self):
+        idx = HashIndex("i", "c")
+        idx.add("a", 1)
+        idx.add("b", 2)
+        assert len(idx) == 2
+
+
+class TestOrderedIndex:
+    def _populated(self) -> OrderedIndex:
+        idx = OrderedIndex("i", "c")
+        for key, rowid in [(5, 1), (3, 2), (8, 3), (3, 4), (10, 5)]:
+            idx.add(key, rowid)
+        return idx
+
+    def test_probe_eq(self):
+        idx = self._populated()
+        assert set(idx.probe_eq(3)) == {2, 4}
+        assert set(idx.probe_eq(99)) == set()
+
+    def test_probe_range_inclusive(self):
+        idx = self._populated()
+        assert set(idx.probe_range(3, 8)) == {1, 2, 3, 4}
+
+    def test_probe_range_exclusive(self):
+        idx = self._populated()
+        assert set(idx.probe_range(3, 8, low_inclusive=False,
+                                   high_inclusive=False)) == {1}
+
+    def test_probe_range_open_bounds(self):
+        idx = self._populated()
+        assert set(idx.probe_range(low=8)) == {3, 5}
+        assert set(idx.probe_range(high=5)) == {1, 2, 4}
+        assert set(idx.probe_range()) == {1, 2, 3, 4, 5}
+
+    def test_iter_ordered(self):
+        idx = self._populated()
+        keys = [k for k, __ in idx.iter_ordered()]
+        assert keys == sorted(keys)
+        keys_desc = [k for k, __ in idx.iter_ordered(reverse=True)]
+        assert keys_desc == sorted(keys, reverse=True)
+
+    def test_min_max(self):
+        idx = self._populated()
+        assert idx.min_key() == 3
+        assert idx.max_key() == 10
+        empty = OrderedIndex("e", "c")
+        assert empty.min_key() is None
+        assert empty.max_key() is None
+
+    def test_remove(self):
+        idx = self._populated()
+        idx.remove(3, 2)
+        assert set(idx.probe_eq(3)) == {4}
+        assert len(idx) == 4
+
+    def test_unique_violation(self):
+        idx = OrderedIndex("i", "c", unique=True)
+        idx.add(1, 10)
+        with pytest.raises(UniqueViolation):
+            idx.add(1, 11)
+
+    def test_none_keys_ignored(self):
+        idx = OrderedIndex("i", "c")
+        idx.add(None, 1)
+        assert len(idx) == 0
+
+    def test_supports_range(self):
+        assert OrderedIndex("i", "c").supports_range()
+        assert not HashIndex("i", "c").supports_range()

@@ -1,0 +1,135 @@
+"""Unit tests for the predicate expression tree."""
+
+from repro.db.predicate import ALWAYS, Contains, Lambda, col
+
+
+class TestComparisons:
+    def test_eq(self):
+        pred = col("x") == 3
+        assert pred.matches({"x": 3})
+        assert not pred.matches({"x": 4})
+
+    def test_ne(self):
+        pred = col("x") != 3
+        assert pred.matches({"x": 4})
+        assert not pred.matches({"x": 3})
+
+    def test_ordering_ops(self):
+        row = {"x": 5}
+        assert (col("x") > 4).matches(row)
+        assert (col("x") >= 5).matches(row)
+        assert (col("x") < 6).matches(row)
+        assert (col("x") <= 5).matches(row)
+        assert not (col("x") > 5).matches(row)
+        assert not (col("x") < 5).matches(row)
+
+    def test_null_semantics(self):
+        row = {"x": None}
+        assert (col("x") == None).matches(row)  # noqa: E711
+        assert not (col("x") == 3).matches(row)
+        assert not (col("x") < 3).matches(row)
+        assert (col("x") != 3).matches(row)
+        assert not (col("x") != None).matches(row)  # noqa: E711
+
+    def test_missing_column_treated_as_null(self):
+        assert not (col("zzz") == 1).matches({"x": 1})
+
+    def test_comparison_against_none_constant(self):
+        assert (col("x") != None).matches({"x": 5})  # noqa: E711
+
+
+class TestCombinators:
+    def test_and(self):
+        pred = (col("x") > 1) & (col("x") < 5)
+        assert pred.matches({"x": 3})
+        assert not pred.matches({"x": 0})
+        assert not pred.matches({"x": 7})
+
+    def test_or(self):
+        pred = (col("x") == 1) | (col("x") == 2)
+        assert pred.matches({"x": 1})
+        assert pred.matches({"x": 2})
+        assert not pred.matches({"x": 3})
+
+    def test_not(self):
+        pred = ~(col("x") == 1)
+        assert pred.matches({"x": 2})
+        assert not pred.matches({"x": 1})
+
+    def test_always(self):
+        assert ALWAYS.matches({})
+        assert ALWAYS.matches({"anything": 1})
+
+
+class TestSpecialPredicates:
+    def test_isin(self):
+        pred = col("x").isin([1, 2, 3])
+        assert pred.matches({"x": 2})
+        assert not pred.matches({"x": 9})
+        assert not pred.matches({"x": None})
+
+    def test_isin_unhashable_value(self):
+        pred = col("x").isin([1])
+        assert not pred.matches({"x": [1]})
+
+    def test_between(self):
+        pred = col("x").between(2, 4)
+        assert pred.matches({"x": 2})
+        assert pred.matches({"x": 4})
+        assert not pred.matches({"x": 5})
+
+    def test_contains_case_sensitive(self):
+        pred = Contains("s", "Hell")
+        assert pred.matches({"s": "Hello"})
+        assert not pred.matches({"s": "hello"})
+
+    def test_contains_case_insensitive(self):
+        pred = col("s").contains("HELLO", case_sensitive=False)
+        assert pred.matches({"s": "say hello!"})
+
+    def test_contains_non_string(self):
+        assert not Contains("s", "x").matches({"s": 3})
+
+    def test_lambda(self):
+        pred = Lambda(lambda r: r["x"] % 2 == 0, label="even")
+        assert pred.matches({"x": 4})
+        assert not pred.matches({"x": 3})
+        assert "even" in repr(pred)
+
+
+class TestIndexHints:
+    def test_eq_hint(self):
+        hints = list((col("x") == 3).index_hints())
+        assert len(hints) == 1
+        assert hints[0].column == "x"
+        assert hints[0].op == "eq"
+        assert hints[0].value == 3
+
+    def test_range_hints(self):
+        (hint,) = (col("x") >= 3).index_hints()
+        assert hint.op == "range"
+        assert hint.low == 3 and hint.low_inclusive
+
+        (hint,) = (col("x") < 9).index_hints()
+        assert hint.op == "range"
+        assert hint.high == 9 and not hint.high_inclusive
+
+    def test_and_concatenates_hints(self):
+        pred = (col("x") == 1) & (col("y") >= 2)
+        hints = list(pred.index_hints())
+        assert {h.column for h in hints} == {"x", "y"}
+
+    def test_or_yields_no_hints(self):
+        pred = (col("x") == 1) | (col("y") == 2)
+        assert list(pred.index_hints()) == []
+
+    def test_not_yields_no_hints(self):
+        assert list((~(col("x") == 1)).index_hints()) == []
+
+    def test_isin_hint(self):
+        (hint,) = col("x").isin([1, 2]).index_hints()
+        assert hint.op == "in"
+        assert set(hint.values) == {1, 2}
+
+    def test_null_comparison_yields_no_hint(self):
+        assert list((col("x") == None).index_hints()) == []  # noqa: E711

@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) for the database substrate.
+
+Two model-based suites:
+
+* the table/transaction machinery against a plain dict model under random
+  interleavings of insert/update/delete/commit/abort, and
+* the ordered index against a sorted list.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.db import Database, col, column
+from repro.db.index import OrderedIndex
+
+
+# ---------------------------------------------------------------------------
+# Ordered index vs sorted list
+# ---------------------------------------------------------------------------
+
+keys = st.integers(min_value=-50, max_value=50)
+
+
+@settings(max_examples=200)
+@given(st.lists(st.tuples(keys, st.integers(0, 1000)), max_size=60))
+def test_ordered_index_matches_sorted_list(entries):
+    index = OrderedIndex("i", "c")
+    model: list[tuple[int, int]] = []
+    for key, rowid in entries:
+        index.add(key, rowid)
+        bisect.insort(model, (key, rowid))
+    assert list(index.iter_ordered()) == model
+    for probe in range(-50, 51, 10):
+        expected = sorted(r for k, r in model if k == probe)
+        assert sorted(index.probe_eq(probe)) == expected
+
+
+@settings(max_examples=200)
+@given(
+    st.lists(st.tuples(keys, st.integers(0, 100)), min_size=1, max_size=40),
+    keys, keys,
+)
+def test_ordered_index_range_probe(entries, low, high):
+    if low > high:
+        low, high = high, low
+    index = OrderedIndex("i", "c")
+    for key, rowid in entries:
+        index.add(key, rowid)
+    got = sorted(index.probe_range(low, high))
+    expected = sorted(r for k, r in entries if low <= k <= high)
+    assert got == expected
+
+
+@settings(max_examples=100)
+@given(st.lists(st.tuples(keys, st.integers(0, 30)), max_size=40))
+def test_ordered_index_add_remove_roundtrip(entries):
+    index = OrderedIndex("i", "c")
+    for key, rowid in entries:
+        index.add(key, rowid)
+    for key, rowid in entries:
+        index.remove(key, rowid)
+    assert len(index) == 0
+    assert list(index.iter_ordered()) == []
+
+
+# ---------------------------------------------------------------------------
+# Transactional table vs dict model
+# ---------------------------------------------------------------------------
+
+
+class DatabaseModel(RuleBasedStateMachine):
+    """Random single-transaction-at-a-time ops vs a dict model.
+
+    One transaction may be open at a time (mirroring one editing session);
+    committed state must always equal the model, and an open transaction
+    must see model + its staged changes.
+    """
+
+    rowids = Bundle("rowids")
+
+    @initialize()
+    def setup(self):
+        self.db = Database("prop")
+        self.db.create_table(
+            "t", [column("v", "int"), column("tag", "str", nullable=True)]
+        )
+        self.committed: dict[int, dict] = {}
+        self.staged: dict[int, dict | None] = {}  # None = delete
+        self.txn = None
+
+    # -- transaction control -------------------------------------------------
+
+    @rule()
+    def begin(self):
+        if self.txn is None:
+            self.txn = self.db.begin()
+            self.staged = {}
+
+    @rule()
+    def commit(self):
+        if self.txn is not None:
+            self.txn.commit()
+            for rowid, row in self.staged.items():
+                if row is None:
+                    self.committed.pop(rowid, None)
+                else:
+                    self.committed[rowid] = row
+            self.staged = {}
+            self.txn = None
+
+    @rule()
+    def abort(self):
+        if self.txn is not None:
+            self.txn.abort()
+            self.staged = {}
+            self.txn = None
+
+    # -- DML -------------------------------------------------------------------
+
+    @rule(target=rowids, v=st.integers(-5, 5),
+          tag=st.sampled_from(["a", "b", None]))
+    def insert(self, v, tag):
+        values = {"v": v, "tag": tag}
+        if self.txn is None:
+            rowid = self.db.insert("t", values)
+            self.committed[rowid] = values
+        else:
+            rowid = self.txn.insert("t", values)
+            self.staged[rowid] = values
+        return rowid
+
+    @rule(rowid=rowids, v=st.integers(-5, 5))
+    def update(self, rowid, v):
+        live = self._visible()
+        if rowid not in live:
+            return
+        new_row = dict(live[rowid], v=v)
+        if self.txn is None:
+            self.db.update("t", rowid, {"v": v})
+            self.committed[rowid] = new_row
+        else:
+            self.txn.update("t", rowid, {"v": v})
+            self.staged[rowid] = new_row
+
+    @rule(rowid=rowids)
+    def delete(self, rowid):
+        live = self._visible()
+        if rowid not in live:
+            return
+        if self.txn is None:
+            self.db.delete("t", rowid)
+            del self.committed[rowid]
+        else:
+            self.txn.delete("t", rowid)
+            self.staged[rowid] = None
+
+    def _visible(self) -> dict[int, dict]:
+        view = dict(self.committed)
+        for rowid, row in self.staged.items():
+            if row is None:
+                view.pop(rowid, None)
+            else:
+                view[rowid] = row
+        return view
+
+    # -- invariants ---------------------------------------------------------------
+
+    @invariant()
+    def committed_state_matches_model(self):
+        rows = {r.rowid: dict(r) for r in self.db.query("t").run()}
+        assert rows == self.committed
+
+    @invariant()
+    def txn_view_matches_model(self):
+        if self.txn is not None:
+            rows = {r.rowid: dict(r) for r in self.txn.query("t").run()}
+            assert rows == self._visible()
+
+    @invariant()
+    def filtered_count_matches(self):
+        expected = sum(1 for r in self.committed.values() if r["v"] > 0)
+        assert self.db.query("t").where(col("v") > 0).count() == expected
+
+
+TestDatabaseModel = DatabaseModel.TestCase
+TestDatabaseModel.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,251 @@
+"""Tests for the query builder/executor and its index selection."""
+
+import pytest
+
+from repro.db import Database, col, column
+from repro.db.predicate import Lambda
+from repro.errors import UnknownColumnError, UnknownTableError
+
+
+class TestBasicQueries:
+    def test_full_scan_returns_all(self, people_db):
+        assert people_db.query("people").count() == 5
+
+    def test_where_eq(self, people_db):
+        rows = people_db.query("people").where(col("city") == "zurich").run()
+        assert {r["name"] for r in rows} == {"ana", "cleo"}
+
+    def test_where_combined(self, people_db):
+        pred = (col("city") == "zurich") & (col("age") > 35)
+        rows = people_db.query("people").where(pred).run()
+        assert [r["name"] for r in rows] == ["cleo"]
+
+    def test_chained_where_is_and(self, people_db):
+        rows = (people_db.query("people")
+                .where(col("city") == "zurich")
+                .where(col("age") > 35)
+                .run())
+        assert [r["name"] for r in rows] == ["cleo"]
+
+    def test_order_by_asc_desc(self, people_db):
+        asc = people_db.query("people").order_by("age").run()
+        assert [r["age"] for r in asc] == [27, 27, 34, 41, 55]
+        desc = people_db.query("people").order_by("age", desc=True).run()
+        assert [r["age"] for r in desc] == [55, 41, 34, 27, 27]
+
+    def test_order_by_with_nulls(self, people_db):
+        rows = people_db.query("people").order_by("city").run()
+        assert rows[0]["city"] is None  # nulls sort first
+
+    def test_limit(self, people_db):
+        rows = people_db.query("people").order_by("age").limit(2).run()
+        assert len(rows) == 2
+
+    def test_limit_zero(self, people_db):
+        assert people_db.query("people").limit(0).run() == []
+
+    def test_negative_limit_rejected(self, people_db):
+        with pytest.raises(ValueError):
+            people_db.query("people").limit(-1)
+
+    def test_select_projection(self, people_db):
+        rows = (people_db.query("people")
+                .where(col("name") == "ana")
+                .select("name", "age").run())
+        assert rows == [{"name": "ana", "age": 34}]
+
+    def test_select_unknown_column_raises(self, people_db):
+        with pytest.raises(UnknownColumnError):
+            people_db.query("people").select("nope").run()
+
+    def test_first(self, people_db):
+        row = people_db.query("people").where(col("name") == "ben").first()
+        assert row["age"] == 27
+        assert people_db.query("people").where(col("name") == "zz").first() is None
+
+    def test_iteration(self, people_db):
+        names = {r["name"] for r in people_db.query("people")}
+        assert len(names) == 5
+
+    def test_unknown_table(self, people_db):
+        with pytest.raises(UnknownTableError):
+            people_db.query("nope").run()
+
+    def test_rowids_exposed(self, people_db):
+        rows = people_db.query("people").run()
+        assert len({r.rowid for r in rows}) == 5
+
+    def test_lambda_predicate(self, people_db):
+        rows = people_db.query("people").where(
+            Lambda(lambda r: r["age"] % 2 == 1, label="odd age")).run()
+        assert {r["name"] for r in rows} == {"ben", "cleo", "dan", "eva"}
+
+
+class TestPlanning:
+    def test_key_equality_uses_index(self, people_db):
+        plan = people_db.query("people").where(col("name") == "ana").plan()
+        assert plan.kind == "index"
+        assert plan.hint.column == "name"
+
+    def test_range_uses_ordered_index(self, people_db):
+        plan = people_db.query("people").where(col("age") >= 30).plan()
+        assert plan.kind == "index"
+        assert plan.hint.op == "range"
+
+    def test_unindexed_column_scans(self, people_db):
+        plan = people_db.query("people").where(col("city") == "zurich").plan()
+        assert plan.kind == "scan"
+
+    def test_or_predicate_scans(self, people_db):
+        pred = (col("name") == "ana") | (col("name") == "ben")
+        assert people_db.query("people").where(pred).plan().kind == "scan"
+
+    def test_isin_uses_index(self, people_db):
+        plan = people_db.query("people").where(
+            col("name").isin(["ana", "ben"])).plan()
+        assert plan.kind == "index"
+        rows = people_db.query("people").where(
+            col("name").isin(["ana", "ben"])).run()
+        assert {r["name"] for r in rows} == {"ana", "ben"}
+
+    def test_eq_preferred_over_range(self, people_db):
+        pred = (col("age") >= 20) & (col("name") == "ana")
+        plan = people_db.query("people").where(pred).plan()
+        assert plan.hint.op == "eq"
+
+    def test_index_and_scan_agree(self, people_db):
+        pred = col("age").between(27, 41)
+        via_index = people_db.query("people").where(pred).run()
+        # Force a scan by ordering on an unindexed shape.
+        scan_rows = [
+            r for r in people_db.query("people").run() if 27 <= r["age"] <= 41
+        ]
+        assert {r["name"] for r in via_index} == {r["name"] for r in scan_rows}
+
+
+class TestPendingOverlay:
+    def test_txn_sees_pending_through_index_plan(self):
+        db = Database("t")
+        db.create_table("kv", [column("k", "str"), column("v", "int")],
+                        key="k")
+        db.insert("kv", {"k": "a", "v": 1})
+        txn = db.begin()
+        txn.insert("kv", {"k": "b", "v": 2})
+        rows = txn.query("kv").where(col("k") == "b").run()
+        assert len(rows) == 1 and rows[0]["v"] == 2
+        txn.abort()
+
+    def test_txn_pending_update_replaces_committed(self):
+        db = Database("t")
+        db.create_table("kv", [column("k", "str"), column("v", "int")],
+                        key="k")
+        rid = db.insert("kv", {"k": "a", "v": 1})
+        txn = db.begin()
+        txn.update("kv", rid, {"v": 99})
+        rows = txn.query("kv").run()
+        assert rows[0]["v"] == 99
+        # committed view unchanged
+        assert db.query("kv").run()[0]["v"] == 1
+        txn.abort()
+
+    def test_txn_pending_delete_hides_row(self):
+        db = Database("t")
+        db.create_table("kv", [column("k", "str"), column("v", "int")],
+                        key="k")
+        rid = db.insert("kv", {"k": "a", "v": 1})
+        txn = db.begin()
+        txn.delete("kv", rid)
+        assert txn.query("kv").count() == 0
+        assert db.query("kv").count() == 1
+        txn.commit()
+        assert db.query("kv").count() == 0
+
+    def test_pending_update_found_by_new_value_probe(self):
+        """An index probe for the *new* value must surface the pending row."""
+        db = Database("t")
+        db.create_table("kv", [column("k", "str"), column("v", "int")],
+                        key="k")
+        rid = db.insert("kv", {"k": "a", "v": 1})
+        txn = db.begin()
+        txn.update("kv", rid, {"k": "z"})
+        rows = txn.query("kv").where(col("k") == "z").run()
+        assert len(rows) == 1
+        # And the old value must no longer match for the owner.
+        assert txn.query("kv").where(col("k") == "a").count() == 0
+        txn.abort()
+
+
+class TestAggregates:
+    def test_sum_min_max(self, people_db):
+        query = people_db.query("people")
+        assert query.sum("age") == 34 + 27 + 41 + 27 + 55
+        assert people_db.query("people").min("age") == 27
+        assert people_db.query("people").max("age") == 55
+
+    def test_avg(self, people_db):
+        assert people_db.query("people").avg("age") == pytest.approx(36.8)
+
+    def test_aggregates_respect_predicate(self, people_db):
+        query = people_db.query("people").where(col("city") == "zurich")
+        assert query.sum("age") == 34 + 41
+
+    def test_empty_aggregates(self, people_db):
+        query = people_db.query("people").where(col("name") == "nobody")
+        assert query.sum("age") == 0
+        assert query.min("age") is None
+        assert query.max("age") is None
+        assert query.avg("age") is None
+
+    def test_nulls_skipped(self, people_db):
+        # `city` is NULL for dan.
+        assert len(people_db.query("people").distinct("city")) == 3
+
+    def test_distinct(self, people_db):
+        assert people_db.query("people").distinct("age") == {27, 34, 41, 55}
+
+    def test_group_count(self, people_db):
+        counts = people_db.query("people").group_count("city")
+        assert counts == {"zurich": 2, "bolzano": 1, "geneva": 1, None: 1}
+
+    def test_aggregate_unknown_column(self, people_db):
+        with pytest.raises(UnknownColumnError):
+            people_db.query("people").sum("nope")
+
+    def test_aggregate_sees_txn_pending(self):
+        db = Database("t")
+        db.create_table("kv", [column("k", "str"), column("v", "int")],
+                        key="k")
+        db.insert("kv", {"k": "a", "v": 1})
+        txn = db.begin()
+        txn.insert("kv", {"k": "b", "v": 10})
+        assert txn.query("kv").sum("v") == 11
+        assert db.query("kv").sum("v") == 1
+        txn.abort()
+
+
+class TestExplain:
+    def test_explain_scan(self, people_db):
+        plan = people_db.query("people").where(
+            col("city") == "zurich").explain()
+        assert plan["access"]["path"] == "scan"
+        assert plan["access"]["estimated_candidates"] == 5
+        assert "city" in plan["filter"]
+
+    def test_explain_index_probe(self, people_db):
+        plan = people_db.query("people").where(
+            col("name") == "ana").explain()
+        assert plan["access"]["path"] == "index"
+        assert plan["access"]["column"] == "name"
+        assert plan["access"]["probe"] == "eq"
+        assert plan["access"]["estimated_candidates"] == 1
+
+    def test_explain_range_probe(self, people_db):
+        plan = people_db.query("people").where(col("age") >= 40).explain()
+        assert plan["access"]["probe"] == "range"
+        assert plan["access"]["estimated_candidates"] == 2
+
+    def test_explain_early_stop_flag(self, people_db):
+        plan = people_db.query("people").limit(1).explain()
+        assert plan["early_stop"] is True
+        plan = people_db.query("people").order_by("age").limit(1).explain()
+        assert plan["early_stop"] is False

@@ -1,0 +1,171 @@
+"""Unit tests for table schemas and typed values."""
+
+import pytest
+
+from repro.db.schema import Column, ColumnType, TableSchema, column
+from repro.errors import (
+    NotNullViolation,
+    SchemaError,
+    TypeMismatchError,
+    UnknownColumnError,
+)
+from repro.ids import Oid
+
+
+class TestColumnType:
+    def test_int_accepts_int(self):
+        assert ColumnType.INT.validate(7) == 7
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            ColumnType.INT.validate(True)
+
+    def test_int_rejects_str(self):
+        with pytest.raises(TypeMismatchError):
+            ColumnType.INT.validate("7")
+
+    def test_float_coerces_int(self):
+        value = ColumnType.FLOAT.validate(3)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_str_rejects_bytes(self):
+        with pytest.raises(TypeMismatchError):
+            ColumnType.STR.validate(b"x")
+
+    def test_bool_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            ColumnType.BOOL.validate(1)
+
+    def test_bytes_accepts_bytearray(self):
+        assert ColumnType.BYTES.validate(bytearray(b"ab")) == b"ab"
+
+    def test_timestamp_accepts_numbers(self):
+        assert ColumnType.TIMESTAMP.validate(1) == 1.0
+        assert ColumnType.TIMESTAMP.validate(1.5) == 1.5
+
+    def test_oid_roundtrip_from_string(self):
+        oid = ColumnType.OID.validate("doc:42")
+        assert oid == Oid("doc", 42)
+
+    def test_oid_passthrough(self):
+        oid = Oid("x", 1)
+        assert ColumnType.OID.validate(oid) is oid
+
+    def test_json_accepts_nested(self):
+        value = {"a": [1, 2, {"b": None}], "c": "x"}
+        assert ColumnType.JSON.validate(value) == value
+
+    def test_json_rejects_non_string_keys(self):
+        with pytest.raises(TypeMismatchError):
+            ColumnType.JSON.validate({1: "x"})
+
+    def test_json_rejects_objects(self):
+        with pytest.raises(TypeMismatchError):
+            ColumnType.JSON.validate(object())
+
+
+class TestColumn:
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("not a name", ColumnType.INT)
+
+    def test_default_is_validated(self):
+        with pytest.raises(TypeMismatchError):
+            Column("n", ColumnType.INT, default="zero")
+
+    def test_default_applied_for_missing_value(self):
+        col = Column("n", ColumnType.INT, default=5)
+        assert col.validate(None) == 5
+
+    def test_not_null_violation(self):
+        col = Column("n", ColumnType.INT)
+        with pytest.raises(NotNullViolation):
+            col.validate(None)
+
+    def test_nullable_accepts_none(self):
+        col = Column("n", ColumnType.INT, nullable=True)
+        assert col.validate(None) is None
+
+    def test_factory_accepts_type_string(self):
+        col = column("n", "int", nullable=True)
+        assert col.type is ColumnType.INT
+        assert col.nullable
+
+
+class TestTableSchema:
+    def _schema(self) -> TableSchema:
+        return TableSchema(
+            "t",
+            [column("id", "int"), column("name", "str"),
+             column("age", "int", nullable=True)],
+            key="id",
+        )
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [column("a", "int"), column("a", "str")])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(UnknownColumnError):
+            TableSchema("t", [column("a", "int")], key="b")
+
+    def test_nullable_key_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [column("a", "int", nullable=True)], key="a")
+
+    def test_make_row_orders_and_validates(self):
+        schema = self._schema()
+        row = schema.make_row({"name": "ana", "id": 1})
+        assert row == (1, "ana", None)
+
+    def test_make_row_rejects_unknown_column(self):
+        schema = self._schema()
+        with pytest.raises(UnknownColumnError):
+            schema.make_row({"id": 1, "name": "a", "oops": 2})
+
+    def test_merge_row_applies_updates(self):
+        schema = self._schema()
+        row = schema.make_row({"id": 1, "name": "ana", "age": 3})
+        merged = schema.merge_row(row, {"age": 4})
+        assert merged == (1, "ana", 4)
+
+    def test_merge_row_rejects_null_for_required(self):
+        schema = self._schema()
+        row = schema.make_row({"id": 1, "name": "ana"})
+        with pytest.raises(NotNullViolation):
+            schema.merge_row(row, {"name": None})
+
+    def test_merge_row_allows_null_for_nullable(self):
+        schema = self._schema()
+        row = schema.make_row({"id": 1, "name": "ana", "age": 3})
+        assert schema.merge_row(row, {"age": None}) == (1, "ana", None)
+
+    def test_row_dict_roundtrip(self):
+        schema = self._schema()
+        values = {"id": 1, "name": "ana", "age": None}
+        assert schema.row_dict(schema.make_row(values)) == values
+
+    def test_key_of(self):
+        schema = self._schema()
+        row = schema.make_row({"id": 9, "name": "x"})
+        assert schema.key_of(row) == 9
+
+    def test_key_of_without_key_raises(self):
+        schema = TableSchema("t", [column("a", "int")])
+        with pytest.raises(SchemaError):
+            schema.key_of((1,))
+
+    def test_project(self):
+        schema = self._schema()
+        row = schema.make_row({"id": 1, "name": "ana", "age": 2})
+        assert schema.project(row, ["name", "id"]) == ("ana", 1)
+
+    def test_column_index_unknown(self):
+        schema = self._schema()
+        with pytest.raises(UnknownColumnError):
+            schema.column_index("zzz")

@@ -1,0 +1,143 @@
+"""Tests for the blocked sorted list backing ordered indexes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.sortedlist import BlockedSortedList
+
+
+class TestBasics:
+    def test_empty(self):
+        lst = BlockedSortedList()
+        assert len(lst) == 0
+        assert list(lst) == []
+        assert lst.min() is None and lst.max() is None
+        assert 1 not in lst
+
+    def test_construct_from_iterable(self):
+        lst = BlockedSortedList([3, 1, 2, 2])
+        assert list(lst) == [1, 2, 2, 3]
+        assert len(lst) == 4
+
+    def test_add_keeps_order(self):
+        lst = BlockedSortedList()
+        for value in [5, 1, 4, 1, 9]:
+            lst.add(value)
+        assert list(lst) == [1, 1, 4, 5, 9]
+        assert lst.min() == 1 and lst.max() == 9
+
+    def test_remove(self):
+        lst = BlockedSortedList([1, 2, 2, 3])
+        assert lst.remove(2) is True
+        assert list(lst) == [1, 2, 3]
+        assert lst.remove(99) is False
+        assert lst.remove(3) and lst.remove(2) and lst.remove(1)
+        assert len(lst) == 0
+
+    def test_contains(self):
+        lst = BlockedSortedList([1, 5, 9])
+        assert 5 in lst
+        assert 4 not in lst
+        assert 10 not in lst
+
+    def test_reversed(self):
+        lst = BlockedSortedList([2, 1, 3])
+        assert list(reversed(lst)) == [3, 2, 1]
+
+    def test_blocks_split_and_merge(self):
+        lst = BlockedSortedList()
+        n = BlockedSortedList.BLOCK * 5
+        for i in range(n):
+            lst.add(i)
+        assert len(lst._blocks) > 1          # splits happened
+        for i in range(n):
+            assert lst.remove(i)
+        assert len(lst) == 0
+        assert lst._blocks == []
+
+
+class TestIrange:
+    @pytest.fixture
+    def lst(self):
+        return BlockedSortedList([1, 3, 3, 5, 7, 9])
+
+    def test_closed_range(self, lst):
+        assert list(lst.irange(3, 7)) == [3, 3, 5, 7]
+
+    def test_open_low(self, lst):
+        assert list(lst.irange(3, 7, low_inclusive=False)) == [5, 7]
+
+    def test_open_high(self, lst):
+        assert list(lst.irange(3, 7, high_inclusive=False)) == [3, 3, 5]
+
+    def test_unbounded(self, lst):
+        assert list(lst.irange()) == [1, 3, 3, 5, 7, 9]
+        assert list(lst.irange(low=8)) == [9]
+        assert list(lst.irange(high=2)) == [1]
+
+    def test_range_outside(self, lst):
+        assert list(lst.irange(100, 200)) == []
+        assert list(lst.irange(-5, 0)) == []
+
+    def test_exclusive_low_with_duplicates_across_blocks(self):
+        # Force duplicates of the bound to straddle a block boundary.
+        lst = BlockedSortedList()
+        for __ in range(BlockedSortedList.BLOCK * 3):
+            lst.add(7)
+        lst.add(8)
+        assert list(lst.irange(7, low_inclusive=False)) == [8]
+
+
+class TestAgainstModel:
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.integers(-30, 30)), max_size=200))
+    def test_matches_plain_sorted_list(self, ops):
+        lst = BlockedSortedList()
+        model: list[int] = []
+        for is_add, value in ops:
+            if is_add:
+                lst.add(value)
+                model.append(value)
+                model.sort()
+            else:
+                removed = lst.remove(value)
+                assert removed == (value in model)
+                if removed:
+                    model.remove(value)
+            assert list(lst) == model
+            assert len(lst) == len(model)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(-50, 50), max_size=120),
+           st.integers(-50, 50), st.integers(-50, 50),
+           st.booleans(), st.booleans())
+    def test_irange_matches_filter(self, values, a, b, low_inc, high_inc):
+        low, high = min(a, b), max(a, b)
+        lst = BlockedSortedList(values)
+        got = list(lst.irange(low, high, low_inclusive=low_inc,
+                              high_inclusive=high_inc))
+        expected = sorted(
+            v for v in values
+            if (v >= low if low_inc else v > low)
+            and (v <= high if high_inc else v < high)
+        )
+        assert got == expected
+
+    def test_large_randomised_soak(self):
+        rng = random.Random(7)
+        lst = BlockedSortedList()
+        model: list[int] = []
+        for __ in range(5000):
+            value = rng.randint(0, 1000)
+            if model and rng.random() < 0.4:
+                victim = rng.choice(model)
+                assert lst.remove(victim)
+                model.remove(victim)
+            else:
+                lst.add(value)
+                model.append(value)
+        assert list(lst) == sorted(model)

@@ -1,0 +1,218 @@
+"""Tests for the write-ahead log and crash recovery."""
+
+import pytest
+
+from repro.db import Database, column, recover, recover_file
+from repro.db import wal as walmod
+from repro.db.wal import WriteAheadLog, committed_txn_ids, decode_value, encode_value
+from repro.errors import WalError
+from repro.ids import Oid
+
+
+def make_db(**kwargs) -> Database:
+    db = Database("t", **kwargs)
+    db.create_table(
+        "docs",
+        [column("title", "str"), column("size", "int", default=0)],
+        key="title",
+    )
+    db.create_index("docs", "size", kind="ordered")
+    return db
+
+
+class TestWal:
+    def test_lsns_are_monotonic(self):
+        wal = WriteAheadLog()
+        records = [wal.append(walmod.BEGIN, i) for i in range(5)]
+        lsns = [r.lsn for r in records]
+        assert lsns == sorted(lsns)
+        assert len(set(lsns)) == 5
+
+    def test_unknown_type_rejected(self):
+        wal = WriteAheadLog()
+        with pytest.raises(WalError):
+            wal.append("NOT_A_TYPE", 1)
+
+    def test_committed_txn_ids(self):
+        wal = WriteAheadLog()
+        wal.append(walmod.BEGIN, 1)
+        wal.append(walmod.BEGIN, 2)
+        wal.append(walmod.COMMIT, 1)
+        wal.append(walmod.ABORT, 2)
+        assert committed_txn_ids(wal.records()) == {1}
+
+    def test_truncate_before(self):
+        wal = WriteAheadLog()
+        for i in range(10):
+            wal.append(walmod.BEGIN, i)
+        dropped = wal.truncate_before(6)
+        assert dropped == 5
+        assert all(r.lsn >= 6 for r in wal.records())
+
+    def test_value_encoding_roundtrip(self):
+        values = {
+            "oid": Oid("doc", 3),
+            "data": b"\x00\xff",
+            "nested": [{"k": Oid("c", 1)}, 2, None],
+        }
+        assert decode_value(encode_value(values)) == values
+
+
+class TestRecoveryInMemory:
+    def test_committed_changes_survive(self):
+        db = make_db()
+        db.insert("docs", {"title": "a", "size": 10})
+        db.insert("docs", {"title": "b", "size": 20})
+        recovered = recover(db.wal.records())
+        assert recovered.query("docs").count() == 2
+        assert recovered.query("docs").where(
+            __import__("repro.db", fromlist=["col"]).col("title") == "a"
+        ).run()[0]["size"] == 10
+
+    def test_uncommitted_changes_lost(self):
+        db = make_db()
+        db.insert("docs", {"title": "a"})
+        txn = db.begin()
+        txn.insert("docs", {"title": "b"})
+        # Crash before commit: recover from the log as-is.
+        recovered = recover(db.wal.records())
+        assert recovered.query("docs").count() == 1
+
+    def test_aborted_changes_lost(self):
+        db = make_db()
+        txn = db.begin()
+        txn.insert("docs", {"title": "x"})
+        txn.abort()
+        recovered = recover(db.wal.records())
+        assert recovered.query("docs").count() == 0
+
+    def test_updates_and_deletes_replayed(self):
+        db = make_db()
+        rid = db.insert("docs", {"title": "a", "size": 1})
+        db.update("docs", rid, {"size": 5})
+        rid2 = db.insert("docs", {"title": "b"})
+        db.delete("docs", rid2)
+        recovered = recover(db.wal.records())
+        rows = recovered.query("docs").run()
+        assert len(rows) == 1
+        assert rows[0]["size"] == 5
+
+    def test_ddl_replayed(self):
+        db = make_db()
+        recovered = recover(db.wal.records())
+        assert recovered.has_table("docs")
+        info = recovered.catalog.table_info("docs")
+        assert info.key == "title"
+        assert "docs_size_ordered" in info.index_names
+
+    def test_drop_table_replayed(self):
+        db = make_db()
+        db.create_table("tmp", [column("x", "int")])
+        db.drop_table("tmp")
+        recovered = recover(db.wal.records())
+        assert not recovered.has_table("tmp")
+
+    def test_recovered_db_accepts_new_writes(self):
+        db = make_db()
+        db.insert("docs", {"title": "a"})
+        recovered = recover(db.wal.records())
+        recovered.insert("docs", {"title": "b"})
+        assert recovered.query("docs").count() == 2
+
+    def test_rowids_not_reused_after_recovery(self):
+        db = make_db()
+        rid = db.insert("docs", {"title": "a"})
+        recovered = recover(db.wal.records())
+        new_rid = recovered.insert("docs", {"title": "b"})
+        assert new_rid != rid
+
+
+class TestCheckpoint:
+    def test_recovery_from_checkpoint(self):
+        db = make_db()
+        db.insert("docs", {"title": "a", "size": 1})
+        lsn = db.checkpoint()
+        db.insert("docs", {"title": "b", "size": 2})
+        db.wal.truncate_before(lsn)  # pre-checkpoint history gone
+        recovered = recover(db.wal.records())
+        assert recovered.query("docs").count() == 2
+
+    def test_checkpoint_preserves_indexes(self):
+        db = make_db()
+        db.insert("docs", {"title": "a", "size": 9})
+        lsn = db.checkpoint()
+        db.wal.truncate_before(lsn)
+        recovered = recover(db.wal.records())
+        from repro.db import col
+        plan = recovered.query("docs").where(col("size") >= 5).plan()
+        assert plan.kind == "index"
+
+    def test_post_checkpoint_delete_replayed(self):
+        db = make_db()
+        rid = db.insert("docs", {"title": "a"})
+        lsn = db.checkpoint()
+        db.delete("docs", rid)
+        db.wal.truncate_before(lsn)
+        recovered = recover(db.wal.records())
+        assert recovered.query("docs").count() == 0
+
+
+class TestFileRecovery:
+    def test_crash_and_recover_from_file(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        db = make_db(wal_path=path)
+        db.insert("docs", {"title": "a", "size": 7})
+        txn = db.begin()
+        txn.insert("docs", {"title": "uncommitted"})
+        db.close()  # "crash": uncommitted txn never commits
+
+        recovered = recover_file(path)
+        rows = recovered.query("docs").run()
+        assert [r["title"] for r in rows] == ["a"]
+
+    def test_torn_tail_line_tolerated(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        db = make_db(wal_path=path)
+        db.insert("docs", {"title": "a"})
+        db.close()
+        with open(path, "a", encoding="utf-8") as f:
+            f.write('{"lsn": 999, "type": "INSERT", "txn"')  # torn record
+        recovered = recover_file(path)
+        assert recovered.query("docs").count() == 1
+
+
+class TestRecoveryErrors:
+    def test_unknown_table_reference_raises(self):
+        from repro.db import wal as walmod
+        from repro.db.wal import WalRecord
+        from repro.errors import RecoveryError
+        records = [
+            WalRecord(1, walmod.BEGIN, 1),
+            WalRecord(2, walmod.INSERT, 1,
+                      {"table": "ghost", "rowid": 1, "values": {}}),
+            WalRecord(3, walmod.COMMIT, 1),
+        ]
+        with pytest.raises(RecoveryError):
+            recover(records)
+
+    def test_delete_on_missing_table_tolerated(self):
+        """A DELETE for a table dropped later in history must not crash."""
+        from repro.db import wal as walmod
+        from repro.db.wal import WalRecord
+        records = [
+            WalRecord(1, walmod.BEGIN, 1),
+            WalRecord(2, walmod.DELETE, 1, {"table": "ghost", "rowid": 1}),
+            WalRecord(3, walmod.COMMIT, 1),
+        ]
+        recovered = recover(records)   # no exception
+        assert recovered.tables() == []
+
+    def test_create_index_replay_idempotent(self):
+        db = make_db()
+        # Replaying records twice (e.g. checkpoint overlap) must not
+        # fail on the already-present index.
+        records = list(db.wal.records()) + list(db.wal.records())
+        recovered = recover(
+            [r for r in records if r.type.startswith("CREATE")]
+        )
+        assert recovered.has_table("docs")

@@ -1,0 +1,129 @@
+"""Property-based tests driving the editor client API.
+
+The editor exposes cursor/selection/typing/clipboard/undo verbs; these
+suites check the client-level invariants that must hold under any input
+sequence, for two editors racing on the same document:
+
+* cursors always resolve inside ``[0, length]``;
+* selections only ever contain currently-visible characters;
+* both editors render the same text after every step;
+* the character chain stays intact.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collab import CollaborationServer, EditorClient
+from repro.errors import ClipboardError, UndoError
+
+text_chunks = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1, max_size=5,
+)
+
+actions = st.lists(
+    st.tuples(
+        st.integers(0, 1),                   # which editor
+        st.sampled_from([
+            "type", "backspace", "delete_forward", "move", "select",
+            "copy", "paste", "cut", "undo", "redo",
+        ]),
+        st.integers(0, 400),                 # position / count seed
+        text_chunks,
+    ),
+    min_size=1, max_size=30,
+)
+
+
+def _drive(editor: EditorClient, action: str, seed: int,
+           payload: str) -> None:
+    length = editor.handle.length()
+    if action == "type":
+        editor.type(payload)
+    elif action == "backspace":
+        editor.backspace(seed % 4 + 1)
+    elif action == "delete_forward":
+        editor.delete_forward(seed % 4 + 1)
+    elif action == "move":
+        editor.move_to(seed % (length + 1))
+    elif action == "select":
+        if length:
+            pos = seed % length
+            count = min(len(payload), length - pos)
+            if count:
+                editor.select(pos, count)
+    elif action == "copy":
+        try:
+            editor.copy()
+        except ClipboardError:
+            pass
+    elif action == "paste":
+        try:
+            editor.paste()
+        except ClipboardError:
+            pass
+    elif action == "cut":
+        try:
+            editor.cut()
+        except ClipboardError:
+            pass
+    elif action == "undo":
+        try:
+            editor.undo()
+        except UndoError:
+            pass
+    elif action == "redo":
+        try:
+            editor.redo()
+        except UndoError:
+            pass
+
+
+@settings(max_examples=40, deadline=None)
+@given(actions)
+def test_editor_invariants_under_any_input(action_list):
+    server = CollaborationServer()
+    server.register_user("u0")
+    server.register_user("u1")
+    s0 = server.connect("u0")
+    s1 = server.connect("u1")
+    handle = s0.create_document("d", text="start ")
+    editors = [EditorClient(s0, handle.doc), EditorClient(s1, handle.doc)]
+
+    for who, action, seed, payload in action_list:
+        editor = editors[who]
+        _drive(editor, action, seed, payload)
+
+        # -- invariants after every single step -----------------------
+        length = handle.length()
+        for e in editors:
+            cursor = e.cursor()
+            assert 0 <= cursor <= length
+            for oid in e.selection():
+                assert e.handle.position_of(oid) is not None
+        assert editors[0].text() == editors[1].text()
+    assert handle.check_integrity() == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(actions)
+def test_editor_state_survives_reopen(action_list):
+    """Closing and reopening mid-session yields the same document."""
+    server = CollaborationServer()
+    server.register_user("u0")
+    server.register_user("u1")
+    s0 = server.connect("u0")
+    s1 = server.connect("u1")
+    handle = s0.create_document("d", text="start ")
+    editor = EditorClient(s0, handle.doc)
+    for i, (who, action, seed, payload) in enumerate(action_list):
+        _drive(editor, action, seed, payload)
+        if i == len(action_list) // 2:
+            # A second user opens the document cold, mid-history.
+            other = EditorClient(s1, handle.doc)
+            assert other.text() == editor.text()
+            other.close()
+    final = EditorClient(s1, handle.doc)
+    assert final.text() == editor.text()

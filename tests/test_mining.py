@@ -1,0 +1,199 @@
+"""Tests for feature extraction, text mining and the visual map (Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.db import Database
+from repro.errors import MiningError
+from repro.mining import (
+    FeatureExtractor,
+    VisualMiner,
+    cosine_similarity_matrix,
+    fit_tfidf,
+    kmeans_clusters,
+    similar_documents,
+    tokenize,
+    top_terms,
+)
+from repro.text import DocumentStore
+from repro.workload import CorpusSpec, load_corpus
+
+
+@pytest.fixture
+def db():
+    return Database("t")
+
+
+@pytest.fixture
+def store(db):
+    return DocumentStore(db)
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("Hello, World! hello") == ["hello", "world", "hello"]
+
+    def test_stopwords_removed(self):
+        assert tokenize("the cat and the hat") == ["cat", "hat"]
+
+    def test_short_tokens_removed(self):
+        assert tokenize("a b cd") == ["cd"]
+
+    def test_numbers_kept(self):
+        assert tokenize("report 2006") == ["report", "2006"]
+
+
+class TestFeatures:
+    def test_extract(self, db, store):
+        h = store.create("d", "ana", text="database transactions rock")
+        h.insert_text(0, "x ", "ben")
+        features = FeatureExtractor(db).extract(h.doc)
+        assert features.name == "d"
+        assert features.n_authors == 2
+        assert "database" in features.tokens
+        assert features.term_counts["database"] == 1
+
+    def test_extract_all_ordered(self, db, store):
+        store.create("first", "ana")
+        store.create("second", "ana")
+        features = FeatureExtractor(db).extract_all()
+        assert [f.name for f in features] == ["first", "second"]
+
+    def test_deleted_text_not_extracted(self, db, store):
+        h = store.create("d", "ana", text="visible removed")
+        h.delete_range(8, 7, "ana")
+        features = FeatureExtractor(db).extract(h.doc)
+        assert "removed" not in features.tokens
+
+
+class TestTfIdf:
+    def _features(self, db, store):
+        store.create("a", "ana", text="database table index database")
+        store.create("b", "ana", text="editor cursor style editor")
+        store.create("c", "ana", text="database editor")
+        return FeatureExtractor(db).extract_all()
+
+    def test_rows_normalised(self, db, store):
+        model = fit_tfidf(self._features(db, store))
+        norms = np.linalg.norm(model.matrix, axis=1)
+        assert np.allclose(norms[norms > 0], 1.0)
+
+    def test_similarity_structure(self, db, store):
+        features = self._features(db, store)
+        model = fit_tfidf(features)
+        sims = cosine_similarity_matrix(model)
+        # c shares terms with both a and b; a and b share nothing.
+        a, b, c = (model.row_of(f.doc) for f in features)
+        assert sims[a, b] == pytest.approx(0.0, abs=1e-9)
+        assert sims[a, c] > 0
+        assert sims[b, c] > 0
+
+    def test_top_terms(self, db, store):
+        features = self._features(db, store)
+        model = fit_tfidf(features)
+        assert top_terms(model, features[0].doc, 2)[0] == "database"
+
+    def test_similar_documents(self, db, store):
+        features = self._features(db, store)
+        model = fit_tfidf(features)
+        hits = similar_documents(model, features[2].doc, 2)
+        assert {doc for doc, __ in hits} == {
+            features[0].doc, features[1].doc,
+        }
+
+    def test_query_projection(self, db, store):
+        model = fit_tfidf(self._features(db, store))
+        vec = model.vector_for_tokens(["database"])
+        assert vec.any()
+        assert model.vector_for_tokens(["zzz"]).sum() == 0
+
+    def test_empty_corpus(self):
+        model = fit_tfidf([])
+        assert model.n_docs == 0
+
+
+class TestKMeans:
+    def test_deterministic(self, db, store):
+        spec = CorpusSpec(n_docs=12, seed=3)
+        load_corpus(store, spec)
+        features = FeatureExtractor(db).extract_all()
+        model = fit_tfidf(features)
+        labels1 = kmeans_clusters(model, 4, seed=5)
+        labels2 = kmeans_clusters(model, 4, seed=5)
+        assert labels1 == labels2
+        assert len(labels1) == 12
+
+    def test_k_clamped(self, db, store):
+        store.create("only", "ana", text="words here")
+        features = FeatureExtractor(db).extract_all()
+        model = fit_tfidf(features)
+        assert kmeans_clusters(model, 10) == [0]
+
+    def test_topical_clusters_separate(self, db, store):
+        """Documents of two clearly distinct topics get separated."""
+        for i in range(4):
+            store.create(f"db{i}", "ana",
+                         text="database table index transaction " * 5)
+        for i in range(4):
+            store.create(f"ed{i}", "ana",
+                         text="editor cursor clipboard style " * 5)
+        features = FeatureExtractor(db).extract_all()
+        model = fit_tfidf(features)
+        labels = kmeans_clusters(model, 2, seed=1)
+        db_labels = set(labels[:4])
+        ed_labels = set(labels[4:])
+        assert len(db_labels) == 1 and len(ed_labels) == 1
+        assert db_labels != ed_labels
+
+
+class TestDocumentMap:
+    @pytest.fixture
+    def corpus_db(self, db, store):
+        load_corpus(store, CorpusSpec(n_docs=10, seed=3))
+        return db
+
+    def test_map_covers_all_documents(self, corpus_db):
+        doc_map = VisualMiner(corpus_db).build_map()
+        assert doc_map.stats()["documents"] == 10
+
+    def test_layout_deterministic(self, corpus_db):
+        map1 = VisualMiner(corpus_db, seed=2).build_map()
+        map2 = VisualMiner(corpus_db, seed=2).build_map()
+        assert [(p.x, p.y) for p in map1.points] == \
+            [(p.x, p.y) for p in map2.points]
+
+    def test_group_by_dimensions(self, corpus_db):
+        doc_map = VisualMiner(corpus_db).build_map()
+        by_creator = doc_map.group_by("creator")
+        assert sum(len(v) for v in by_creator.values()) == 10
+        by_state = doc_map.group_by("state")
+        assert set(by_state) <= {"draft", "review", "final"}
+        doc_map.group_by("cluster")
+        doc_map.group_by("size_band")
+
+    def test_unknown_dimension(self, corpus_db):
+        doc_map = VisualMiner(corpus_db).build_map()
+        with pytest.raises(MiningError):
+            doc_map.group_by("moon_phase")
+
+    def test_ascii_scatter(self, corpus_db):
+        doc_map = VisualMiner(corpus_db).build_map()
+        art = doc_map.ascii_scatter(width=40, height=10)
+        lines = art.splitlines()
+        assert len(lines) == 12  # borders + rows
+        assert sum(ch.isdigit() for line in lines for ch in line) >= 1
+
+    def test_empty_space(self, db):
+        doc_map = VisualMiner(db).build_map()
+        assert doc_map.points == []
+        assert doc_map.ascii_scatter() == "(empty document space)"
+
+    def test_point_of_unknown(self, corpus_db):
+        doc_map = VisualMiner(corpus_db).build_map()
+        with pytest.raises(MiningError):
+            doc_map.point_of("nope")
+
+    def test_edges_respect_threshold(self, corpus_db):
+        strict = VisualMiner(corpus_db).build_map(similarity_threshold=0.99)
+        loose = VisualMiner(corpus_db).build_map(similarity_threshold=0.01)
+        assert len(strict.edges) <= len(loose.edges)

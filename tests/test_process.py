@@ -1,0 +1,248 @@
+"""Tests for in-document workflows and task lists."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import ProcessError, RoutingError, TaskStateError
+from repro.process import TaskList, WorkflowManager
+from repro.security import PrincipalRegistry
+from repro.text import DocumentStore
+
+
+@pytest.fixture
+def db():
+    return Database("t")
+
+
+@pytest.fixture
+def principals(db):
+    registry = PrincipalRegistry(db)
+    for user in ("ana", "ben", "cleo"):
+        registry.add_user(user)
+    registry.add_role("translators")
+    registry.assign_role("cleo", "translators")
+    return registry
+
+
+@pytest.fixture
+def wf(db, principals):
+    return WorkflowManager(db, principals)
+
+
+@pytest.fixture
+def doc(db):
+    store = DocumentStore(db)
+    return store.create("contract", "ana", text="contract text").doc
+
+
+class TestProcessLifecycle:
+    def test_define_and_start(self, wf, doc):
+        proc = wf.define_process(doc, "review", "ana")
+        assert wf.process_info(proc)["state"] == "defined"
+        t1 = wf.add_task(proc, "t1", "ben", "ana")
+        ready = wf.start_process(proc, "ana")
+        assert ready == [t1]
+        assert wf.process_info(proc)["state"] == "running"
+
+    def test_double_start_rejected(self, wf, doc):
+        proc = wf.define_process(doc, "p", "ana")
+        wf.start_process(proc, "ana")
+        with pytest.raises(ProcessError):
+            wf.start_process(proc, "ana")
+
+    def test_process_completes_when_tasks_done(self, wf, doc):
+        proc = wf.define_process(doc, "p", "ana")
+        t1 = wf.add_task(proc, "t1", "ben", "ana")
+        wf.start_process(proc, "ana")
+        wf.complete_task(t1, "ben")
+        assert wf.process_info(proc)["state"] == "completed"
+
+    def test_cancel_process_cancels_tasks(self, wf, doc):
+        proc = wf.define_process(doc, "p", "ana")
+        t1 = wf.add_task(proc, "t1", "ben", "ana")
+        wf.start_process(proc, "ana")
+        wf.cancel_process(proc, "ana")
+        assert wf.task_info(t1)["state"] == "cancelled"
+        assert wf.process_info(proc)["state"] == "cancelled"
+
+    def test_processes_in_document(self, wf, doc):
+        wf.define_process(doc, "a", "ana")
+        wf.define_process(doc, "b", "ana")
+        assert [p["name"] for p in wf.processes_in(doc)] == ["a", "b"]
+
+
+class TestDependencies:
+    def test_dependent_task_waits(self, wf, doc):
+        proc = wf.define_process(doc, "p", "ana")
+        t1 = wf.add_task(proc, "t1", "ben", "ana")
+        t2 = wf.add_task(proc, "t2", "ben", "ana", depends_on=[t1])
+        wf.start_process(proc, "ana")
+        assert wf.task_info(t2)["state"] == "waiting"
+        newly = wf.complete_task(t1, "ben")
+        assert newly == [t2]
+        assert wf.task_info(t2)["state"] == "ready"
+
+    def test_multi_dependency(self, wf, doc):
+        proc = wf.define_process(doc, "p", "ana")
+        t1 = wf.add_task(proc, "t1", "ben", "ana")
+        t2 = wf.add_task(proc, "t2", "ben", "ana")
+        t3 = wf.add_task(proc, "t3", "ben", "ana", depends_on=[t1, t2])
+        wf.start_process(proc, "ana")
+        wf.complete_task(t1, "ben")
+        assert wf.task_info(t3)["state"] == "waiting"
+        wf.complete_task(t2, "ben")
+        assert wf.task_info(t3)["state"] == "ready"
+
+    def test_cancelled_dependency_counts_as_settled(self, wf, doc):
+        proc = wf.define_process(doc, "p", "ana")
+        t1 = wf.add_task(proc, "t1", "ben", "ana")
+        t2 = wf.add_task(proc, "t2", "ben", "ana", depends_on=[t1])
+        wf.start_process(proc, "ana")
+        wf.cancel_task(t1, "ana")
+        assert wf.task_info(t2)["state"] == "ready"
+
+    def test_cross_process_dependency_rejected(self, wf, doc):
+        p1 = wf.define_process(doc, "p1", "ana")
+        p2 = wf.define_process(doc, "p2", "ana")
+        t1 = wf.add_task(p1, "t1", "ben", "ana")
+        with pytest.raises(ProcessError):
+            wf.add_task(p2, "t2", "ben", "ana", depends_on=[t1])
+
+
+class TestDynamicBehaviour:
+    def test_add_task_at_runtime(self, wf, doc):
+        proc = wf.define_process(doc, "p", "ana")
+        t1 = wf.add_task(proc, "t1", "ben", "ana")
+        wf.start_process(proc, "ana")
+        t2 = wf.add_task(proc, "late", "ben", "ana")
+        assert wf.task_info(t2)["state"] == "ready"  # no deps -> ready now
+        wf.complete_task(t1, "ben")
+        assert wf.process_info(proc)["state"] == "running"  # t2 still open
+
+    def test_route_task(self, wf, doc):
+        proc = wf.define_process(doc, "p", "ana")
+        t1 = wf.add_task(proc, "t1", "ben", "ana")
+        wf.start_process(proc, "ana")
+        wf.route_task(t1, "cleo", "ana")
+        with pytest.raises(RoutingError):
+            wf.complete_task(t1, "ben")  # no longer his
+        wf.complete_task(t1, "cleo")
+
+    def test_route_to_unknown_rejected(self, wf, doc):
+        proc = wf.define_process(doc, "p", "ana")
+        t1 = wf.add_task(proc, "t1", "ben", "ana")
+        with pytest.raises(RoutingError):
+            wf.route_task(t1, "ghost", "ana")
+
+    def test_routing_history_recorded(self, wf, doc):
+        proc = wf.define_process(doc, "p", "ana")
+        t1 = wf.add_task(proc, "t1", "ben", "ana")
+        wf.route_task(t1, "cleo", "ana")
+        events = [e["event"] for e in wf.task_info(t1)["history"]]
+        assert events == ["created", "routed"]
+
+
+class TestRoleAssignment:
+    def test_role_member_can_work_task(self, wf, doc):
+        proc = wf.define_process(doc, "p", "ana")
+        t1 = wf.add_task(proc, "translate", "translators", "ana")
+        wf.start_process(proc, "ana")
+        wf.start_task(t1, "cleo")  # cleo is in translators
+        wf.complete_task(t1, "cleo")
+        info = wf.task_info(t1)
+        assert info["completed_by"] == "cleo"
+
+    def test_non_member_rejected(self, wf, doc):
+        proc = wf.define_process(doc, "p", "ana")
+        t1 = wf.add_task(proc, "translate", "translators", "ana")
+        wf.start_process(proc, "ana")
+        with pytest.raises(RoutingError):
+            wf.start_task(t1, "ben")
+
+    def test_unknown_assignee_rejected(self, wf, doc):
+        proc = wf.define_process(doc, "p", "ana")
+        with pytest.raises(RoutingError):
+            wf.add_task(proc, "t", "nobody", "ana")
+
+
+class TestTaskStates:
+    def test_start_requires_ready(self, wf, doc):
+        proc = wf.define_process(doc, "p", "ana")
+        t1 = wf.add_task(proc, "t1", "ben", "ana")
+        with pytest.raises(TaskStateError):
+            wf.start_task(t1, "ben")  # process not started yet
+
+    def test_complete_from_ready_or_in_progress(self, wf, doc):
+        proc = wf.define_process(doc, "p", "ana")
+        t1 = wf.add_task(proc, "t1", "ben", "ana")
+        t2 = wf.add_task(proc, "t2", "ben", "ana")
+        wf.start_process(proc, "ana")
+        wf.complete_task(t1, "ben")           # directly from ready
+        wf.start_task(t2, "ben")
+        wf.complete_task(t2, "ben")           # from in_progress
+
+    def test_double_complete_rejected(self, wf, doc):
+        proc = wf.define_process(doc, "p", "ana")
+        t1 = wf.add_task(proc, "t1", "ben", "ana")
+        wf.start_process(proc, "ana")
+        wf.complete_task(t1, "ben")
+        with pytest.raises(TaskStateError):
+            wf.complete_task(t1, "ben")
+
+    def test_status_counts(self, wf, doc):
+        proc = wf.define_process(doc, "p", "ana")
+        t1 = wf.add_task(proc, "t1", "ben", "ana")
+        wf.add_task(proc, "t2", "ben", "ana", depends_on=[t1])
+        wf.start_process(proc, "ana")
+        status = wf.process_status(proc)
+        assert status["tasks"]["ready"] == 1
+        assert status["tasks"]["waiting"] == 1
+
+
+class TestTaskList:
+    def test_inbox_includes_role_tasks(self, wf, doc):
+        tl = TaskList(wf)
+        proc = wf.define_process(doc, "p", "ana")
+        wf.add_task(proc, "direct", "cleo", "ana")
+        wf.add_task(proc, "via-role", "translators", "ana")
+        wf.start_process(proc, "ana")
+        names = [t["name"] for t in tl.tasks_for("cleo")]
+        assert sorted(names) == ["direct", "via-role"]
+        assert tl.tasks_for("ben") == []
+
+    def test_tasks_in_document(self, wf, doc):
+        tl = TaskList(wf)
+        proc = wf.define_process(doc, "p", "ana")
+        wf.add_task(proc, "t1", "ben", "ana")
+        assert len(tl.tasks_in_document(doc)) == 1
+        assert tl.tasks_in_document(doc, states=("done",)) == []
+
+    def test_workload_by_assignee(self, wf, doc):
+        tl = TaskList(wf)
+        proc = wf.define_process(doc, "p", "ana")
+        wf.add_task(proc, "t1", "ben", "ana")
+        wf.add_task(proc, "t2", "ben", "ana")
+        wf.add_task(proc, "t3", "translators", "ana")
+        assert tl.workload_by_assignee() == {"ben": 2, "translators": 1}
+
+    def test_render_inbox(self, wf, doc):
+        tl = TaskList(wf)
+        proc = wf.define_process(doc, "p", "ana")
+        wf.add_task(proc, "review it", "ben", "ana")
+        wf.start_process(proc, "ana")
+        text = tl.render_inbox("ben")
+        assert "review it" in text
+        assert tl.render_inbox("cleo") == "cleo: no open tasks"
+
+
+class TestHistoryBounded:
+    def test_history_capped(self, wf, doc):
+        from repro.process.workflow import TASK_HISTORY_LIMIT
+        proc = wf.define_process(doc, "p", "ana")
+        task = wf.add_task(proc, "t", "ben", "ana")
+        for i in range(TASK_HISTORY_LIMIT + 50):
+            wf.route_task(task, ["ben", "cleo"][i % 2], "ana")
+        history = wf.task_info(task)["history"]
+        assert len(history) == TASK_HISTORY_LIMIT
+        # The newest events are the ones kept.
+        assert history[-1]["event"] == "routed"

@@ -1,0 +1,237 @@
+"""Tests for principals and access control."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import AccessDenied, SecurityError, UnknownPrincipalError
+from repro.security import AccessController, PrincipalRegistry
+from repro.text import DocumentStore
+
+
+@pytest.fixture
+def db():
+    return Database("t")
+
+
+@pytest.fixture
+def principals(db):
+    registry = PrincipalRegistry(db)
+    for user in ("ana", "ben", "cleo"):
+        registry.add_user(user)
+    registry.add_role("editors")
+    registry.add_role("reviewers")
+    return registry
+
+
+@pytest.fixture
+def acl(db, principals):
+    return AccessController(db, principals)
+
+
+@pytest.fixture
+def store(db):
+    return DocumentStore(db)
+
+
+class TestPrincipals:
+    def test_users_and_roles_listed(self, principals):
+        assert principals.users() == ["ana", "ben", "cleo"]
+        assert principals.roles() == ["editors", "reviewers"]
+
+    def test_empty_names_rejected(self, principals):
+        with pytest.raises(SecurityError):
+            principals.add_user("")
+        with pytest.raises(SecurityError):
+            principals.add_role("")
+
+    def test_membership(self, principals):
+        principals.assign_role("ben", "editors")
+        assert principals.roles_of("ben") == {"editors"}
+        assert principals.members_of("editors") == {"ben"}
+        principals.remove_role("ben", "editors")
+        assert principals.roles_of("ben") == set()
+
+    def test_assign_unknown_user(self, principals):
+        with pytest.raises(UnknownPrincipalError):
+            principals.assign_role("ghost", "editors")
+
+    def test_assign_unknown_role(self, principals):
+        with pytest.raises(UnknownPrincipalError):
+            principals.assign_role("ana", "ghosts")
+
+    def test_assign_idempotent(self, principals):
+        principals.assign_role("ben", "editors")
+        principals.assign_role("ben", "editors")
+        assert principals.members_of("editors") == {"ben"}
+
+    def test_principals_of(self, principals):
+        principals.assign_role("ana", "editors")
+        principals.assign_role("ana", "reviewers")
+        assert principals.principals_of("ana") == {
+            "ana", "editors", "reviewers",
+        }
+
+
+class TestDocumentAcl:
+    def test_open_by_default(self, acl, store):
+        h = store.create("d", "ana")
+        for user in ("ana", "ben", "cleo"):
+            assert acl.allowed(h.doc, user, "write")
+
+    def test_grant_restricts_to_grantees(self, acl, store):
+        h = store.create("d", "ana")
+        acl.grant(h.doc, "ben", "write", "ana")
+        assert acl.allowed(h.doc, "ben", "write")
+        assert not acl.allowed(h.doc, "cleo", "write")
+
+    def test_creator_always_allowed(self, acl, store):
+        h = store.create("d", "ana")
+        acl.grant(h.doc, "ben", "write", "ana")
+        assert acl.allowed(h.doc, "ana", "write")
+
+    def test_role_grant(self, acl, principals, store):
+        h = store.create("d", "ana")
+        principals.assign_role("cleo", "editors")
+        acl.grant(h.doc, "editors", "write", "ana")
+        assert acl.allowed(h.doc, "cleo", "write")
+        assert not acl.allowed(h.doc, "ben", "write")
+
+    def test_grant_requires_grant_permission(self, acl, store):
+        h = store.create("d", "ana")
+        acl.grant(h.doc, "ben", "grant", "ana")
+        # cleo has no grant permission once restricted.
+        with pytest.raises(AccessDenied):
+            acl.grant(h.doc, "cleo", "write", "cleo")
+        # ben holds grant and may delegate.
+        acl.grant(h.doc, "cleo", "write", "ben")
+        assert acl.allowed(h.doc, "cleo", "write")
+
+    def test_revoke(self, acl, store):
+        h = store.create("d", "ana")
+        acl.grant(h.doc, "ben", "write", "ana")
+        assert acl.revoke(h.doc, "ben", "write", "ana") == 1
+        # No grants left: document open again.
+        assert acl.allowed(h.doc, "cleo", "write")
+
+    def test_unknown_permission(self, acl, store):
+        h = store.create("d", "ana")
+        with pytest.raises(SecurityError):
+            acl.grant(h.doc, "ben", "fly", "ana")
+        with pytest.raises(SecurityError):
+            acl.allowed(h.doc, "ben", "fly")
+
+    def test_require_raises(self, acl, store):
+        h = store.create("d", "ana")
+        acl.grant(h.doc, "ben", "read", "ana")
+        with pytest.raises(AccessDenied):
+            acl.require(h.doc, "cleo", "read")
+
+    def test_permissions_independent(self, acl, store):
+        h = store.create("d", "ana")
+        acl.grant(h.doc, "ben", "write", "ana")
+        # read is still open even though write is restricted.
+        assert acl.allowed(h.doc, "cleo", "read")
+
+
+class TestRangeProtection:
+    def test_protect_blocks_non_exempt(self, acl, store):
+        h = store.create("d", "ana", text="secret text")
+        acl.protect_range(h, 0, 6, "ana")
+        with pytest.raises(AccessDenied):
+            acl.check_chars_editable(h.doc, "ben", [h.char_oid_at(0)])
+
+    def test_exempt_users_pass(self, acl, store):
+        h = store.create("d", "ana", text="secret text")
+        acl.protect_range(h, 0, 6, "ana", exempt=("ben",))
+        acl.check_chars_editable(h.doc, "ben", [h.char_oid_at(0)])
+
+    def test_exempt_roles_pass(self, acl, principals, store):
+        h = store.create("d", "ana", text="secret text")
+        principals.assign_role("cleo", "reviewers")
+        acl.protect_range(h, 0, 6, "ana", exempt=("reviewers",))
+        acl.check_chars_editable(h.doc, "cleo", [h.char_oid_at(0)])
+
+    def test_protector_is_exempt(self, acl, store):
+        h = store.create("d", "ana", text="secret text")
+        acl.protect_range(h, 0, 6, "ana")
+        acl.check_chars_editable(h.doc, "ana", [h.char_oid_at(0)])
+
+    def test_unprotected_chars_editable(self, acl, store):
+        h = store.create("d", "ana", text="secret text")
+        acl.protect_range(h, 0, 6, "ana")
+        acl.check_chars_editable(h.doc, "ben", [h.char_oid_at(8)])
+
+    def test_release(self, acl, store):
+        h = store.create("d", "ana", text="secret text")
+        protection = acl.protect_range(h, 0, 6, "ana")
+        acl.release_protection(protection, "ana")
+        acl.check_chars_editable(h.doc, "ben", [h.char_oid_at(0)])
+        assert acl.protections_for(h.doc) == []
+
+    def test_protection_requires_grant(self, acl, store):
+        h = store.create("d", "ana", text="x")
+        acl.grant(h.doc, "ana", "grant", "ana")
+        with pytest.raises(AccessDenied):
+            acl.protect_range(h, 0, 1, "ben")
+
+    def test_out_of_range_rejected(self, acl, store):
+        h = store.create("d", "ana", text="abc")
+        with pytest.raises(SecurityError):
+            acl.protect_range(h, 0, 99, "ana")
+
+    def test_protection_follows_oids_not_positions(self, acl, store):
+        h = store.create("d", "ana", text="abcdef")
+        acl.protect_range(h, 2, 2, "ana")   # protects "cd"
+        h.insert_text(0, "XX", "ana")       # shifts positions by 2
+        # "cd" is now at positions 4-5 but still protected.
+        with pytest.raises(AccessDenied):
+            acl.check_chars_editable(h.doc, "ben", [h.char_oid_at(4)])
+        # Position 2 (now "a") is not protected.
+        acl.check_chars_editable(h.doc, "ben", [h.char_oid_at(2)])
+
+
+class TestReadProtection:
+    def test_redacted_for_non_exempt(self, acl, store):
+        h = store.create("d", "ana", text="public SECRET end")
+        acl.protect_range(h, 7, 6, "ana", mode="read")
+        assert acl.redacted_text(h, "ben") == "public ██████ end"
+
+    def test_protector_sees_everything(self, acl, store):
+        h = store.create("d", "ana", text="public SECRET end")
+        acl.protect_range(h, 7, 6, "ana", mode="read")
+        assert acl.redacted_text(h, "ana") == "public SECRET end"
+
+    def test_exempt_role_sees(self, acl, principals, store):
+        h = store.create("d", "ana", text="public SECRET end")
+        principals.assign_role("cleo", "reviewers")
+        acl.protect_range(h, 7, 6, "ana", mode="read",
+                          exempt=("reviewers",))
+        assert acl.redacted_text(h, "cleo") == "public SECRET end"
+
+    def test_read_protection_blocks_edits_too(self, acl, store):
+        h = store.create("d", "ana", text="public SECRET end")
+        acl.protect_range(h, 7, 6, "ana", mode="read")
+        with pytest.raises(AccessDenied):
+            acl.check_chars_editable(h.doc, "ben", [h.char_oid_at(9)])
+
+    def test_write_protection_does_not_hide(self, acl, store):
+        h = store.create("d", "ana", text="locked text")
+        acl.protect_range(h, 0, 6, "ana", mode="write")
+        assert acl.redacted_text(h, "ben") == "locked text"
+        assert acl.hidden_oids(h.doc, "ben") == set()
+
+    def test_custom_mask(self, acl, store):
+        h = store.create("d", "ana", text="ab")
+        acl.protect_range(h, 0, 1, "ana", mode="read")
+        assert acl.redacted_text(h, "ben", mask="?") == "?b"
+
+    def test_unknown_mode_rejected(self, acl, store):
+        h = store.create("d", "ana", text="ab")
+        with pytest.raises(SecurityError):
+            acl.protect_range(h, 0, 1, "ana", mode="ghost")
+
+    def test_release_unhides(self, acl, store):
+        h = store.create("d", "ana", text="ab")
+        protection = acl.protect_range(h, 0, 1, "ana", mode="read")
+        acl.release_protection(protection, "ana")
+        assert acl.redacted_text(h, "ben") == "ab"

@@ -1,0 +1,162 @@
+"""Tests for the character-chain primitives."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import (
+    InvalidPositionError,
+    UnknownCharacterError,
+)
+from repro.text import DocumentStore, install_text_schema
+from repro.text import chars as C
+from repro.text import dbschema as S
+
+
+@pytest.fixture
+def db():
+    db = Database("t")
+    install_text_schema(db)
+    return db
+
+
+@pytest.fixture
+def store(db):
+    return DocumentStore(db)
+
+
+class TestAnchors:
+    def test_new_document_has_linked_sentinels(self, db, store):
+        h = store.create("d", "ana")
+        problems = C.check_chain_integrity(db, h.doc, h.begin_char,
+                                           h.end_char)
+        assert problems == []
+        assert C.chain_text(db, h.doc, h.begin_char) == ""
+
+
+class TestInsert:
+    def test_insert_builds_chain(self, db, store):
+        h = store.create("d", "ana")
+        with db.transaction() as txn:
+            C.insert_chars(txn, db, h.doc, h.begin_char, "abc", "ana",
+                           db.now())
+        assert C.chain_text(db, h.doc, h.begin_char) == "abc"
+        assert h.check_integrity() == []
+
+    def test_insert_between_characters(self, db, store):
+        h = store.create("d", "ana", text="ac")
+        middle = h.char_oid_at(0)
+        with db.transaction() as txn:
+            C.insert_chars(txn, db, h.doc, middle, "b", "ben", db.now())
+        assert C.chain_text(db, h.doc, h.begin_char) == "abc"
+
+    def test_insert_empty_is_noop(self, db, store):
+        h = store.create("d", "ana")
+        with db.transaction() as txn:
+            assert C.insert_chars(txn, db, h.doc, h.begin_char, "", "a",
+                                  db.now()) == []
+
+    def test_insert_after_foreign_char_rejected(self, db, store):
+        h1 = store.create("d1", "ana", text="x")
+        h2 = store.create("d2", "ana", text="y")
+        foreign = h2.char_oid_at(0)
+        with pytest.raises(InvalidPositionError):
+            with db.transaction() as txn:
+                C.insert_chars(txn, db, h1.doc, foreign, "z", "ana",
+                               db.now())
+
+    def test_insert_after_end_sentinel_rejected(self, db, store):
+        h = store.create("d", "ana")
+        with pytest.raises(InvalidPositionError):
+            with db.transaction() as txn:
+                C.insert_chars(txn, db, h.doc, h.end_char, "z", "ana",
+                               db.now())
+
+    def test_copy_srcs_must_parallel_text(self, db, store):
+        h = store.create("d", "ana")
+        with pytest.raises(ValueError):
+            with db.transaction() as txn:
+                C.insert_chars(txn, db, h.doc, h.begin_char, "ab", "ana",
+                               db.now(), copy_srcs=[None])
+
+    def test_author_and_metadata_recorded(self, db, store):
+        h = store.create("d", "ana")
+        with db.transaction() as txn:
+            (oid,) = C.insert_chars(txn, db, h.doc, h.begin_char, "x",
+                                    "ben", 123.0)
+        __, row = C.char_row(db, oid)
+        assert row["author"] == "ben"
+        assert row["created_at"] == 123.0
+        assert row["version"] == 0
+        assert not row["deleted"]
+
+
+class TestDelete:
+    def test_logical_delete_hides_but_keeps(self, db, store):
+        h = store.create("d", "ana", text="abc")
+        target = h.char_oid_at(1)
+        with db.transaction() as txn:
+            C.logical_delete(txn, db, [target], "ben", 99.0)
+        assert C.chain_text(db, h.doc, h.begin_char) == "ac"
+        __, row = C.char_row(db, target)
+        assert row["deleted"] and row["deleted_by"] == "ben"
+        assert row["deleted_at"] == 99.0
+        # Still part of the chain.
+        full = [r["ch"] for r in C.traverse(db, h.doc, h.begin_char,
+                                            include_deleted=True)]
+        assert full == ["a", "b", "c"]
+
+    def test_delete_sentinel_rejected(self, db, store):
+        h = store.create("d", "ana")
+        with pytest.raises(InvalidPositionError):
+            with db.transaction() as txn:
+                C.logical_delete(txn, db, [h.begin_char], "a", 0.0)
+
+    def test_undelete_restores(self, db, store):
+        h = store.create("d", "ana", text="abc")
+        target = h.char_oid_at(1)
+        with db.transaction() as txn:
+            C.logical_delete(txn, db, [target], "ben", 1.0)
+        with db.transaction() as txn:
+            C.undelete(txn, db, [target], "ben")
+        assert C.chain_text(db, h.doc, h.begin_char) == "abc"
+        __, row = C.char_row(db, target)
+        assert row["version"] == 2  # bumped by delete and undelete
+
+
+class TestTraversal:
+    def test_unknown_begin_raises(self, db, store):
+        h = store.create("d", "ana")
+        with pytest.raises(UnknownCharacterError):
+            list(C.traverse(db, h.doc, db.new_oid("char")))
+
+    def test_integrity_detects_broken_pointer(self, db, store):
+        h = store.create("d", "ana", text="abc")
+        # Corrupt: point the first char at a nonexistent successor.
+        rowid, __ = C.char_row(db, h.char_oid_at(0))
+        db.update(S.CHARS, rowid, {"next": db.new_oid("char")})
+        problems = C.check_chain_integrity(db, h.doc, h.begin_char,
+                                           h.end_char)
+        assert problems  # broken chain reported
+
+    def test_integrity_detects_bad_backpointer(self, db, store):
+        h = store.create("d", "ana", text="ab")
+        rowid, __ = C.char_row(db, h.char_oid_at(1))
+        db.update(S.CHARS, rowid, {"prev": h.begin_char})
+        problems = C.check_chain_integrity(db, h.doc, h.begin_char,
+                                           h.end_char)
+        assert any("prev" in p for p in problems)
+
+    def test_char_row_unknown(self, db, store):
+        with pytest.raises(UnknownCharacterError):
+            C.char_row(db, db.new_oid("char"))
+
+
+class TestStyleAssignment:
+    def test_set_style_bumps_version(self, db, store):
+        h = store.create("d", "ana", text="ab")
+        style = db.new_oid("style")
+        with db.transaction() as txn:
+            C.set_style(txn, db, [h.char_oid_at(0)], style)
+        __, row = C.char_row(db, h.char_oid_at(0))
+        assert row["style"] == style
+        assert row["version"] == 1

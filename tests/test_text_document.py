@@ -1,0 +1,219 @@
+"""Tests for DocumentStore / DocumentHandle: edits, caches, propagation."""
+
+import pytest
+
+from repro.db import Database, col
+from repro.errors import InvalidPositionError, UnknownDocumentError
+from repro.text import DocumentStore
+from repro.text import dbschema as S
+
+
+@pytest.fixture
+def db():
+    return Database("t")
+
+
+@pytest.fixture
+def store(db):
+    return DocumentStore(db)
+
+
+class TestLifecycle:
+    def test_create_with_text(self, store):
+        h = store.create("d", "ana", text="hello")
+        assert h.text() == "hello"
+        assert h.length() == 5
+
+    def test_create_records_metadata(self, db, store):
+        h = store.create("d", "ana", props={"project": "tendax"})
+        meta = store.meta(h.doc)
+        assert meta["creator"] == "ana"
+        assert meta["state"] == "draft"
+        assert meta["props"] == {"project": "tendax"}
+
+    def test_open_unknown_raises(self, db, store):
+        with pytest.raises(UnknownDocumentError):
+            store.open(db.new_oid("doc"), "ana")
+
+    def test_open_logs_read(self, db, store):
+        h = store.create("d", "ana")
+        store.open(h.doc, "ben")
+        reads = (db.query(S.ACCESS_LOG)
+                 .where((col("action") == "read") & (col("user") == "ben"))
+                 .run())
+        assert len(reads) == 1
+
+    def test_find_by_name_and_list(self, store):
+        store.create("alpha", "ana")
+        store.create("alpha", "ben")
+        store.create("beta", "ana")
+        assert len(store.find_by_name("alpha")) == 2
+        assert len(store.list_documents()) == 3
+
+    def test_set_state(self, store):
+        h = store.create("d", "ana")
+        store.set_state(h.doc, "review", "ben")
+        meta = store.meta(h.doc)
+        assert meta["state"] == "review"
+        assert meta["last_modified_by"] == "ben"
+
+    def test_set_property_merges(self, store):
+        h = store.create("d", "ana", props={"a": 1})
+        store.set_property(h.doc, "b", 2, "ana")
+        assert store.meta(h.doc)["props"] == {"a": 1, "b": 2}
+
+
+class TestEditing:
+    def test_insert_at_positions(self, store):
+        h = store.create("d", "ana", text="ad")
+        h.insert_text(1, "bc", "ana")
+        assert h.text() == "abcd"
+        h.insert_text(0, ">", "ana")
+        assert h.text() == ">abcd"
+        h.insert_text(5, "<", "ana")
+        assert h.text() == ">abcd<"
+
+    def test_insert_out_of_range(self, store):
+        h = store.create("d", "ana", text="ab")
+        with pytest.raises(InvalidPositionError):
+            h.insert_text(3, "x", "ana")
+        with pytest.raises(InvalidPositionError):
+            h.insert_text(-1, "x", "ana")
+
+    def test_delete_range(self, store):
+        h = store.create("d", "ana", text="abcdef")
+        h.delete_range(1, 3, "ana")
+        assert h.text() == "aef"
+
+    def test_delete_out_of_range(self, store):
+        h = store.create("d", "ana", text="ab")
+        with pytest.raises(InvalidPositionError):
+            h.delete_range(1, 5, "ana")
+        with pytest.raises(InvalidPositionError):
+            h.delete_range(0, -1, "ana")
+
+    def test_delete_then_undelete(self, store):
+        h = store.create("d", "ana", text="abcdef")
+        oids = h.delete_range(1, 3, "ana")
+        h.undelete_chars(oids, "ana")
+        assert h.text() == "abcdef"
+
+    def test_size_maintained(self, store):
+        h = store.create("d", "ana", text="hello")
+        h.insert_text(5, " world", "ana")
+        h.delete_range(0, 2, "ana")
+        assert store.meta(h.doc)["size"] == 9
+        assert h.length() == 9
+
+    def test_empty_insert_noop(self, store):
+        h = store.create("d", "ana", text="x")
+        assert h.insert_text(0, "", "ana") == []
+        assert h.text() == "x"
+
+    def test_last_modified_tracked(self, db, store):
+        h = store.create("d", "ana")
+        before = store.meta(h.doc)["last_modified"]
+        h.insert_text(0, "x", "ben")
+        meta = store.meta(h.doc)
+        assert meta["last_modified"] > before
+        assert meta["last_modified_by"] == "ben"
+
+    def test_write_access_logged(self, db, store):
+        h = store.create("d", "ana")
+        h.insert_text(0, "x", "ben")
+        writes = (db.query(S.ACCESS_LOG)
+                  .where((col("action") == "write") & (col("user") == "ben"))
+                  .run())
+        assert len(writes) == 1
+
+    def test_write_logging_can_be_disabled(self, db):
+        store = DocumentStore(db, log_writes=False)
+        h = store.create("d", "ana")
+        h.insert_text(0, "x", "ana")
+        writes = db.query(S.ACCESS_LOG).where(col("action") == "write").run()
+        assert writes == []
+
+
+class TestPositionApi:
+    def test_char_oid_roundtrip(self, store):
+        h = store.create("d", "ana", text="abc")
+        oid = h.char_oid_at(1)
+        assert h.position_of(oid) == 1
+
+    def test_position_of_deleted_is_none(self, store):
+        h = store.create("d", "ana", text="abc")
+        (oid,) = h.delete_range(1, 1, "ana")
+        assert h.position_of(oid) is None
+
+    def test_char_oid_at_out_of_range(self, store):
+        h = store.create("d", "ana", text="a")
+        with pytest.raises(InvalidPositionError):
+            h.char_oid_at(1)
+
+    def test_anchor_for_zero_is_begin(self, store):
+        h = store.create("d", "ana", text="a")
+        assert h.anchor_for(0) == h.begin_char
+        assert h.anchor_for(1) == h.char_oid_at(0)
+
+    def test_char_meta(self, store):
+        h = store.create("d", "ana", text="a")
+        meta = h.char_meta(0)
+        assert meta["ch"] == "a"
+        assert meta["author"] == "ana"
+
+
+class TestMultiHandlePropagation:
+    def test_remote_edit_appears(self, store):
+        h1 = store.create("d", "ana", text="shared")
+        h2 = store.open(h1.doc, "ben")
+        h2.insert_text(6, "!", "ben")
+        assert h1.text() == "shared!"
+        assert h2.text() == "shared!"
+
+    def test_remote_delete_appears(self, store):
+        h1 = store.create("d", "ana", text="shared")
+        h2 = store.open(h1.doc, "ben")
+        h1.delete_range(0, 3, "ana")
+        assert h2.text() == "red"
+
+    def test_interleaved_edits_converge(self, store):
+        h1 = store.create("d", "ana", text="__")
+        h2 = store.open(h1.doc, "ben")
+        h1.insert_text(1, "a", "ana")
+        h2.insert_text(1, "b", "ben")
+        h1.insert_text(0, "c", "ana")
+        assert h1.text() == h2.text()
+        assert h1.check_integrity() == []
+
+    def test_closed_handle_stops_updating(self, store):
+        h1 = store.create("d", "ana", text="x")
+        h2 = store.open(h1.doc, "ben")
+        h2.close()
+        h1.insert_text(1, "y", "ana")
+        assert h2.length() == 1  # stale by design after close
+        h2.refresh()
+        assert h2.length() == 2
+
+    def test_refresh_matches_incremental(self, store):
+        h1 = store.create("d", "ana", text="abcdef")
+        h2 = store.open(h1.doc, "ben")
+        h1.delete_range(2, 2, "ana")
+        h1.insert_text(2, "XY", "ana")
+        incremental = h2.char_oids()
+        h2.refresh()
+        assert h2.char_oids() == incremental
+
+
+class TestRendering:
+    def test_styled_runs_grouping(self, db, store):
+        h = store.create("d", "ana", text="aabbb")
+        style = db.new_oid("style")
+        h.apply_style(2, 3, style, "ana")
+        runs = h.styled_runs()
+        assert runs == [("aa", None), ("bbb", style)]
+
+    def test_authors_counts_visible_only(self, store):
+        h = store.create("d", "ana", text="aaa")
+        h.insert_text(3, "bb", "ben")
+        h.delete_range(0, 1, "cleo")  # deletes one of ana's chars
+        assert h.authors() == {"ana": 2, "ben": 2}

@@ -1,0 +1,322 @@
+"""Tests for layout/styles, structure, objects, notes and versioning."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import LayoutError, StructureError, TextError
+from repro.text import (
+    DocumentStore,
+    NoteManager,
+    ObjectManager,
+    StructureManager,
+    StyleManager,
+    VersionManager,
+    render_ansi,
+)
+
+
+@pytest.fixture
+def db():
+    return Database("t")
+
+
+@pytest.fixture
+def store(db):
+    return DocumentStore(db)
+
+
+@pytest.fixture
+def styles(db):
+    return StyleManager(db)
+
+
+@pytest.fixture
+def structure(db):
+    return StructureManager(db)
+
+
+class TestStyles:
+    def test_define_and_get(self, styles):
+        oid = styles.define_style("emph", {"italic": True}, "ana")
+        row = styles.get_style(oid)
+        assert row["name"] == "emph"
+        assert row["attrs"] == {"italic": True}
+
+    def test_unknown_attr_rejected(self, styles):
+        with pytest.raises(LayoutError):
+            styles.define_style("bad", {"blink": True}, "ana")
+
+    def test_wrong_attr_type_rejected(self, styles):
+        with pytest.raises(LayoutError):
+            styles.define_style("bad", {"bold": "yes"}, "ana")
+
+    def test_local_style_shadows_global(self, db, styles, store):
+        h = store.create("d", "ana")
+        styles.define_style("body", {"size": 10}, "ana")
+        styles.define_style("body", {"size": 12}, "ana", doc=h.doc)
+        found = styles.find_style("body", doc=h.doc)
+        assert found["attrs"]["size"] == 12
+        assert styles.find_style("body")["attrs"]["size"] == 10
+
+    def test_styles_for_includes_global(self, db, styles, store):
+        h = store.create("d", "ana")
+        styles.define_style("g", {"bold": True}, "ana")
+        styles.define_style("l", {"italic": True}, "ana", doc=h.doc)
+        names = {s["name"] for s in styles.styles_for(h.doc)}
+        assert names == {"g", "l"}
+
+    def test_effective_attrs_none(self, styles):
+        assert styles.effective_attrs(None) == {}
+
+    def test_render_ansi(self, db, styles, store):
+        h = store.create("d", "ana", text="ab")
+        bold = styles.define_style("b", {"bold": True}, "ana")
+        h.apply_style(0, 1, bold, "ana")
+        out = render_ansi(h, styles)
+        assert out == "\x1b[1ma\x1b[0mb"
+
+
+class TestTemplates:
+    def test_instantiate_creates_local_styles(self, db, styles, store):
+        template = styles.define_template(
+            "report", "ana",
+            styles=[{"name": "h1", "attrs": {"bold": True, "size": 16}}],
+            structure=[{"kind": "section", "label": "Introduction"}],
+        )
+        h = store.create("d", "ana", template=template)
+        created = styles.instantiate_template(template, h.doc, "ana")
+        assert "h1" in created
+        assert styles.get_style(created["h1"])["doc"] == h.doc
+
+    def test_get_template_unknown(self, db, styles):
+        with pytest.raises(LayoutError):
+            styles.get_template(db.new_oid("template"))
+
+
+class TestStructure:
+    def test_outline(self, structure, store):
+        h = store.create("d", "ana")
+        sec = structure.add_node(h.doc, "section", "ana", label="Intro")
+        structure.add_node(h.doc, "paragraph", "ana", parent=sec)
+        structure.add_node(h.doc, "paragraph", "ana", parent=sec)
+        out = structure.outline_text(h.doc)
+        assert out.splitlines() == [
+            "- section Intro", "  - paragraph", "  - paragraph",
+        ]
+
+    def test_unknown_kind_rejected(self, structure, store):
+        h = store.create("d", "ana")
+        with pytest.raises(StructureError):
+            structure.add_node(h.doc, "chapter", "ana")
+
+    def test_cross_document_parent_rejected(self, structure, store):
+        h1 = store.create("d1", "ana")
+        h2 = store.create("d2", "ana")
+        sec = structure.add_node(h1.doc, "section", "ana")
+        with pytest.raises(StructureError):
+            structure.add_node(h2.doc, "paragraph", "ana", parent=sec)
+
+    def test_positions_autoassigned(self, structure, store):
+        h = store.create("d", "ana")
+        a = structure.add_node(h.doc, "section", "ana")
+        b = structure.add_node(h.doc, "section", "ana")
+        roots = structure.roots(h.doc)
+        assert [r["node"] for r in roots] == [a, b]
+
+    def test_move_rejects_cycle(self, structure, store):
+        h = store.create("d", "ana")
+        a = structure.add_node(h.doc, "section", "ana")
+        b = structure.add_node(h.doc, "section", "ana", parent=a)
+        with pytest.raises(StructureError):
+            structure.move_node(a, b, 0)
+
+    def test_move_reorders(self, structure, store):
+        h = store.create("d", "ana")
+        a = structure.add_node(h.doc, "section", "ana")
+        b = structure.add_node(h.doc, "section", "ana")
+        structure.move_node(b, None, -1)
+        roots = structure.roots(h.doc)
+        assert [r["node"] for r in roots] == [b, a]
+
+    def test_remove_requires_recursive(self, structure, store):
+        h = store.create("d", "ana")
+        a = structure.add_node(h.doc, "section", "ana")
+        structure.add_node(h.doc, "paragraph", "ana", parent=a)
+        with pytest.raises(StructureError):
+            structure.remove_node(a)
+        assert structure.remove_node(a, recursive=True) == 2
+        assert structure.roots(h.doc) == []
+
+    def test_range_survives_concurrent_insert(self, structure, store):
+        h = store.create("d", "ana", text="0123456789")
+        sec = structure.add_node(h.doc, "section", "ana")
+        structure.set_range(sec, h.char_oid_at(2), h.char_oid_at(5))
+        assert structure.node_text(h, sec) == "2345"
+        h.insert_text(0, "XXX", "ben")   # shift everything right
+        assert structure.node_text(h, sec) == "2345"
+        h.insert_text(6, "!", "ben")     # inside the range (after '2')
+        assert structure.node_text(h, sec) == "2!345"
+
+    def test_containing_nodes(self, structure, store):
+        h = store.create("d", "ana", text="abcdef")
+        sec = structure.add_node(h.doc, "section", "ana")
+        structure.set_range(sec, h.char_oid_at(1), h.char_oid_at(4))
+        hits = structure.containing_nodes(h, 2)
+        assert [r["node"] for r in hits] == [sec]
+        assert structure.containing_nodes(h, 5) == []
+
+
+class TestObjects:
+    def test_insert_image_and_position(self, db, store):
+        objects = ObjectManager(db)
+        h = store.create("d", "ana", text="hello")
+        obj = objects.insert_image(h, 2, "ana", name="fig.png",
+                                   width=64, height=48)
+        positions = objects.objects_with_positions(h)
+        assert positions[0][0] == 2
+        assert positions[0][1]["obj"] == obj
+
+    def test_image_floats_with_edits(self, db, store):
+        objects = ObjectManager(db)
+        h = store.create("d", "ana", text="hello")
+        objects.insert_image(h, 2, "ana", name="f", width=1, height=1)
+        h.insert_text(0, "say ", "ben")
+        assert objects.objects_with_positions(h)[0][0] == 6
+
+    def test_table_cells(self, db, store):
+        objects = ObjectManager(db)
+        h = store.create("d", "ana", text="x")
+        tbl = objects.insert_table(h, 1, "ana", rows=2, cols=3)
+        objects.set_cell(tbl, 1, 2, "v", "ben")
+        assert objects.get(tbl)["data"]["cells"][1][2] == "v"
+
+    def test_cell_bounds_checked(self, db, store):
+        objects = ObjectManager(db)
+        h = store.create("d", "ana", text="x")
+        tbl = objects.insert_table(h, 0, "ana", rows=1, cols=1)
+        with pytest.raises(TextError):
+            objects.set_cell(tbl, 1, 0, "v", "ana")
+
+    def test_add_row(self, db, store):
+        objects = ObjectManager(db)
+        h = store.create("d", "ana", text="x")
+        tbl = objects.insert_table(h, 0, "ana", rows=1, cols=2)
+        objects.add_row(tbl, "ana")
+        data = objects.get(tbl)["data"]
+        assert data["rows"] == 2 and len(data["cells"]) == 2
+
+    def test_delete_and_restore(self, db, store):
+        objects = ObjectManager(db)
+        h = store.create("d", "ana", text="x")
+        obj = objects.insert_image(h, 0, "ana", name="f", width=1, height=1)
+        objects.delete_object(obj, "ana")
+        assert objects.objects_in(h.doc) == []
+        with pytest.raises(TextError):
+            objects.set_cell(obj, 0, 0, "v", "ana")
+        objects.restore_object(obj, "ana")
+        assert len(objects.objects_in(h.doc)) == 1
+
+    def test_invalid_dimensions(self, db, store):
+        objects = ObjectManager(db)
+        h = store.create("d", "ana", text="x")
+        with pytest.raises(TextError):
+            objects.insert_table(h, 0, "ana", rows=0, cols=2)
+
+    def test_render_table(self, db, store):
+        objects = ObjectManager(db)
+        h = store.create("d", "ana", text="x")
+        tbl = objects.insert_table(h, 0, "ana", rows=1, cols=2)
+        objects.set_cell(tbl, 0, 0, "hi", "ana")
+        text = objects.render_table(tbl)
+        assert "| hi |" in text
+
+
+class TestNotes:
+    def test_add_and_position(self, db, store):
+        notes = NoteManager(db)
+        h = store.create("d", "ana", text="hello")
+        note = notes.add_note(h, 1, "typo?", "ben")
+        positions = notes.notes_with_positions(h)
+        assert positions == [(1, notes.get(note))]
+
+    def test_note_floats(self, db, store):
+        notes = NoteManager(db)
+        h = store.create("d", "ana", text="hello")
+        notes.add_note(h, 1, "n", "ben")
+        h.insert_text(0, ">>", "ana")
+        assert notes.notes_with_positions(h)[0][0] == 3
+
+    def test_orphaned_note(self, db, store):
+        notes = NoteManager(db)
+        h = store.create("d", "ana", text="hello")
+        note = notes.add_note(h, 1, "n", "ben")
+        h.delete_range(1, 1, "ana")
+        assert notes.notes_with_positions(h)[0][0] is None
+        # Context still available through deleted anchors.
+        assert notes.anchor_context(note, 2) != ""
+
+    def test_resolve_and_reopen(self, db, store):
+        notes = NoteManager(db)
+        h = store.create("d", "ana", text="x")
+        note = notes.add_note(h, 0, "n", "ben")
+        notes.resolve(note, "ana")
+        assert notes.notes_in(h.doc) == []
+        assert len(notes.notes_in(h.doc, include_resolved=True)) == 1
+        notes.reopen(note, "ana")
+        assert len(notes.notes_in(h.doc)) == 1
+
+    def test_anchor_context_window(self, db, store):
+        notes = NoteManager(db)
+        h = store.create("d", "ana", text="abcdefghij")
+        note = notes.add_note(h, 5, "n", "ben")
+        assert notes.anchor_context(note, 2) == "defgh"
+
+
+class TestVersioning:
+    def test_tag_and_text_at(self, db, store):
+        versions = VersionManager(db)
+        h = store.create("d", "ana", text="v1 text")
+        v1 = versions.tag(h, "v1", "ana")
+        h.insert_text(7, "!", "ana")
+        assert versions.text_at(v1) == "v1 text"
+        assert h.text() == "v1 text!"
+
+    def test_diff(self, db, store):
+        versions = VersionManager(db)
+        h = store.create("d", "ana", text="abc")
+        v1 = versions.tag(h, "v1", "ana")
+        h.delete_range(0, 1, "ana")
+        h.insert_text(2, "XY", "ana")
+        v2 = versions.tag(h, "v2", "ana")
+        diff = versions.diff(v1, v2)
+        assert len(diff.added) == 2
+        assert len(diff.removed) == 1
+        assert not diff.is_empty
+
+    def test_restore_roundtrip(self, db, store):
+        versions = VersionManager(db)
+        h = store.create("d", "ana", text="original")
+        v1 = versions.tag(h, "v1", "ana")
+        h.delete_range(0, 4, "ben")
+        h.insert_text(0, "MODIFIED ", "ben")
+        result = versions.restore(h, v1, "ana")
+        assert h.text() == "original"
+        assert result["deleted"] == 9 and result["restored"] == 4
+
+    def test_restore_foreign_version_rejected(self, db, store):
+        versions = VersionManager(db)
+        h1 = store.create("d1", "ana", text="a")
+        h2 = store.create("d2", "ana", text="b")
+        v = versions.tag(h1, "v", "ana")
+        with pytest.raises(TextError):
+            versions.restore(h2, v, "ana")
+
+    def test_versions_listed_in_order(self, db, store):
+        versions = VersionManager(db)
+        h = store.create("d", "ana", text="a")
+        versions.tag(h, "first", "ana")
+        versions.tag(h, "second", "ana")
+        names = [v["name"] for v in versions.versions_of(h.doc)]
+        assert names == ["first", "second"]
+        assert versions.find(h.doc, "second") is not None
+        assert versions.find(h.doc, "zzz") is None

@@ -1,0 +1,216 @@
+"""Tests for document export/import and template application."""
+
+import pytest
+
+from repro.collab import CollaborationServer
+from repro.db import Database
+from repro.errors import TextError
+from repro.text import (
+    DocumentStore,
+    NoteManager,
+    ObjectManager,
+    StructureManager,
+    StyleManager,
+    export_json,
+    export_text,
+    import_json,
+)
+
+
+@pytest.fixture
+def db():
+    return Database("src")
+
+
+@pytest.fixture
+def store(db):
+    return DocumentStore(db)
+
+
+@pytest.fixture
+def target():
+    return DocumentStore(Database("dst"))
+
+
+class TestExport:
+    def test_export_text(self, store):
+        h = store.create("d", "ana", text="plain text")
+        assert export_text(h) == "plain text"
+
+    def test_export_json_shape(self, store):
+        h = store.create("d", "ana", text="ab", props={"k": 1})
+        payload = export_json(h)
+        assert payload["format"] == 1
+        assert payload["document"]["name"] == "d"
+        assert payload["document"]["props"] == {"k": 1}
+        assert len(payload["chars"]) == 2
+        assert payload["chars"][0]["ch"] == "a"
+
+    def test_export_includes_deleted_chars(self, store):
+        h = store.create("d", "ana", text="abc")
+        h.delete_range(1, 1, "ana")
+        payload = export_json(h)
+        assert len(payload["chars"]) == 3
+        assert sum(1 for c in payload["chars"] if c["deleted"]) == 1
+
+
+class TestImportRoundtrip:
+    def test_text_preserved(self, store, target):
+        h = store.create("d", "ana", text="hello world")
+        h.insert_text(5, ",", "ben")
+        h2 = import_json(target, export_json(h), "importer")
+        assert h2.text() == "hello, world"
+        assert h2.check_integrity() == []
+
+    def test_metadata_preserved(self, store, target):
+        h = store.create("d", "ana", text="ab")
+        h.insert_text(2, "c", "ben")
+        h2 = import_json(target, export_json(h), "importer")
+        assert h2.authors() == {"ana": 2, "ben": 1}
+
+    def test_deleted_chars_stay_deleted_but_present(self, store, target):
+        h = store.create("d", "ana", text="abc")
+        h.delete_range(0, 1, "ana")
+        h2 = import_json(target, export_json(h), "importer")
+        assert h2.text() == "bc"
+        # The deleted char exists in the chain (undo material survives).
+        from repro.text import chars as C
+        full = list(C.traverse(target.db, h2.doc, h2.begin_char,
+                               include_deleted=True))
+        assert len(full) == 3
+
+    def test_original_oids_recorded(self, store, target):
+        h = store.create("d", "ana", text="x")
+        original = str(h.char_oid_at(0))
+        h2 = import_json(target, export_json(h), "importer")
+        meta = h2.char_meta(0)
+        assert meta["props"]["imported_from"] == original
+
+    def test_styles_remapped(self, db, store, target):
+        styles = StyleManager(db)
+        h = store.create("d", "ana", text="ab")
+        bold = styles.define_style("b", {"bold": True}, "ana", doc=h.doc)
+        h.apply_style(0, 1, bold, "ana")
+        h2 = import_json(target, export_json(h), "importer")
+        runs = h2.styled_runs()
+        assert runs[0][0] == "a" and runs[0][1] is not None
+        target_styles = StyleManager(target.db)
+        assert target_styles.get_style(runs[0][1])["attrs"] == \
+            {"bold": True}
+
+    def test_structure_remapped(self, db, store, target):
+        structure = StructureManager(db)
+        h = store.create("d", "ana", text="abcdef")
+        sec = structure.add_node(h.doc, "section", "ana", label="S")
+        structure.add_node(h.doc, "paragraph", "ana", parent=sec)
+        structure.set_range(sec, h.char_oid_at(1), h.char_oid_at(3))
+        h2 = import_json(target, export_json(h), "importer")
+        target_structure = StructureManager(target.db)
+        outline = target_structure.outline_text(h2.doc)
+        assert outline == "- section S\n  - paragraph"
+        (root,) = target_structure.roots(h2.doc)
+        assert target_structure.node_text(h2, root["node"]) == "bcd"
+
+    def test_objects_and_notes_remapped(self, db, store, target):
+        objects = ObjectManager(db)
+        notes = NoteManager(db)
+        h = store.create("d", "ana", text="hello")
+        objects.insert_image(h, 2, "ana", name="f.png", width=1, height=1)
+        notes.add_note(h, 3, "margin", "ben")
+        h2 = import_json(target, export_json(h), "importer")
+        target_objects = ObjectManager(target.db)
+        positions = target_objects.objects_with_positions(h2)
+        assert positions[0][0] == 2
+        target_notes = NoteManager(target.db)
+        assert target_notes.notes_with_positions(h2)[0][0] == 3
+
+    def test_state_preserved(self, store, target):
+        h = store.create("d", "ana", text="x")
+        store.set_state(h.doc, "final", "ana")
+        h2 = import_json(target, export_json(h), "importer")
+        assert target.meta(h2.doc)["state"] == "final"
+
+    def test_imported_doc_editable(self, store, target):
+        h = store.create("d", "ana", text="abc")
+        h2 = import_json(target, export_json(h), "importer")
+        h2.insert_text(3, "!", "importer")
+        assert h2.text() == "abc!"
+
+    def test_bad_format_rejected(self, store, target):
+        with pytest.raises(TextError):
+            import_json(target, {"format": 99}, "importer")
+
+
+class TestTemplateWiring:
+    def test_create_document_with_template(self):
+        server = CollaborationServer()
+        server.register_user("ana")
+        session = server.connect("ana")
+        template = server.styles.define_template(
+            "report", "ana",
+            styles=[{"name": "h1", "attrs": {"bold": True, "size": 16}}],
+            structure=[
+                {"kind": "section", "label": "Introduction",
+                 "children": [{"kind": "paragraph"}]},
+                {"kind": "section", "label": "Conclusion"},
+            ],
+        )
+        handle = session.create_document("doc", template=template)
+        outline = server.structure.outline_text(handle.doc)
+        assert outline.splitlines() == [
+            "- section Introduction",
+            "  - paragraph",
+            "- section Conclusion",
+        ]
+        local = server.styles.find_style("h1", doc=handle.doc)
+        assert local is not None and local["doc"] == handle.doc
+
+    def test_apply_template_returns_created_objects(self):
+        server = CollaborationServer()
+        server.register_user("ana")
+        session = server.connect("ana")
+        template = server.styles.define_template(
+            "t", "ana",
+            styles=[{"name": "s", "attrs": {"italic": True}}],
+            structure=[{"kind": "section", "label": "A"}],
+        )
+        handle = session.create_document("doc")
+        created = server.apply_template(handle, template, "ana")
+        assert "s" in created["styles"]
+        assert len(created["nodes"]) == 1
+
+
+class TestRoundtripProperty:
+    """Export/import must preserve text and authorship for any history."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    _chars = st.text(alphabet=st.characters(min_codepoint=32,
+                                            max_codepoint=126),
+                     min_size=1, max_size=6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["insert", "delete"]),
+                              st.integers(0, 100), _chars),
+                    max_size=12))
+    def test_arbitrary_history_roundtrips(self, ops):
+        from repro.db import Database
+        source_store = DocumentStore(Database("src"))
+        handle = source_store.create("d", "ana", text="seed ")
+        users = ["ana", "ben"]
+        for i, (kind, pos_seed, payload) in enumerate(ops):
+            user = users[i % 2]
+            if kind == "insert":
+                pos = pos_seed % (handle.length() + 1)
+                handle.insert_text(pos, payload, user)
+            elif handle.length():
+                pos = pos_seed % handle.length()
+                count = min(len(payload), handle.length() - pos)
+                if count:
+                    handle.delete_range(pos, count, user)
+        target_store = DocumentStore(Database("dst"))
+        clone = import_json(target_store, export_json(handle), "importer")
+        assert clone.text() == handle.text()
+        assert clone.authors() == handle.authors()
+        assert clone.check_integrity() == []

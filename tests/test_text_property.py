@@ -1,0 +1,123 @@
+"""Property-based tests: the document against a plain-string model.
+
+The central invariant of the text-native representation: any sequence of
+position-addressed inserts/deletes/undeletes produces exactly the text a
+plain Python string would, the chain stays doubly-linked and acyclic, and
+every independently opened handle converges to the same text.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.db import Database
+from repro.text import DocumentStore
+
+chars = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    min_size=1, max_size=8,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 100), chars), max_size=20))
+def test_inserts_match_string_model(ops):
+    db = Database("p")
+    store = DocumentStore(db, log_reads=False, log_writes=False)
+    handle = store.create("d", "u")
+    model = ""
+    for raw_pos, text in ops:
+        pos = raw_pos % (len(model) + 1)
+        handle.insert_text(pos, text, "u")
+        model = model[:pos] + text + model[pos:]
+    assert handle.text() == model
+    assert handle.check_integrity() == []
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    chars,
+    st.lists(st.tuples(st.integers(0, 100), st.integers(1, 5)), max_size=10),
+)
+def test_deletes_match_string_model(initial, deletions):
+    db = Database("p")
+    store = DocumentStore(db, log_reads=False, log_writes=False)
+    handle = store.create("d", "u", text=initial)
+    model = initial
+    for raw_pos, raw_count in deletions:
+        if not model:
+            break
+        pos = raw_pos % len(model)
+        count = min(raw_count, len(model) - pos)
+        handle.delete_range(pos, count, "u")
+        model = model[:pos] + model[pos + count:]
+    assert handle.text() == model
+    assert handle.check_integrity() == []
+
+
+class EditorModel(RuleBasedStateMachine):
+    """Random edit programme with two open handles and undelete."""
+
+    @initialize()
+    def setup(self):
+        self.db = Database("p")
+        self.store = DocumentStore(self.db, log_reads=False,
+                                   log_writes=False)
+        self.h1 = self.store.create("d", "u1")
+        self.h2 = self.store.open(self.h1.doc, "u2")
+        self.model = ""
+        self.deleted_batches: list[tuple[str, list]] = []
+
+    def _handle(self, who: int):
+        return self.h1 if who == 0 else self.h2
+
+    @rule(who=st.integers(0, 1), raw_pos=st.integers(0, 200), text=chars)
+    def insert(self, who, raw_pos, text):
+        pos = raw_pos % (len(self.model) + 1)
+        self._handle(who).insert_text(pos, text, f"u{who}")
+        self.model = self.model[:pos] + text + self.model[pos:]
+
+    @rule(who=st.integers(0, 1), raw_pos=st.integers(0, 200),
+          raw_count=st.integers(1, 6))
+    def delete(self, who, raw_pos, raw_count):
+        if not self.model:
+            return
+        pos = raw_pos % len(self.model)
+        count = min(raw_count, len(self.model) - pos)
+        removed_text = self.model[pos:pos + count]
+        oids = self._handle(who).delete_range(pos, count, f"u{who}")
+        self.model = self.model[:pos] + self.model[pos + count:]
+        self.deleted_batches.append((removed_text, oids))
+
+    @rule(who=st.integers(0, 1))
+    def undelete_last(self, who):
+        if not self.deleted_batches:
+            return
+        __, oids = self.deleted_batches.pop()
+        handle = self._handle(who)
+        handle.undelete_chars(oids, f"u{who}")
+        # Recompute the model from the authoritative handle: undeleted
+        # characters reappear at their chain positions.
+        self.model = handle.text()
+
+    @invariant()
+    def handles_converge(self):
+        assert self.h1.text() == self.model
+        assert self.h2.text() == self.model
+
+    @invariant()
+    def chain_is_healthy(self):
+        assert self.h1.check_integrity() == []
+
+    @invariant()
+    def size_metadata_consistent(self):
+        meta = self.store.meta(self.h1.doc)
+        assert meta["size"] == len(self.model)
+
+
+TestEditorModel = EditorModel.TestCase
+TestEditorModel.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None
+)

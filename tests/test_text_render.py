@@ -1,0 +1,114 @@
+"""Tests for the Markdown renderer."""
+
+import pytest
+
+from repro.collab import CollaborationServer
+from repro.db import Database
+from repro.text import (
+    DocumentStore,
+    NoteManager,
+    ObjectManager,
+    StructureManager,
+    StyleManager,
+    export_markdown,
+)
+
+
+@pytest.fixture
+def db():
+    return Database("t")
+
+
+@pytest.fixture
+def store(db):
+    return DocumentStore(db)
+
+
+class TestMarkdownExport:
+    def test_title_and_footer(self, store):
+        h = store.create("My Doc", "ana", text="body")
+        md = export_markdown(h)
+        assert md.startswith("# My Doc\n")
+        assert "*ana's document, state: draft, 4 characters.*" in md
+
+    def test_bold_italic_runs(self, db, store):
+        styles = StyleManager(db)
+        h = store.create("d", "ana", text="plain bold italic")
+        bold = styles.define_style("b", {"bold": True}, "ana")
+        italic = styles.define_style("i", {"italic": True}, "ana")
+        h.apply_style(6, 4, bold, "ana")
+        h.apply_style(11, 6, italic, "ana")
+        md = export_markdown(h)
+        assert "**bold**" in md
+        assert "*italic*" in md
+        assert "plain " in md
+
+    def test_bold_italic_combined(self, db, store):
+        styles = StyleManager(db)
+        h = store.create("d", "ana", text="both")
+        style = styles.define_style("bi", {"bold": True, "italic": True},
+                                    "ana")
+        h.apply_style(0, 4, style, "ana")
+        assert "***both***" in export_markdown(h)
+
+    def test_heading_level_styles(self, db, store):
+        styles = StyleManager(db)
+        h = store.create("d", "ana", text="Heading\nbody text")
+        heading = styles.define_style("h2", {"heading_level": 2}, "ana")
+        h.apply_style(0, 7, heading, "ana")
+        md = export_markdown(h)
+        assert "\n## Heading\n" in md
+
+    def test_outline_section(self, db, store):
+        structure = StructureManager(db)
+        h = store.create("d", "ana", text="x")
+        sec = structure.add_node(h.doc, "section", "ana", label="Intro")
+        structure.add_node(h.doc, "paragraph", "ana", parent=sec)
+        md = export_markdown(h)
+        assert "## Outline" in md
+        assert "- section Intro" in md
+        assert "  - paragraph" in md
+
+    def test_no_outline_section_when_unstructured(self, store):
+        h = store.create("d", "ana", text="x")
+        assert "## Outline" not in export_markdown(h)
+
+    def test_objects_rendered(self, db, store):
+        objects = ObjectManager(db)
+        h = store.create("d", "ana", text="some body text")
+        objects.insert_image(h, 2, "ana", name="fig.png", width=3,
+                             height=4, content_ref="assets/fig.png")
+        table = objects.insert_table(h, 5, "ana", rows=2, cols=2)
+        objects.set_cell(table, 0, 0, "head", "ana")
+        objects.set_cell(table, 1, 0, "cell", "ana")
+        md = export_markdown(h)
+        assert "![fig.png](assets/fig.png) (3x4, at position 2)" in md
+        assert "| head |" in md
+        assert "| cell |" in md
+
+    def test_notes_rendered(self, db, store):
+        notes = NoteManager(db)
+        h = store.create("d", "ana", text="needs review")
+        notes.add_note(h, 6, "who approved this?", "ben")
+        md = export_markdown(h)
+        assert "- [ben @6] who approved this?" in md
+
+    def test_resolved_notes_omitted(self, db, store):
+        notes = NoteManager(db)
+        h = store.create("d", "ana", text="x")
+        note = notes.add_note(h, 0, "done already", "ben")
+        notes.resolve(note, "ana")
+        assert "## Notes" not in export_markdown(h)
+
+    def test_full_document_via_server(self):
+        server = CollaborationServer()
+        server.register_user("ana")
+        session = server.connect("ana")
+        handle = session.create_document("full", text="Title\nBody here")
+        heading = server.styles.define_style(
+            "h1", {"heading_level": 1}, "ana")
+        session.apply_style(handle.doc, 0, 5, heading)
+        md = export_markdown(handle)
+        assert "# full" in md
+        assert "# Title" in md
+        assert "Body here" in md

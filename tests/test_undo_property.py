@@ -1,0 +1,120 @@
+"""Property-based tests for undo/redo.
+
+The defining invariants of operation-log undo:
+
+* undoing every operation (globally) restores the original text, and
+  redoing everything restores the final text — regardless of the op mix;
+* a user's local undo only ever removes the effects of that user's own
+  operations.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collab import CollaborationServer
+from repro.errors import UndoError
+
+words = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1, max_size=6,
+)
+
+# An op is (user_index, kind, position_seed, payload)
+ops = st.lists(
+    st.tuples(
+        st.integers(0, 1),
+        st.sampled_from(["insert", "delete"]),
+        st.integers(0, 1000),
+        words,
+    ),
+    min_size=1, max_size=15,
+)
+
+
+def _build(ops_list):
+    server = CollaborationServer()
+    server.register_user("u0")
+    server.register_user("u1")
+    s0 = server.connect("u0")
+    s1 = server.connect("u1")
+    handle = s0.create_document("d", text="base text ")
+    s1.open(handle.doc)
+    sessions = [s0, s1]
+    original = handle.text()
+    applied = 0
+    for user, kind, pos_seed, payload in ops_list:
+        session = sessions[user]
+        length = handle.length()
+        if kind == "insert":
+            session.insert(handle.doc, pos_seed % (length + 1), payload)
+            applied += 1
+        else:
+            if length == 0:
+                continue
+            pos = pos_seed % length
+            count = min(len(payload), length - pos)
+            if count == 0:
+                continue
+            session.delete(handle.doc, pos, count)
+            applied += 1
+    return server, sessions, handle, original, applied
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops)
+def test_global_undo_everything_restores_original(ops_list):
+    server, sessions, handle, original, applied = _build(ops_list)
+    final = handle.text()
+    for __ in range(applied):
+        sessions[0].undo_global(handle.doc)
+    assert handle.text() == original
+    # And redo everything brings the final text back.
+    for __ in range(applied):
+        sessions[0].redo_global(handle.doc)
+    assert handle.text() == final
+    assert handle.check_integrity() == []
+    # Size metadata must track the visible length exactly, even through
+    # overlapping undo/redo histories.
+    assert server.documents.meta(handle.doc)["size"] == handle.length()
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops)
+def test_local_undo_exhausts_only_own_ops(ops_list):
+    server, sessions, handle, original, applied = _build(ops_list)
+    own = server.undo.undo_depth(handle.doc, "u0")
+    for __ in range(own):
+        sessions[0].undo(handle.doc)
+    # No more local undo available for u0.
+    try:
+        sessions[0].undo(handle.doc)
+        raise AssertionError("expected UndoError")
+    except UndoError:
+        pass
+    # Other user's ops are still all present in the history.
+    assert server.undo.undo_depth(handle.doc, "u1") == \
+        sum(1 for r in server.undo.history(handle.doc)
+            if r.user == "u1" and not r.undone)
+    assert handle.check_integrity() == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops, st.integers(1, 5))
+def test_undo_redo_cycles_are_stable(ops_list, cycles):
+    """N undo/redo cycles leave the text exactly at the final state."""
+    server, sessions, handle, original, applied = _build(ops_list)
+    final = handle.text()
+    depth = min(applied, 3)
+    for __ in range(cycles):
+        done = 0
+        for __ in range(depth):
+            try:
+                sessions[0].undo_global(handle.doc)
+                done += 1
+            except UndoError:
+                break
+        for __ in range(done):
+            sessions[0].redo_global(handle.doc)
+    assert handle.text() == final
