@@ -116,6 +116,70 @@ def test_wal_write_overhead(benchmark):
 
 
 # ---------------------------------------------------------------------------
+# Recovery under torn-tail logs (fault-injection tie-in)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.filterwarnings("ignore:skipping torn trailing WAL record")
+@pytest.mark.parametrize("n_edits", EDIT_COUNTS)
+def test_recovery_with_torn_tail(benchmark, tmp_path, n_edits):
+    """Replay a file whose last record is a torn (crash-severed) write.
+
+    The cost must track log size exactly like the clean-log replay above:
+    detecting and skipping the torn tail is O(1), not a rescan.
+    """
+    from repro.db import recover_file
+    path = str(tmp_path / "wal.jsonl")
+    db = Database("bench", wal_path=path)
+    store = DocumentStore(db, log_reads=False, log_writes=False)
+    handle = store.create("doc", "ana", text="seed ")
+    for i in range(n_edits):
+        handle.insert_text(handle.length(), "x", "ana")
+        if i % 10 == 9:
+            handle.delete_range(0, 1, "ana")
+    expected_text = handle.text()
+    db.close()
+    # The crash signature: a prefix of a record, mid-JSON.
+    with open(path, "a", encoding="utf-8") as f:
+        f.write('{"lsn": 999999, "type": "COMMIT", "tx')
+
+    def replay():
+        return recover_file(path)
+
+    benchmark.group = f"C3 recovery torn-tail edits={n_edits}"
+    recovered = benchmark.pedantic(replay, rounds=3, iterations=1)
+    new_handle = DocumentStore(recovered).handle(handle.doc)
+    assert new_handle.text() == expected_text
+    assert new_handle.check_integrity() == []
+
+
+@pytest.mark.filterwarnings("ignore:skipping torn trailing WAL record")
+def test_recovery_after_seeded_crash_schedule(benchmark, tmp_path):
+    """Recover the wreckage of a real injected crash (torture harness)."""
+    from repro.faults import (
+        FaultPlan,
+        check_recovery_equivalence,
+        run_engine_schedule,
+    )
+
+    seed = 20_06  # fixed: benchmarks must compare like with like
+    outcome = run_engine_schedule(
+        seed, str(tmp_path / "wal.jsonl"),
+        plan=FaultPlan.crash_once("wal.mid_record", hit=40, tear=0.4),
+    )
+    assert outcome.crashed
+
+    from repro.db import recover_file
+
+    def replay():
+        return recover_file(outcome.wal_path)
+
+    benchmark.group = "C3 recovery after injected crash"
+    benchmark.extra_info["crash_point"] = outcome.crash_point
+    benchmark.pedantic(replay, rounds=3, iterations=1)
+    check_recovery_equivalence(outcome)
+
+
+# ---------------------------------------------------------------------------
 # Security enforcement overhead
 # ---------------------------------------------------------------------------
 

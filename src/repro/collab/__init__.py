@@ -1,6 +1,7 @@
 """Collaborative real-time editing: server, sessions, editors, undo."""
 
 from .awareness import AwarenessRegistry, CursorState, resolve_anchor_position
+from .bus import DeliveryBus
 from .clipboard import Clipboard, ClipboardContent
 from .editor import EditorClient
 from .operations import ApplyStyle, DeleteChars, InsertText, Operation, UndoRecord
@@ -16,6 +17,7 @@ __all__ = [
     "CollaborationServer",
     "CursorState",
     "DeleteChars",
+    "DeliveryBus",
     "EditingSession",
     "EditorClient",
     "InsertText",

@@ -1,0 +1,70 @@
+"""Notification delivery: the collab layer's simulated network.
+
+The paper's editors sit on different machines; here "the network" is the
+hop between a database commit and each session's inbox.  By default that
+hop is instantaneous, exactly as before.  With a
+:class:`~repro.faults.plan.DeliveryFault` in the server's fault plan, the
+:class:`DeliveryBus` holds a seeded fraction of notifications back and
+releases the backlog — optionally out of order — on :meth:`drain`,
+simulating delayed and reordered propagation.  The torture suite's
+convergence property is stated against this bus: once delivery drains,
+every replica must agree.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.injector import FaultInjector
+    from .session import EditingSession, Notification
+
+
+class DeliveryBus:
+    """Routes notifications to session inboxes, with injectable faults."""
+
+    def __init__(self, faults: "FaultInjector | None" = None) -> None:
+        from ..faults.injector import NO_FAULTS
+        self.faults = faults if faults is not None else NO_FAULTS
+        self._pending: list[tuple["EditingSession", "Notification"]] = []
+        self.stats = {"delivered": 0, "held": 0, "drains": 0}
+
+    def send(self, session: "EditingSession",
+             notification: "Notification") -> bool:
+        """Deliver now, or hold per the fault plan.  True if delivered."""
+        if self.faults.delivery_action() == "hold":
+            self._pending.append((session, notification))
+            self.stats["held"] += 1
+            return False
+        self._deliver(session, notification)
+        return True
+
+    def drain(self) -> int:
+        """Deliver every held notification; returns how many.
+
+        The fault plan chooses the release order, so replicas can observe
+        out-of-order propagation — but never loss: drain always empties
+        the backlog (the convergence property's precondition).
+        """
+        pending, self._pending = self._pending, []
+        for index in self.faults.drain_order(len(pending)):
+            self._deliver(*pending[index])
+        self.stats["drains"] += 1
+        return len(pending)
+
+    @property
+    def pending(self) -> int:
+        """Held notifications not yet delivered."""
+        return len(self._pending)
+
+    def _deliver(self, session: "EditingSession",
+                 notification: "Notification") -> None:
+        # Dropping a notification for a session that disconnected while
+        # it was in flight mirrors a network send to a closed socket.
+        if session.connected:
+            session._notify(notification)
+        self.stats["delivered"] += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"DeliveryBus(pending={self.pending}, "
+                f"delivered={self.stats['delivered']})")

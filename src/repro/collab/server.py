@@ -31,6 +31,7 @@ from ..text import (
 )
 from ..text import dbschema as S
 from .awareness import AwarenessRegistry
+from .bus import DeliveryBus
 from .session import EditingSession, Notification
 from .undo import UndoManager
 
@@ -46,10 +47,14 @@ class CollaborationServer:
 
     def __init__(self, db: Database | None = None, *, node: str = "tendax",
                  clock: Clock | None = None,
-                 wal_path: str | None = None) -> None:
+                 wal_path: str | None = None,
+                 faults=None) -> None:
         self.db = db if db is not None else Database(
-            node, clock=clock, wal_path=wal_path,
+            node, clock=clock, wal_path=wal_path, faults=faults,
         )
+        self.faults = faults if faults is not None else self.db.faults
+        #: The "network" between commits and session inboxes.
+        self.delivery = DeliveryBus(self.faults)
         self.documents = DocumentStore(self.db)
         self.principals = PrincipalRegistry(self.db)
         self.acl = AccessController(self.db, self.principals)
@@ -62,6 +67,7 @@ class CollaborationServer:
         self.awareness = AwarenessRegistry()
         self._sessions: dict[int, EditingSession] = {}
         self._session_counter = itertools.count(1)
+        self._notification_seq = itertools.count(1)
         self._operating_session: EditingSession | None = None
         self._subscription = self.db.bus.subscribe("db.commit",
                                                    self._on_commit)
@@ -81,6 +87,8 @@ class CollaborationServer:
             "db_aborts": self.db.stats["aborts"],
             "wal_records": len(self.db.wal),
             "lock_stats": dict(self.db.locks.stats),
+            "delivery": dict(self.delivery.stats,
+                             pending=self.delivery.pending),
         }
 
     # ------------------------------------------------------------------
@@ -180,12 +188,13 @@ class CollaborationServer:
                 tables=tuple(sorted(entry["tables"])),
                 n_changes=entry["count"],
                 at=now,
+                seq=next(self._notification_seq),
             )
             for session in self._sessions.values():
                 if doc in session.open_documents():
                     if origin is not None and session.id == origin.id:
                         continue
-                    session._notify(notification)
+                    self.delivery.send(session, notification)
                     self.stats["notifications"] += 1
 
     # ------------------------------------------------------------------
@@ -194,6 +203,7 @@ class CollaborationServer:
 
     def shutdown(self) -> None:
         """Disconnect all sessions and stop listening to commits."""
+        self.delivery.drain()
         for session in list(self._sessions.values()):
             session.disconnect()
         self._subscription.cancel()

@@ -25,7 +25,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass(frozen=True)
 class Notification:
-    """A change delivered to a session's inbox."""
+    """A change delivered to a session's inbox.
+
+    ``seq`` is the server's global send order; an inbox whose sequence
+    numbers are not ascending observed out-of-order delivery (possible
+    only under injected delivery faults — see
+    :class:`~repro.collab.bus.DeliveryBus`).
+    """
 
     doc: Oid
     origin_session: int | None
@@ -33,6 +39,7 @@ class Notification:
     tables: tuple[str, ...]
     n_changes: int
     at: float
+    seq: int = 0
 
 
 class EditingSession:

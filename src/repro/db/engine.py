@@ -52,6 +52,10 @@ class Database:
         :class:`~repro.clock.SimulatedClock` for deterministic runs.
     lock_timeout:
         Default seconds a transaction waits for a contended lock.
+    faults:
+        Optional :class:`~repro.faults.injector.FaultInjector` threaded
+        through the WAL, transactions, checkpoints and the lock manager
+        for deterministic crash/latency torture (see ``docs/FAULTS.md``).
     """
 
     def __init__(
@@ -61,12 +65,16 @@ class Database:
         wal_path: str | None = None,
         clock: Clock | None = None,
         lock_timeout: float = 5.0,
+        faults=None,
     ) -> None:
+        from ..faults.injector import NO_FAULTS
         self.node = node
         self.clock: Clock = clock if clock is not None else SystemClock()
         self.ids = IdNamespace(node)
-        self.locks = LockManager(default_timeout=lock_timeout)
-        self.wal = WriteAheadLog(wal_path)
+        self.faults = faults if faults is not None else NO_FAULTS
+        self.locks = LockManager(default_timeout=lock_timeout,
+                                 faults=self.faults)
+        self.wal = WriteAheadLog(wal_path, faults=self.faults)
         self.bus = EventBus()
         self.triggers = TriggerRegistry()
         self.catalog = Catalog(self)
@@ -228,10 +236,16 @@ class Database:
         """Write a full snapshot into the WAL; returns the checkpoint LSN.
 
         Recovery can start from the latest checkpoint instead of replaying
-        history from the beginning.
+        history from the beginning.  The ``checkpoint.mid_snapshot``
+        crash point fires halfway through the table sweep: a crash there
+        must leave recovery falling back to the previous checkpoint (or
+        full history) — never a half-snapshot.
         """
         snapshot = {}
-        for name, table in self._tables.items():
+        tables = list(self._tables.items())
+        for position, (name, table) in enumerate(tables, start=1):
+            if position == (len(tables) + 1) // 2:
+                self.faults.fire("checkpoint.mid_snapshot", table=name)
             snapshot[name] = {
                 "schema": {
                     "key": table.schema.key,

@@ -14,10 +14,14 @@ can pass ``timeout=0`` to get immediate ``LockTimeoutError`` on conflict.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable
 
 from ..errors import DeadlockError, LockTimeoutError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.injector import FaultInjector
 
 SHARED = "S"
 EXCLUSIVE = "X"
@@ -50,15 +54,25 @@ class _LockState:
 
 
 class LockManager:
-    """Grants S/X locks on hashable resource keys to transaction ids."""
+    """Grants S/X locks on hashable resource keys to transaction ids.
 
-    def __init__(self, default_timeout: float = 5.0) -> None:
+    An optional :class:`~repro.faults.injector.FaultInjector` is
+    consulted before every acquire: it can force an immediate timeout
+    (as if the wait expired under contention) or inject latency to widen
+    race windows — the torture suite's handle on lock-failure paths.
+    """
+
+    def __init__(self, default_timeout: float = 5.0,
+                 faults: "FaultInjector | None" = None) -> None:
+        from ..faults.injector import NO_FAULTS
         self._states: dict[Hashable, _LockState] = {}
         self._held_by_txn: dict[int, set[Hashable]] = {}
         self._cond = threading.Condition()
         self.default_timeout = default_timeout
+        self.faults = faults if faults is not None else NO_FAULTS
         #: Counters for observability / benchmarks.
-        self.stats = {"acquired": 0, "waited": 0, "deadlocks": 0, "timeouts": 0}
+        self.stats = {"acquired": 0, "waited": 0, "deadlocks": 0,
+                      "timeouts": 0, "injected": 0}
 
     # -- public API ---------------------------------------------------------
 
@@ -77,6 +91,15 @@ class LockManager:
         """
         if mode not in (SHARED, EXCLUSIVE):
             raise ValueError(f"unknown lock mode {mode!r}")
+        fault = self.faults.lock_action(txn_id, resource, mode)
+        if fault is not None:
+            self.stats["injected"] += 1
+            if fault.kind == "timeout":
+                self.stats["timeouts"] += 1
+                raise LockTimeoutError(
+                    f"injected timeout: txn {txn_id} on {resource!r} ({mode})"
+                )
+            time.sleep(fault.delay)
         deadline_timeout = self.default_timeout if timeout is None else timeout
         with self._cond:
             state = self._states.setdefault(resource, _LockState())

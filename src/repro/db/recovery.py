@@ -128,6 +128,12 @@ def recover_file(
     clock: Clock | None = None,
     wal_path: str | None = None,
 ) -> Database:
-    """Recover from a WAL file written by a (crashed) engine."""
+    """Recover from a WAL file written by a (crashed) engine.
+
+    A torn trailing record (the signature of a crash mid-append) is
+    skipped with a warning — crash recovery must get past the crash's
+    own debris.  Corruption *before* the tail still raises, via
+    :meth:`~repro.db.wal.WriteAheadLog.load_file`.
+    """
     records = walmod.WriteAheadLog.load_file(path)
     return recover(records, node=node, clock=clock, wal_path=wal_path)

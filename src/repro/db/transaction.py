@@ -190,10 +190,20 @@ class Transaction:
     # -- lifecycle ------------------------------------------------------------
 
     def commit(self) -> list[Change]:
-        """Commit: log, apply staged images, release locks, fire triggers."""
+        """Commit: log, apply staged images, release locks, fire triggers.
+
+        Crash points: ``txn.pre_commit`` fires before the COMMIT record
+        is appended (a crash here loses the transaction), and
+        ``txn.post_commit`` fires right after it is durable but before
+        the staged images are applied (a crash here must still surface
+        the transaction after recovery — the commit point is the WAL
+        append, not the in-memory apply).
+        """
         self._require_active()
         with self._lock:
+            self._db.faults.fire("txn.pre_commit", txn=self.txn_id)
             self._db.wal.append(walmod.COMMIT, self.txn_id)
+            self._db.faults.fire("txn.post_commit", txn=self.txn_id)
             changes: list[Change] = []
             for table_name, rowid in self._ops:
                 table = self._db.table(table_name)

@@ -18,11 +18,15 @@ from __future__ import annotations
 import json
 import os
 import threading
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
 from ..errors import WalError
 from ..ids import Oid
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.injector import FaultInjector
 
 # Record types.
 BEGIN = "BEGIN"
@@ -99,14 +103,29 @@ class WriteAheadLog:
         as one JSON line and flushed on commit boundaries, so a crash loses
         at most the in-flight (uncommitted) tail — never a committed
         transaction.
+    faults:
+        Optional :class:`~repro.faults.injector.FaultInjector`.  The WAL
+        passes three crash points — ``wal.before_append`` (record never
+        lands anywhere), ``wal.mid_record`` (a torn prefix of the JSON
+        line reaches the file, then death) and ``wal.before_fsync``
+        (record written, the commit-boundary fsync never happens) — and
+        supports :meth:`power_off` so a simulated power loss drops every
+        byte since the last fsync.
     """
 
-    def __init__(self, path: str | None = None) -> None:
+    def __init__(self, path: str | None = None,
+                 faults: "FaultInjector | None" = None) -> None:
+        from ..faults.injector import NO_FAULTS
         self._records: list[WalRecord] = []
-        self._lock = threading.Lock()
+        self._lock = threading.RLock()
         self._next_lsn = 1
         self._path = path
         self._file = open(path, "a", encoding="utf-8") if path else None
+        #: File size at the last fsync: what survives a power loss.
+        self._durable_size = (os.path.getsize(path)
+                              if path and os.path.exists(path) else 0)
+        self.faults = faults if faults is not None else NO_FAULTS
+        self.faults.attach_wal(self)
 
     @property
     def path(self) -> str | None:
@@ -116,11 +135,11 @@ class WriteAheadLog:
         """Append one record and return it (with its assigned LSN)."""
         if type_ not in _TYPES:
             raise WalError(f"unknown WAL record type {type_!r}")
+        self.faults.fire("wal.before_append", type=type_, txn=txn_id)
         with self._lock:
             record = WalRecord(self._next_lsn, type_, txn_id,
                                encode_value(payload))
             self._next_lsn += 1
-            self._records.append(record)
             if self._file is not None:
                 line = json.dumps({
                     "lsn": record.lsn,
@@ -128,10 +147,22 @@ class WriteAheadLog:
                     "txn": record.txn_id,
                     "payload": record.payload,
                 })
+                torn = self.faults.check("wal.mid_record")
+                if torn is not None:
+                    # Torn write: a prefix of the line (never the whole
+                    # line) reaches the file, then the process dies.
+                    keep = max(1, min(len(line) - 1,
+                                      int(len(line) * torn.tear)))
+                    self._file.write(line[:keep])
+                    self.faults.crash(torn, type=type_, txn=txn_id)
                 self._file.write(line + "\n")
                 if type_ in (COMMIT, ABORT, CHECKPOINT):
+                    self.faults.fire("wal.before_fsync", type=type_,
+                                     txn=txn_id)
                     self._file.flush()
                     os.fsync(self._file.fileno())
+                    self._durable_size = self._file.tell()
+            self._records.append(record)
             return record
 
     def records(self) -> Iterator[WalRecord]:
@@ -164,6 +195,26 @@ class WriteAheadLog:
             self._file.close()
             self._file = None
 
+    def power_off(self, *, lose_unsynced: bool = False) -> None:
+        """Simulate losing the process (or the machine) mid-flight.
+
+        A *process* crash loses only user-space buffers — the OS page
+        cache survives — so flushed-but-unsynced bytes are kept.  A
+        *power loss* (``lose_unsynced=True``) truncates the file back to
+        the last fsync boundary: only what :meth:`append` fsynced is
+        durable.  Either way the file handle is dropped, so nothing the
+        "dead" process does afterwards can reach disk.
+        """
+        with self._lock:
+            if self._file is None:
+                return
+            self._file.flush()
+            self._file.close()
+            self._file = None
+            if lose_unsynced and self._path is not None:
+                with open(self._path, "r+b") as raw:
+                    raw.truncate(self._durable_size)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._records)
@@ -172,21 +223,38 @@ class WriteAheadLog:
     def load_file(path: str) -> list[WalRecord]:
         """Read a mirrored log file back into records (for recovery).
 
-        A torn final line (crash mid-write) is tolerated and ignored.
+        A torn *trailing* record — a crash mid-write leaves a partial
+        JSON line, or one missing required fields — is skipped with a
+        warning: that is the expected signature of process death and
+        recovery must proceed past it.  A malformed record *followed by
+        valid ones* is a different story (real corruption, not a torn
+        tail) and raises :class:`~repro.errors.WalError` rather than
+        silently discarding committed history.
         """
         records: list[WalRecord] = []
         with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    raw = json.loads(line)
-                except json.JSONDecodeError:
-                    break  # torn tail record: everything after is suspect
-                records.append(WalRecord(
-                    raw["lsn"], raw["type"], raw["txn"], raw["payload"],
-                ))
+            lines = [line.strip() for line in handle]
+        lines = [line for line in lines if line]
+        for i, line in enumerate(lines):
+            try:
+                raw = json.loads(line)
+                record = WalRecord(raw["lsn"], raw["type"], raw["txn"],
+                                   raw.get("payload", {}))
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                if i == len(lines) - 1:
+                    warnings.warn(
+                        f"skipping torn trailing WAL record in {path!r} "
+                        f"(crash mid-write): {exc!r}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    break
+                raise WalError(
+                    f"corrupt WAL record at line {i + 1} of {path!r} "
+                    f"(not a torn tail — {len(lines) - i - 1} valid-looking "
+                    f"records follow): {exc!r}"
+                ) from exc
+            records.append(record)
         return records
 
 

@@ -1,0 +1,53 @@
+"""Deterministic fault injection: crash points, fault plans, torture tools.
+
+The paper sells DBMS-grade guarantees for word processing; this package
+is how the reproduction earns them off the happy path.  It provides:
+
+* named **crash points** threaded through the engine
+  (:data:`~repro.faults.plan.CRASH_POINTS`) that a seeded
+  :class:`~repro.faults.plan.FaultPlan` turns into simulated process
+  death, torn WAL writes, and fsync loss;
+* **lock faults** (forced timeouts, injected latency) and **delivery
+  faults** (held / out-of-order collab notifications);
+* a :class:`~repro.faults.scheduler.DeterministicScheduler` replaying
+  concurrent-typist interleavings from one seed; and
+* the torture harness (:mod:`repro.faults.harness`) asserting the
+  recovery-equivalence property across seeded crash schedules.
+
+Everything reproduces from a single integer seed; see ``docs/FAULTS.md``.
+"""
+
+from .harness import (
+    ScheduleOutcome,
+    check_recovery_equivalence,
+    recovered_rows,
+    run_engine_schedule,
+)
+from .injector import NO_FAULTS, FaultInjector, FiredFault, NullInjector
+from .plan import (
+    CRASH_POINTS,
+    CrashSignal,
+    CrashSpec,
+    DeliveryFault,
+    FaultPlan,
+    LockFault,
+)
+from .scheduler import DeterministicScheduler
+
+__all__ = [
+    "CRASH_POINTS",
+    "CrashSignal",
+    "CrashSpec",
+    "DeliveryFault",
+    "DeterministicScheduler",
+    "FaultInjector",
+    "FaultPlan",
+    "FiredFault",
+    "LockFault",
+    "NO_FAULTS",
+    "NullInjector",
+    "ScheduleOutcome",
+    "check_recovery_equivalence",
+    "recovered_rows",
+    "run_engine_schedule",
+]

@@ -1,0 +1,169 @@
+"""Torture harness: seeded crash schedules + the recovery-equivalence check.
+
+The property under test ("recovery equivalence"): for *every* crash
+schedule, the database recovered from the surviving WAL file equals the
+state produced by applying exactly the transactions whose COMMIT record
+survived on disk — the committed prefix — to an independent, trivially
+correct model (a plain dict).  The model shares no code with the engine's
+staging/replay machinery, so agreement is evidence, not tautology.
+
+:func:`run_engine_schedule` drives one seeded schedule against a
+file-backed :class:`~repro.db.engine.Database` with a
+:class:`~repro.faults.plan.FaultPlan` derived from the same seed;
+:func:`check_recovery_equivalence` recovers and compares.  Both are used
+by ``tests/test_crash_torture.py`` and the recovery benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..db import Database, column, recover_file
+from ..db.wal import WriteAheadLog, committed_txn_ids
+from ..errors import LockTimeoutError
+from .injector import FaultInjector
+from .plan import CrashSignal, FaultPlan
+
+#: The torture table: a unique string key and an integer payload.
+TABLE = "kv"
+
+
+@dataclass
+class ScheduleOutcome:
+    """What one seeded crash schedule did and what must survive it."""
+
+    seed: int
+    wal_path: str
+    crashed: bool
+    crash_point: str | None
+    #: txn id -> ops attempted, each ("put", rowid, row) or ("del", rowid, None).
+    attempts: dict[int, list] = field(default_factory=dict)
+    #: Ground truth: rowid -> row for every txn committed *on disk*.
+    expected_rows: dict[int, dict] = field(default_factory=dict)
+    committed_txns: int = 0
+    checkpoints: int = 0
+
+
+def run_engine_schedule(
+    seed: int,
+    wal_path: str,
+    *,
+    n_txns: int = 30,
+    max_ops_per_txn: int = 4,
+    checkpoint_every: int | None = 7,
+    plan: FaultPlan | None = None,
+) -> ScheduleOutcome:
+    """Run one seeded, possibly-crashing workload against a fresh engine.
+
+    The fault plan defaults to ``FaultPlan.random(seed)``; the workload
+    RNG is derived from the same seed, so the whole schedule — every
+    operation and the crash — reproduces from one integer.
+    """
+    plan = FaultPlan.random(seed) if plan is None else plan
+    faults = FaultInjector(plan)
+    db = Database("torture", wal_path=wal_path, faults=faults)
+    rng = random.Random(seed * 7919 + 17)
+    outcome = ScheduleOutcome(seed, wal_path, crashed=False, crash_point=None)
+    live_rows: dict[int, dict] = {}   # committed state, for picking targets
+
+    try:
+        db.create_table(
+            TABLE,
+            [column("k", "str"), column("v", "int")],
+            key="k",
+        )
+        for t in range(n_txns):
+            if checkpoint_every and t and t % checkpoint_every == 0:
+                db.checkpoint()
+                outcome.checkpoints += 1
+            txn = db.begin()
+            ops: list = []
+            outcome.attempts[txn.txn_id] = ops
+            touched: set[int] = set()
+            try:
+                for j in range(rng.randint(1, max_ops_per_txn)):
+                    candidates = [r for r in live_rows if r not in touched]
+                    kind = rng.choices(
+                        ("insert", "update", "delete"),
+                        weights=(5, 3 if candidates else 0,
+                                 2 if candidates else 0),
+                    )[0]
+                    if kind == "insert":
+                        row = {"k": f"s{seed}-t{t}-o{j}",
+                               "v": rng.randrange(1000)}
+                        rowid = txn.insert(TABLE, row)
+                        ops.append(("put", rowid, row))
+                    elif kind == "update":
+                        rowid = rng.choice(candidates)
+                        row = dict(live_rows[rowid], v=rng.randrange(1000))
+                        txn.update(TABLE, rowid, {"v": row["v"]})
+                        ops.append(("put", rowid, row))
+                    else:
+                        rowid = rng.choice(candidates)
+                        txn.delete(TABLE, rowid)
+                        ops.append(("del", rowid, None))
+                    touched.add(rowid)
+                txn.commit()
+            except LockTimeoutError:
+                # An injected lock fault chose this txn as a casualty:
+                # roll it back and carry on — recovery must then treat it
+                # exactly like any other uncommitted transaction.
+                if txn.is_active:
+                    txn.abort()
+                continue
+            # commit() returned: the txn is durably on disk — fold it into
+            # the committed model future ops pick their targets from.
+            for op, rowid, row in ops:
+                if op == "put":
+                    live_rows[rowid] = row
+                else:
+                    live_rows.pop(rowid, None)
+    except CrashSignal:
+        outcome.crashed = True
+        outcome.crash_point = faults.crash_point_fired
+    else:
+        db.close()
+
+    # Ground truth from the *surviving* file: a txn counts as committed
+    # iff its COMMIT record made it to disk (torn/unsynced tails did not).
+    records = WriteAheadLog.load_file(wal_path)
+    committed = committed_txn_ids(records)
+    outcome.committed_txns = len(committed)
+    for txn_id in sorted(outcome.attempts):    # single-threaded: id order
+        if txn_id not in committed:
+            continue
+        for op, rowid, row in outcome.attempts[txn_id]:
+            if op == "put":
+                outcome.expected_rows[rowid] = row
+            else:
+                outcome.expected_rows.pop(rowid, None)
+    return outcome
+
+
+def recovered_rows(db: Database) -> dict[int, dict]:
+    """The torture table's committed rows of a recovered engine."""
+    if not db.has_table(TABLE):
+        return {}
+    table = db.table(TABLE)
+    return {rowid: table.schema.row_dict(row)
+            for rowid, row in table.committed_items()}
+
+
+def check_recovery_equivalence(outcome: ScheduleOutcome) -> Database:
+    """Recover the schedule's WAL file and assert equivalence.
+
+    Returns the recovered database (so callers can pile on more checks).
+    Assertion messages always carry the seed — the reproduction handle.
+    """
+    recovered = recover_file(outcome.wal_path)
+    got = recovered_rows(recovered)
+    assert got == outcome.expected_rows, (
+        f"recovery-equivalence violated for seed {outcome.seed} "
+        f"(crash_point={outcome.crash_point}, "
+        f"committed={outcome.committed_txns}, "
+        f"checkpoints={outcome.checkpoints}): recovered "
+        f"{len(got)} rows != expected {len(outcome.expected_rows)}; "
+        f"reproduce with run_engine_schedule({outcome.seed}, ...)"
+    )
+    return recovered

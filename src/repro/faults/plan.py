@@ -1,0 +1,155 @@
+"""Fault plans: the *what* and *when* of deterministic fault injection.
+
+A :class:`FaultPlan` is a passive description — which named crash point
+fires on which hit, whether the simulated failure is a process crash or a
+power loss (dropping bytes written but never fsynced), which lock acquires
+are forced to time out, and how collab notification delivery misbehaves.
+The :class:`~repro.faults.injector.FaultInjector` executes a plan; every
+plan is derivable from a single integer seed (:meth:`FaultPlan.random`),
+so any torture failure reproduces from the seed alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+#: Every named crash point threaded through the engine.  The strings are
+#: the contract between the injector and the instrumented code — tests
+#: address points by these names.
+CRASH_POINTS = (
+    "wal.before_append",       # record never reaches memory or disk
+    "wal.mid_record",          # torn write: a prefix of the JSON line lands
+    "wal.before_fsync",        # record written, commit-boundary fsync lost
+    "txn.pre_commit",          # crash before the COMMIT record is appended
+    "txn.post_commit",         # COMMIT durable, in-memory apply interrupted
+    "checkpoint.mid_snapshot", # crash while building the snapshot
+)
+
+
+class CrashSignal(BaseException):
+    """Simulated process death.
+
+    Derives from :class:`BaseException` (like ``KeyboardInterrupt``) so it
+    flies through ``except Exception`` / ``except TendaxError`` handlers —
+    a dead process does not run error handling.
+    """
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Crash the process the ``hit``-th time ``point`` is reached.
+
+    ``tear`` applies only to ``wal.mid_record``: the fraction of the
+    record line that reaches the file before death.  ``power_loss``
+    additionally drops every byte written since the last fsync (a process
+    crash alone leaves the OS page cache intact, so flushed bytes
+    survive).
+    """
+
+    point: str
+    hit: int = 1
+    tear: float = 0.5
+    power_loss: bool = False
+
+
+@dataclass(frozen=True)
+class LockFault:
+    """Inject a failure into the ``nth`` lock acquire.
+
+    ``kind`` is ``"timeout"`` (raise ``LockTimeoutError`` immediately, as
+    if the wait expired) or ``"delay"`` (sleep ``delay`` seconds before
+    proceeding, widening race windows in threaded tests).
+    """
+
+    nth: int = 1
+    kind: str = "timeout"
+    delay: float = 0.001
+
+
+@dataclass(frozen=True)
+class DeliveryFault:
+    """Misbehave notification delivery on the collab message bus.
+
+    ``p_hold`` is the probability a notification is held back instead of
+    delivered immediately; held messages sit in the bus until
+    ``drain()``.  ``reorder`` shuffles the held backlog on drain, so
+    replicas observe out-of-order propagation.
+    """
+
+    p_hold: float = 0.5
+    reorder: bool = True
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seed-reproducible fault schedule."""
+
+    crashes: tuple[CrashSpec, ...] = ()
+    lock_faults: tuple[LockFault, ...] = ()
+    delivery: DeliveryFault | None = None
+    seed: int | None = None
+
+    def is_empty(self) -> bool:
+        return (not self.crashes and not self.lock_faults
+                and self.delivery is None)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def crash_once(cls, point: str, *, hit: int = 1, tear: float = 0.5,
+                   power_loss: bool = False) -> "FaultPlan":
+        """A plan with a single deterministic crash."""
+        if point not in CRASH_POINTS:
+            raise ValueError(f"unknown crash point {point!r}")
+        return cls(crashes=(CrashSpec(point, hit, tear, power_loss),))
+
+    @classmethod
+    def random(cls, seed: int, *, points: tuple[str, ...] = CRASH_POINTS,
+               max_hit: int = 25, p_power_loss: float = 0.3,
+               with_locks: bool = False,
+               with_delivery: bool = False) -> "FaultPlan":
+        """Derive a crash schedule from ``seed`` alone.
+
+        The same seed always yields the same plan, which (driven through
+        a deterministic workload) yields the same crash — the torture
+        suite's reproducibility contract.
+        """
+        rng = random.Random(seed)
+        point = points[rng.randrange(len(points))]
+        # Checkpoints are rare events; a hit number drawn from the full
+        # range would almost never land, starving that point of coverage.
+        hit_cap = 4 if point == "checkpoint.mid_snapshot" else max_hit
+        spec = CrashSpec(
+            point=point,
+            hit=rng.randint(1, hit_cap),
+            tear=rng.uniform(0.05, 0.95),
+            power_loss=rng.random() < p_power_loss,
+        )
+        lock_faults: tuple[LockFault, ...] = ()
+        if with_locks and rng.random() < 0.5:
+            lock_faults = (LockFault(
+                nth=rng.randint(1, max_hit),
+                kind="timeout" if rng.random() < 0.7 else "delay",
+            ),)
+        delivery = None
+        if with_delivery:
+            delivery = DeliveryFault(
+                p_hold=rng.uniform(0.1, 0.7),
+                reorder=rng.random() < 0.8,
+            )
+        return cls(crashes=(spec,), lock_faults=lock_faults,
+                   delivery=delivery, seed=seed)
+
+    @classmethod
+    def delivery_only(cls, seed: int) -> "FaultPlan":
+        """A plan that only perturbs notification delivery (no crashes)."""
+        rng = random.Random(seed)
+        return cls(
+            delivery=DeliveryFault(p_hold=rng.uniform(0.2, 0.8),
+                                   reorder=rng.random() < 0.9),
+            seed=seed,
+        )
+
+    def with_delivery(self, fault: DeliveryFault) -> "FaultPlan":
+        return replace(self, delivery=fault)

@@ -1,4 +1,4 @@
-"""Workload generation: corpora, simulated typists, demo scenarios."""
+"""Workload generation: corpora, simulated typists, torture, scenarios."""
 
 from .corpus import (
     TOPICS,
@@ -15,6 +15,7 @@ from .scenarios import (
     build_knowledge_base,
     run_lan_party,
 )
+from .torture import ModelTypist, PlannedOp, SharedText
 from .typist import DEFAULT_MIX, SimulatedTypist, TypistStats
 
 __all__ = [
@@ -24,6 +25,9 @@ __all__ = [
     "GeneratedDoc",
     "KnowledgeBase",
     "LanPartyReport",
+    "ModelTypist",
+    "PlannedOp",
+    "SharedText",
     "SimulatedTypist",
     "TOPICS",
     "TypistStats",

@@ -1,0 +1,105 @@
+"""Torture typists: model-tracked editing agents for crash/fault schedules.
+
+:class:`SimulatedTypist` drives realistic load but models nothing — fine
+for soak tests, useless for crash equivalence, where the harness must
+predict the post-recovery text *independently of the engine*.  A
+:class:`ModelTypist` therefore mirrors every operation it performs onto a
+shared plain-Python string (:class:`SharedText`).  Operations are whole
+transactions, and the deterministic scheduler serialises them, so after
+every *successful* step the model equals the document; when a step dies
+mid-flight to an injected crash, the recovered document must equal either
+the model (commit record never became durable) or the model with the
+in-flight operation applied (crash after the commit point) — and the WAL
+says which.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..collab.session import EditingSession
+    from ..ids import Oid
+
+#: Small word pool: enough variety to exercise chains, stable across runs.
+_WORDS = ("data", "base", "text", "edit", "char", "sync", "node", "row ")
+
+
+@dataclass(frozen=True)
+class PlannedOp:
+    """One editing operation, expressed against the plain-text model."""
+
+    kind: str            # "insert" | "delete"
+    pos: int
+    text: str = ""
+    count: int = 0
+
+
+class SharedText:
+    """The replicas' ground truth: one string, mutated only on success."""
+
+    def __init__(self, text: str = "") -> None:
+        self.text = text
+
+    def apply(self, op: PlannedOp) -> str:
+        if op.kind == "insert":
+            self.text = self.text[:op.pos] + op.text + self.text[op.pos:]
+        else:
+            self.text = self.text[:op.pos] + self.text[op.pos + op.count:]
+        return self.text
+
+    def applied(self, op: PlannedOp) -> str:
+        """The text ``op`` *would* produce, without mutating the model."""
+        if op.kind == "insert":
+            return self.text[:op.pos] + op.text + self.text[op.pos:]
+        return self.text[:op.pos] + self.text[op.pos + op.count:]
+
+
+class ModelTypist:
+    """Drives one session with seeded ops mirrored onto a shared model.
+
+    Designed as a :class:`~repro.faults.scheduler.DeterministicScheduler`
+    actor: :meth:`step` is one atomic operation (one transaction).  The
+    in-flight op is published as :attr:`pending` before the engine sees
+    it, so a crash harness can compute both candidate outcomes.
+    """
+
+    def __init__(self, session: "EditingSession", doc: "Oid", *,
+                 seed: int, model: SharedText,
+                 insert_weight: int = 3) -> None:
+        self.session = session
+        self.doc = doc
+        self.rng = random.Random(seed)
+        self.model = model
+        self.insert_weight = insert_weight
+        self.pending: PlannedOp | None = None
+        self.ops_done = 0
+
+    def plan(self) -> PlannedOp:
+        """Choose the next operation against the current model text."""
+        length = len(self.model.text)
+        if length >= 4 and self.rng.randrange(self.insert_weight + 1) == 0:
+            count = self.rng.randint(1, min(6, length))
+            pos = self.rng.randint(0, length - count)
+            return PlannedOp("delete", pos, count=count)
+        word = _WORDS[self.rng.randrange(len(_WORDS))]
+        return PlannedOp("insert", self.rng.randint(0, length), text=word)
+
+    def step(self) -> PlannedOp:
+        """Plan, execute against the session, then commit to the model.
+
+        If the engine raises (e.g. ``CrashSignal``), :attr:`pending`
+        still names the in-flight operation and the model is untouched.
+        """
+        op = self.plan()
+        self.pending = op
+        if op.kind == "insert":
+            self.session.insert(self.doc, op.pos, op.text)
+        else:
+            self.session.delete(self.doc, op.pos, op.count)
+        self.pending = None
+        self.model.apply(op)
+        self.ops_done += 1
+        return op

@@ -1,11 +1,58 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures, torture options, and seed-reproducibility plumbing."""
 
 from __future__ import annotations
 
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.clock import SimulatedClock
 from repro.db import Database, column
+
+# Failing hypothesis examples must print their reproduction blob — the
+# property-test analogue of the torture suite's printed seeds.
+hypothesis_settings.register_profile("repro", print_blob=True)
+hypothesis_settings.load_profile("repro")
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--torture-schedules",
+        type=int,
+        default=25,
+        help="number of seeded crash/fault schedules per parameterised "
+             "torture test (tier-1 default: 25; nightly: 500)",
+    )
+    parser.addoption(
+        "--soak-seed",
+        type=int,
+        default=2006,
+        help="master seed for the newsroom soak test (printed on failure)",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "torture: seeded fault-injection torture tests; scale the schedule "
+        "count with --torture-schedules N",
+    )
+
+
+def pytest_generate_tests(metafunc: pytest.Metafunc) -> None:
+    """Parameterise any test taking ``crash_seed`` over the seed range.
+
+    Every instance's id carries its seed (``seed7``), so a failing
+    schedule is rerunnable as ``pytest -k seed7`` — no flaky reruns.
+    """
+    if "crash_seed" in metafunc.fixturenames:
+        n = metafunc.config.getoption("--torture-schedules")
+        metafunc.parametrize("crash_seed", range(n),
+                             ids=lambda s: f"seed{s}")
+
+
+@pytest.fixture(scope="session")
+def torture_schedules(request: pytest.FixtureRequest) -> int:
+    return request.config.getoption("--torture-schedules")
 
 
 @pytest.fixture

@@ -1,0 +1,244 @@
+"""Crash/concurrency torture: recovery equivalence over seeded schedules.
+
+Every test here is driven by integer seeds.  One seed deterministically
+generates the fault plan (which crash point, which hit, torn or power
+lost), the workload (every operation), and — for the collab tests — the
+typist interleaving.  A failure therefore reproduces exactly:
+
+    pytest tests/test_crash_torture.py -k seed17
+    pytest tests/test_crash_torture.py --torture-schedules 500   # nightly
+
+The ``crash_seed`` fixture is parameterised over ``--torture-schedules``
+(default 25).  The ``*_floor`` test additionally pins one hundred fixed
+seeds so the acceptance bar — recovery equivalence on >= 100 distinct
+crash schedules — holds no matter how the option is set.
+
+Properties under torture:
+
+* **Recovery equivalence** (engine): the database recovered from the
+  surviving WAL file equals the committed prefix applied to an
+  independent plain-dict model (:mod:`repro.faults.harness`).
+* **Convergence** (collab): once notification delivery drains, every
+  session's replica equals the shared plain-text model, and the document
+  recovered from the WAL matches one of the two legal outcomes around an
+  in-flight operation (the WAL says which).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collab import CollaborationServer
+from repro.db import recover_file
+from repro.db.wal import WriteAheadLog, committed_txn_ids
+from repro.faults import (
+    CrashSignal,
+    DeterministicScheduler,
+    FaultInjector,
+    FaultPlan,
+    check_recovery_equivalence,
+    run_engine_schedule,
+)
+from repro.text import DocumentStore
+from repro.workload import ModelTypist, SharedText
+
+pytestmark = [
+    pytest.mark.torture,
+    # Torn tails are the *point* of many schedules; the recovery-side
+    # warning is expected noise here.
+    pytest.mark.filterwarnings("ignore:skipping torn trailing WAL record"),
+]
+
+
+# ---------------------------------------------------------------------------
+# Engine-level crash schedules
+# ---------------------------------------------------------------------------
+
+class TestEngineCrashTorture:
+    def test_recovery_equivalence(self, crash_seed, tmp_path):
+        outcome = run_engine_schedule(crash_seed,
+                                      str(tmp_path / "wal.jsonl"))
+        recovered = check_recovery_equivalence(outcome)
+        # The recovered engine is live, not a husk: it accepts new work.
+        if recovered.has_table("kv"):
+            rowid = recovered.insert("kv", {"k": f"post-{crash_seed}",
+                                            "v": -1})
+            assert recovered.get("kv", rowid)["v"] == -1
+
+    def test_recovery_equivalence_with_lock_faults(self, crash_seed,
+                                                   tmp_path):
+        # Same property with injected lock timeouts in the mix: a txn the
+        # injector kills is just another uncommitted txn to recovery.
+        plan = FaultPlan.random(crash_seed + 500_000, with_locks=True)
+        outcome = run_engine_schedule(crash_seed + 500_000,
+                                      str(tmp_path / "wal.jsonl"),
+                                      plan=plan)
+        check_recovery_equivalence(outcome)
+
+    def test_recovery_equivalence_floor_100_schedules(self, tmp_path):
+        """The acceptance bar: >= 100 distinct seeded crash schedules.
+
+        Runs regardless of ``--torture-schedules`` so the guarantee can't
+        be configured away.  Each failure message carries its seed.
+        """
+        crashed = 0
+        points = set()
+        for seed in range(1000, 1100):
+            outcome = run_engine_schedule(seed,
+                                          str(tmp_path / f"wal-{seed}.jsonl"))
+            check_recovery_equivalence(outcome)
+            if outcome.crashed:
+                crashed += 1
+                points.add(outcome.crash_point)
+        # The schedule space must actually exercise crashes, not dodge
+        # them, and across several distinct crash points.
+        assert crashed >= 60
+        assert len(points) >= 4
+
+
+# ---------------------------------------------------------------------------
+# Collab-level torture: seeded typist interleavings
+# ---------------------------------------------------------------------------
+
+USERS = ("ana", "ben", "cleo")
+
+
+def _build_party(wal_path: str, faults: FaultInjector):
+    """Server + three sessions on one shared document (fixture phase)."""
+    server = CollaborationServer(node="torture", wal_path=wal_path,
+                                 faults=faults)
+    for user in USERS:
+        server.register_user(user)
+    sessions = [server.connect(user) for user in USERS]
+    handle = sessions[0].create_document("torture-doc",
+                                         text="the quick brown fox. ")
+    for session in sessions[1:]:
+        session.open(handle.doc)
+    return server, sessions, handle
+
+
+def _run_typist_schedule(seed: int, wal_path: str, plan: FaultPlan,
+                         n_steps: int = 40):
+    """Drive one seeded multi-typist schedule; returns the evidence."""
+    faults = FaultInjector(plan, armed=False)
+    server, sessions, handle = _build_party(wal_path, faults)
+    model = SharedText(handle.text())
+    typists = [
+        ModelTypist(session, handle.doc, seed=seed * 100 + i, model=model)
+        for i, session in enumerate(sessions)
+    ]
+    sched = DeterministicScheduler(seed)
+    for user, typist in zip(USERS, typists):
+        sched.add_actor(user, typist.step)
+
+    setup_committed = committed_txn_ids(server.db.wal.records())
+    faults.arm()                       # fixture built; open the blast radius
+    crashed = False
+    try:
+        sched.run(n_steps)
+    except CrashSignal:
+        crashed = True
+    return {
+        "server": server, "sessions": sessions, "handle": handle,
+        "model": model, "typists": typists, "sched": sched,
+        "setup_committed": setup_committed, "crashed": crashed,
+        "seed": seed, "wal_path": wal_path,
+    }
+
+
+def _recovered_text(run) -> tuple[str, "DocumentStore"]:
+    recovered = recover_file(run["wal_path"])
+    store = DocumentStore(recovered)
+    clone = store.handle(run["handle"].doc)
+    assert clone.check_integrity() == [], f"seed {run['seed']}"
+    return clone.text(), store
+
+
+class TestCollabCrashTorture:
+    def test_typist_schedule_crash_and_recover(self, crash_seed, tmp_path):
+        """Crash a seeded 3-typist interleaving; recovery must land on one
+        of the two legal texts, and the surviving WAL says which."""
+        plan = FaultPlan.random(crash_seed, with_delivery=True)
+        run = _run_typist_schedule(crash_seed,
+                                   str(tmp_path / "collab.jsonl"), plan)
+        seed = crash_seed
+        model = run["model"]
+        ops_done = sum(t.ops_done for t in run["typists"])
+
+        if not run["crashed"]:
+            # Plan never triggered (e.g. a checkpoint point with no
+            # checkpoints): behave exactly like a healthy run.
+            server = run["server"]
+            server.delivery.drain()
+            for session in run["sessions"]:
+                assert session.handle(run["handle"].doc).text() == model.text, \
+                    f"seed {seed}: replica diverged"
+            # One editing operation == one transaction: the mapping the
+            # crashed branch relies on to count in-flight commits.
+            committed_now = committed_txn_ids(server.db.wal.records())
+            assert len(committed_now) - len(run["setup_committed"]) == ops_done
+            server.db.close()
+            text, __ = _recovered_text(run)
+            assert text == model.text, f"seed {seed}"
+            return
+
+        # Crashed mid-step: exactly one typist has an op in flight.
+        inflight = [t.pending for t in run["typists"] if t.pending is not None]
+        assert len(inflight) == 1, f"seed {seed}: trace {run['sched'].trace}"
+        file_committed = committed_txn_ids(
+            WriteAheadLog.load_file(run["wal_path"]))
+        n_new = len(file_committed - run["setup_committed"])
+        text, __ = _recovered_text(run)
+        if n_new == ops_done:
+            # The in-flight op's COMMIT never became durable.
+            assert text == model.text, (
+                f"seed {seed}: recovered text != model without in-flight op "
+                f"(crash at {run['server'].faults.crash_point_fired})"
+            )
+        elif n_new == ops_done + 1:
+            # Crash after the commit point (e.g. txn.post_commit): the
+            # in-flight op is durable and recovery must surface it.
+            assert text == model.applied(inflight[0]), (
+                f"seed {seed}: recovered text != model + in-flight op "
+                f"(crash at {run['server'].faults.crash_point_fired})"
+            )
+        else:
+            pytest.fail(
+                f"seed {seed}: {n_new} new committed txns for {ops_done} "
+                f"completed ops — the 1-op-1-txn invariant broke"
+            )
+
+    def test_delivery_faults_converge_after_drain(self, crash_seed, tmp_path):
+        """No crashes — only held/reordered notifications.  After drain,
+        inboxes are complete and every replica equals the model."""
+        plan = FaultPlan.delivery_only(crash_seed)
+        run = _run_typist_schedule(crash_seed,
+                                   str(tmp_path / "delivery.jsonl"), plan,
+                                   n_steps=30)
+        assert not run["crashed"]
+        server = run["server"]
+        seed = crash_seed
+        server.delivery.drain()
+        assert server.delivery.pending == 0
+
+        # Convergence: every replica, the shared model, a refreshed view,
+        # and the recovered document all agree.
+        doc = run["handle"].doc
+        model_text = run["model"].text
+        for session in run["sessions"]:
+            handle = session.handle(doc)
+            assert handle.text() == model_text, f"seed {seed}"
+            handle.refresh()
+            assert handle.text() == model_text, f"seed {seed} post-refresh"
+        # Inboxes: drained delivery lost nothing — the union of received
+        # sequence numbers covers every notification the server sent.
+        received = set()
+        for session in run["sessions"]:
+            received.update(n.seq for n in session.inbox)
+        sent = server.stats["notifications"]
+        held = server.delivery.stats["held"]
+        assert server.delivery.stats["delivered"] >= held
+        assert len(received) > 0 and sent > 0
+        server.db.close()
+        text, __ = _recovered_text(run)
+        assert text == model_text, f"seed {seed}"

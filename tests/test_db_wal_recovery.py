@@ -177,7 +177,8 @@ class TestFileRecovery:
         db.close()
         with open(path, "a", encoding="utf-8") as f:
             f.write('{"lsn": 999, "type": "INSERT", "txn"')  # torn record
-        recovered = recover_file(path)
+        with pytest.warns(RuntimeWarning, match="torn trailing WAL record"):
+            recovered = recover_file(path)
         assert recovered.query("docs").count() == 1
 
 

@@ -13,6 +13,7 @@ this proves they cohabit.
 from __future__ import annotations
 
 import random
+import zlib
 
 import pytest
 
@@ -36,9 +37,23 @@ ARTICLES = 4
 OPS_PER_JOURNALIST = 60
 
 
+def _typist_seed(master: int, user: str, article: int) -> int:
+    """Per-typist seed derived from the master seed and the user *name*.
+
+    ``hash(user)`` would be salted per process (PYTHONHASHSEED), silently
+    changing the workload between runs; crc32 is stable, so the whole
+    soak reproduces from ``--soak-seed`` alone.
+    """
+    return (master * 1_000_003 + zlib.crc32(user.encode()) + article) % 2**31
+
+
 @pytest.fixture(scope="module")
-def newsroom():
-    rng = random.Random(2006)
+def newsroom(request):
+    seed = request.config.getoption("--soak-seed")
+    # Captured stdout is replayed for failing tests: this line is the
+    # reproduction handle.
+    print(f"newsroom soak: rerun with --soak-seed {seed}")
+    rng = random.Random(seed)
     server = CollaborationServer()
     for user in JOURNALISTS:
         server.register_user(user, roles=("journalists",))
@@ -64,7 +79,7 @@ def newsroom():
         for user, session in sessions.items()
     }
     typists = {
-        user: [SimulatedTypist(editor, seed=hash(user) % 10_000 + i)
+        user: [SimulatedTypist(editor, seed=_typist_seed(seed, user, i))
                for i, editor in enumerate(editors)]
         for user, editors in editors_by_user.items()
     }
