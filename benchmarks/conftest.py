@@ -5,21 +5,77 @@ EXPERIMENTS.md (D1-D6 demo reproductions, C1-C3 claim measurements).
 Benchmarks print the paper-style result rows via ``extra_info`` and the
 terminal tables pytest-benchmark produces; shape assertions (who wins,
 how it scales) are made inline so a regression fails loudly.
+
+Observability pipeline: an autouse fixture wraps every bench in
+``repro.obs.collecting()``, merging the metric registries of every
+engine the bench creates (fixtures and inline) into the bench's
+``extra_info["obs"]``.  At session end the per-bench snapshots are
+written to ``BENCH_obs.json`` in the pytest rootdir, validated against
+the schema in :mod:`benchmarks.report`.
 """
 
 from __future__ import annotations
 
+import json
 import random
 
 import pytest
 
 from repro.collab import CollaborationServer
 from repro.db import Database
+from repro.obs import collecting, compact_snapshot, merge_snapshots
 from repro.text import DocumentStore
+
+#: Per-bench metric entries accumulated for BENCH_obs.json.
+_OBS_ENTRIES: list[dict] = []
+
+
+@pytest.fixture(autouse=True)
+def _bench_obs(request):
+    """Capture metrics from every engine a bench creates.
+
+    Autouse, and explicitly required by the engine fixtures below so the
+    collector is installed before any fixture-created ``Database``.
+    """
+    with collecting() as engines:
+        yield
+    merged = merge_snapshots(obs.registry.snapshot() for obs in engines)
+    if not merged:
+        return
+    benchmark = request.node.funcargs.get("benchmark")
+    if benchmark is None or benchmark.stats is None:
+        return
+    compact = compact_snapshot(merged)
+    benchmark.extra_info["obs"] = compact
+    _OBS_ENTRIES.append({
+        "name": request.node.name,
+        "group": benchmark.group,
+        "metrics": compact,
+    })
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the schema-validated BENCH_obs.json next to the rootdir."""
+    if not _OBS_ENTRIES:
+        return
+    from .report import build_obs_payload, validate_obs_payload
+    payload = build_obs_payload(_OBS_ENTRIES)
+    errors = validate_obs_payload(payload)
+    path = session.config.rootpath / "BENCH_obs.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    if reporter is not None:
+        reporter.write_line(f"observability snapshots: {path} "
+                            f"({len(_OBS_ENTRIES)} benchmarks)")
+        for error in errors:
+            reporter.write_line(f"BENCH_obs invalid: {error}", red=True)
+    if errors:
+        session.exitstatus = 1
 
 
 @pytest.fixture
-def db() -> Database:
+def db(_bench_obs) -> Database:
     return Database("bench")
 
 
@@ -30,7 +86,7 @@ def store(db) -> DocumentStore:
 
 
 @pytest.fixture
-def server() -> CollaborationServer:
+def server(_bench_obs) -> CollaborationServer:
     return CollaborationServer()
 
 
@@ -39,4 +95,3 @@ def make_text(n: int, seed: int = 7) -> str:
     rng = random.Random(seed)
     alphabet = "abcdefghijklmnopqrstuvwxyz     "
     return "".join(rng.choice(alphabet) for __ in range(n))
-

@@ -3,12 +3,19 @@
 
 Usage::
 
-    pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
-    python benchmarks/report.py bench.json
+    PYTHONPATH=src pytest benchmarks/ --benchmark-only \\
+        --benchmark-json=bench.json
+    PYTHONPATH=src python benchmarks/report.py bench.json [BENCH_obs.json]
 
 Benchmarks are grouped by their ``benchmark.group`` (one group per
 experiment sweep); rows show median/mean latency plus the ``extra_info``
 fields each bench attached (system, corpus size, mode ...).
+
+Every bench run also emits ``BENCH_obs.json`` next to the pytest
+rootdir: one entry per benchmark carrying the merged engine metrics
+observed while it ran (see ``repro.obs``).  Pass it as the second
+argument to render those metrics; :func:`validate_obs_payload` is the
+schema contract the smoke-bench CI step enforces.
 """
 
 from __future__ import annotations
@@ -16,6 +23,10 @@ from __future__ import annotations
 import json
 import sys
 from collections import defaultdict
+
+#: Schema identifier stamped into every BENCH_obs.json.  Bump only with
+#: a corresponding validator + docs update.
+SCHEMA_ID = "tendax.bench-obs.v1"
 
 
 def _fmt_seconds(value: float) -> str:
@@ -51,7 +62,7 @@ def render(groups: dict) -> str:
                 or extra.get("ranking") or bench["name"].split("[")[0]
             detail = ", ".join(
                 f"{k}={v}" for k, v in sorted(extra.items())
-                if k not in ("system", "mode", "ranking"))
+                if k not in ("system", "mode", "ranking", "obs"))
             rows.append((
                 str(label),
                 _fmt_seconds(stats["median"]),
@@ -69,11 +80,114 @@ def render(groups: dict) -> str:
     return "\n".join(lines)
 
 
+def build_obs_payload(entries: list[dict]) -> dict:
+    """Wrap per-bench metric entries in the versioned envelope."""
+    return {"schema": SCHEMA_ID, "benchmarks": list(entries)}
+
+
+def validate_obs_payload(payload, *, require_core: bool = False
+                         ) -> list[str]:
+    """Validate a BENCH_obs.json payload; returns problem strings.
+
+    Checks the envelope, each entry's shape, and that every metric name
+    is in the catalogue (an unknown name means instrumented code and
+    catalogue drifted apart).  With ``require_core=True`` the union of
+    names across entries must also cover ``REQUIRED_METRICS`` — the
+    smoke bench's metric-name regression check.
+    """
+    from repro.obs import missing_required, unknown_names
+
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be an object, got {type(payload).__name__}"]
+    if payload.get("schema") != SCHEMA_ID:
+        errors.append(
+            f"schema is {payload.get('schema')!r}, expected {SCHEMA_ID!r}")
+    benches = payload.get("benchmarks")
+    if not isinstance(benches, list):
+        errors.append("'benchmarks' must be a list")
+        return errors
+    seen_names: set[str] = set()
+    for i, entry in enumerate(benches):
+        where = f"benchmarks[{i}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{where} must be an object")
+            continue
+        if not isinstance(entry.get("name"), str) or not entry["name"]:
+            errors.append(f"{where}.name must be a non-empty string")
+        if not isinstance(entry.get("group"), (str, type(None))):
+            errors.append(f"{where}.group must be a string or null")
+        metrics = entry.get("metrics")
+        if not isinstance(metrics, dict):
+            errors.append(f"{where}.metrics must be an object")
+            continue
+        for alien in unknown_names(metrics):
+            errors.append(f"{where}: metric {alien!r} not in the catalogue")
+        for name, metric in metrics.items():
+            if not isinstance(metric, dict) or "type" not in metric:
+                errors.append(f"{where}.metrics[{name!r}] needs a 'type'")
+                continue
+            kind = metric["type"]
+            if kind in ("counter", "gauge"):
+                if not isinstance(metric.get("value"), (int, float)):
+                    errors.append(
+                        f"{where}.metrics[{name!r}] needs a numeric 'value'")
+            elif kind == "histogram":
+                if not isinstance(metric.get("count"), int):
+                    errors.append(
+                        f"{where}.metrics[{name!r}] needs an int 'count'")
+            else:
+                errors.append(
+                    f"{where}.metrics[{name!r}] has unknown type {kind!r}")
+        seen_names.update(metrics)
+    if require_core:
+        for name in missing_required(seen_names):
+            errors.append(f"required metric {name!r} missing from all "
+                          "benchmarks (name regression?)")
+    return errors
+
+
+def render_obs(payload: dict) -> str:
+    """Per-bench metric summaries from a BENCH_obs.json payload."""
+    lines: list[str] = []
+    for entry in payload.get("benchmarks", []):
+        lines.append(f"{entry.get('group') or '(ungrouped)'} :: "
+                     f"{entry['name']}")
+        metrics = entry.get("metrics", {})
+        width = max((len(n) for n in metrics), default=0)
+        for name in sorted(metrics):
+            metric = metrics[name]
+            if metric["type"] == "histogram":
+                # Only *_seconds histograms hold durations; others
+                # (e.g. txn.ops) are plain counts.
+                fmt = (_fmt_seconds if name.endswith("_seconds")
+                       else lambda v: f"{v:,.1f}")
+                detail = (f"n={metric.get('count', 0)} "
+                          f"p50={fmt(metric['p50'])} "
+                          f"p95={fmt(metric['p95'])}"
+                          if metric.get("p50") is not None
+                          else f"n={metric.get('count', 0)}")
+            else:
+                detail = f"{metric.get('value')}"
+            lines.append(f"  {name.ljust(width)}  {detail}")
+        lines.append("")
+    return "\n".join(lines)
+
+
 def main(argv: list[str]) -> int:
-    if len(argv) != 2:
+    if len(argv) not in (2, 3):
         print(__doc__)
         return 2
     print(render(load_groups(argv[1])))
+    if len(argv) == 3:
+        with open(argv[2], "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        errors = validate_obs_payload(payload)
+        if errors:
+            for error in errors:
+                print(f"BENCH_obs invalid: {error}", file=sys.stderr)
+            return 1
+        print(render_obs(payload))
     return 0
 
 

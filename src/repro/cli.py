@@ -74,6 +74,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    from .obs import render_snapshot
     from .workload import build_knowledge_base
 
     kb = build_knowledge_base(n_docs=args.docs, seed=args.seed)
@@ -88,6 +89,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     for info in db.catalog.iter_tables():
         print(f"  {info.name:<18} {info.row_count:>7} rows, "
               f"{len(info.index_names)} index(es)")
+    print("\nengine metrics:")
+    print(render_snapshot(db.metrics_snapshot()))
     return 0
 
 

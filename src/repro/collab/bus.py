@@ -13,7 +13,10 @@ every replica must agree.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING
+
+from ..obs.metrics import NULL_REGISTRY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.injector import FaultInjector
@@ -21,20 +24,43 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class DeliveryBus:
-    """Routes notifications to session inboxes, with injectable faults."""
+    """Routes notifications to session inboxes, with injectable faults.
 
-    def __init__(self, faults: "FaultInjector | None" = None) -> None:
+    The backlog and its counters are guarded by a lock: sessions may
+    commit from multiple threads, and a racy ``list.append`` against a
+    concurrent :meth:`drain` could drop a held notification — which
+    would break the convergence property the torture suite asserts.
+    """
+
+    def __init__(self, faults: "FaultInjector | None" = None,
+                 registry=None) -> None:
         from ..faults.injector import NO_FAULTS
         self.faults = faults if faults is not None else NO_FAULTS
         self._pending: list[tuple["EditingSession", "Notification"]] = []
-        self.stats = {"delivered": 0, "held": 0, "drains": 0}
+        self._lock = threading.Lock()
+        reg = registry if registry is not None else NULL_REGISTRY
+        self._m_delivered = reg.counter("collab.deliveries")
+        self._m_held = reg.counter("collab.held")
+        self._m_drains = reg.counter("collab.drains")
+        self._m_depth = reg.gauge("collab.queue_depth")
+
+    @property
+    def stats(self) -> dict:
+        """Delivery counts in the historical dict shape."""
+        return {
+            "delivered": self._m_delivered.value,
+            "held": self._m_held.value,
+            "drains": self._m_drains.value,
+        }
 
     def send(self, session: "EditingSession",
              notification: "Notification") -> bool:
         """Deliver now, or hold per the fault plan.  True if delivered."""
         if self.faults.delivery_action() == "hold":
-            self._pending.append((session, notification))
-            self.stats["held"] += 1
+            with self._lock:
+                self._pending.append((session, notification))
+                self._m_held.inc()
+                self._m_depth.set(len(self._pending))
             return False
         self._deliver(session, notification)
         return True
@@ -46,16 +72,19 @@ class DeliveryBus:
         out-of-order propagation — but never loss: drain always empties
         the backlog (the convergence property's precondition).
         """
-        pending, self._pending = self._pending, []
+        with self._lock:
+            pending, self._pending = self._pending, []
+            self._m_depth.set(0)
         for index in self.faults.drain_order(len(pending)):
             self._deliver(*pending[index])
-        self.stats["drains"] += 1
+        self._m_drains.inc()
         return len(pending)
 
     @property
     def pending(self) -> int:
         """Held notifications not yet delivered."""
-        return len(self._pending)
+        with self._lock:
+            return len(self._pending)
 
     def _deliver(self, session: "EditingSession",
                  notification: "Notification") -> None:
@@ -63,7 +92,7 @@ class DeliveryBus:
         # it was in flight mirrors a network send to a closed socket.
         if session.connected:
             session._notify(notification)
-        self.stats["delivered"] += 1
+        self._m_delivered.inc()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"DeliveryBus(pending={self.pending}, "

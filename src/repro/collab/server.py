@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import contextlib
 import itertools
+from time import perf_counter
 from typing import TYPE_CHECKING, Iterator
 
 from ..clock import Clock
@@ -53,8 +54,15 @@ class CollaborationServer:
             node, clock=clock, wal_path=wal_path, faults=faults,
         )
         self.faults = faults if faults is not None else self.db.faults
+        #: Collab metrics live in the database's registry, so one
+        #: ``Database.metrics_snapshot()`` covers the whole server.
+        registry = self.db.obs.registry
+        self._m_operations = registry.counter("collab.operations")
+        self._m_op_seconds = registry.histogram("collab.op_seconds")
+        self._m_notifications = registry.counter("collab.notifications")
+        self._m_sessions = registry.gauge("collab.sessions")
         #: The "network" between commits and session inboxes.
-        self.delivery = DeliveryBus(self.faults)
+        self.delivery = DeliveryBus(self.faults, registry=registry)
         self.documents = DocumentStore(self.db)
         self.principals = PrincipalRegistry(self.db)
         self.acl = AccessController(self.db, self.principals)
@@ -71,7 +79,20 @@ class CollaborationServer:
         self._operating_session: EditingSession | None = None
         self._subscription = self.db.bus.subscribe("db.commit",
                                                    self._on_commit)
-        self.stats = {"notifications": 0, "operations": 0}
+
+    @property
+    def stats(self) -> dict:
+        """Operation/notification counts, read from the obs registry.
+
+        Historically a plain dict mutated with ``+=`` — which silently
+        lost updates when sessions operated from multiple threads.  The
+        counters now live in the (thread-safe) metrics registry; this
+        property keeps the old read shape.
+        """
+        return {
+            "notifications": self._m_notifications.value,
+            "operations": self._m_operations.value,
+        }
 
     def statistics(self) -> dict:
         """A live snapshot of the whole server's state (monitoring)."""
@@ -113,10 +134,12 @@ class CollaborationServer:
         session = EditingSession(self, next(self._session_counter), user,
                                  editor=editor, os_name=os_name)
         self._sessions[session.id] = session
+        self._m_sessions.inc()
         return session
 
     def _forget(self, session: EditingSession) -> None:
-        self._sessions.pop(session.id, None)
+        if self._sessions.pop(session.id, None) is not None:
+            self._m_sessions.dec()
 
     def sessions(self) -> list[EditingSession]:
         """All currently connected sessions."""
@@ -154,10 +177,12 @@ class CollaborationServer:
         """Mark ``session`` as the origin of commits made inside."""
         previous = self._operating_session
         self._operating_session = session
-        self.stats["operations"] += 1
+        self._m_operations.inc()
+        started = perf_counter()
         try:
             yield
         finally:
+            self._m_op_seconds.observe(perf_counter() - started)
             self._operating_session = previous
 
     def _on_commit(self, event) -> None:
@@ -195,7 +220,7 @@ class CollaborationServer:
                     if origin is not None and session.id == origin.id:
                         continue
                     self.delivery.send(session, notification)
-                    self.stats["notifications"] += 1
+                    self._m_notifications.inc()
 
     # ------------------------------------------------------------------
     # Teardown

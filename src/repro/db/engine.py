@@ -18,19 +18,21 @@ from __future__ import annotations
 
 import itertools
 import threading
+from time import perf_counter
 from typing import Any, Iterable, Mapping
 
 from ..clock import Clock, SystemClock
 from ..errors import DuplicateTableError, UnknownTableError
 from ..events import EventBus
 from ..ids import IdNamespace, Oid
+from ..obs import Observability
 from . import wal as walmod
 from .catalog import Catalog
 from .locks import LockManager
 from .query import Query
 from .schema import Column, TableSchema
 from .table import Table
-from .transaction import Change, Transaction
+from .transaction import Change, Transaction, TxnMetrics
 from .triggers import TriggerRegistry
 from .wal import WriteAheadLog
 
@@ -56,6 +58,11 @@ class Database:
         Optional :class:`~repro.faults.injector.FaultInjector` threaded
         through the WAL, transactions, checkpoints and the lock manager
         for deterministic crash/latency torture (see ``docs/FAULTS.md``).
+    obs:
+        Optional :class:`~repro.obs.Observability` to report metrics and
+        trace spans into; a fresh enabled one is created by default.
+        Pass ``Observability(enabled=False)`` for a no-op baseline (see
+        ``docs/OBSERVABILITY.md``).
     """
 
     def __init__(
@@ -66,15 +73,19 @@ class Database:
         clock: Clock | None = None,
         lock_timeout: float = 5.0,
         faults=None,
+        obs: Observability | None = None,
     ) -> None:
         from ..faults.injector import NO_FAULTS
         self.node = node
         self.clock: Clock = clock if clock is not None else SystemClock()
         self.ids = IdNamespace(node)
         self.faults = faults if faults is not None else NO_FAULTS
+        self.obs = obs if obs is not None else Observability()
+        registry = self.obs.registry
         self.locks = LockManager(default_timeout=lock_timeout,
-                                 faults=self.faults)
-        self.wal = WriteAheadLog(wal_path, faults=self.faults)
+                                 faults=self.faults, registry=registry)
+        self.wal = WriteAheadLog(wal_path, faults=self.faults,
+                                 registry=registry)
         self.bus = EventBus()
         self.triggers = TriggerRegistry()
         self.catalog = Catalog(self)
@@ -82,6 +93,11 @@ class Database:
         self._txn_counter = itertools.count(1)
         self._ddl_lock = threading.RLock()
         self.stats = {"commits": 0, "aborts": 0, "transactions": 0}
+        #: Metric handles resolved once; transactions are the hot path.
+        self.txn_metrics = TxnMetrics(registry)
+        self._m_checkpoints = registry.counter("db.checkpoints")
+        self._m_checkpoint_seconds = registry.histogram(
+            "db.checkpoint_seconds")
 
     # ------------------------------------------------------------------
     # DDL
@@ -241,6 +257,7 @@ class Database:
         must leave recovery falling back to the previous checkpoint (or
         full history) — never a half-snapshot.
         """
+        started = perf_counter()
         snapshot = {}
         tables = list(self._tables.items())
         for position, (name, table) in enumerate(tables, start=1):
@@ -274,7 +291,25 @@ class Database:
                 },
             }
         record = self.wal.append(walmod.CHECKPOINT, 0, tables=snapshot)
+        self._m_checkpoints.inc()
+        self._m_checkpoint_seconds.observe(perf_counter() - started)
         return record.lsn
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict[str, dict]:
+        """Snapshot of every metric recorded against this database.
+
+        Covers the engine's own subsystems (``txn.*``, ``wal.*``,
+        ``lock.*``, ``db.*``) plus anything else reporting into the same
+        :class:`~repro.obs.Observability` — the collaboration server and
+        the search engine register their ``collab.*`` / ``search.*``
+        metrics here too.  Keys are catalogued metric names; values are
+        plain JSON-serialisable dicts (see ``docs/OBSERVABILITY.md``).
+        """
+        return self.obs.registry.snapshot()
 
     def close(self) -> None:
         """Flush and close the WAL file (if any)."""

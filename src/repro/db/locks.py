@@ -16,9 +16,11 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import TYPE_CHECKING, Hashable
 
 from ..errors import DeadlockError, LockTimeoutError
+from ..obs.metrics import NULL_REGISTRY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.injector import FaultInjector
@@ -63,16 +65,25 @@ class LockManager:
     """
 
     def __init__(self, default_timeout: float = 5.0,
-                 faults: "FaultInjector | None" = None) -> None:
+                 faults: "FaultInjector | None" = None,
+                 registry=None) -> None:
         from ..faults.injector import NO_FAULTS
         self._states: dict[Hashable, _LockState] = {}
         self._held_by_txn: dict[int, set[Hashable]] = {}
         self._cond = threading.Condition()
         self.default_timeout = default_timeout
         self.faults = faults if faults is not None else NO_FAULTS
-        #: Counters for observability / benchmarks.
+        #: Counters for observability / benchmarks (kept as a plain dict
+        #: for backwards compatibility; mirrored into the registry).
         self.stats = {"acquired": 0, "waited": 0, "deadlocks": 0,
                       "timeouts": 0, "injected": 0}
+        reg = registry if registry is not None else NULL_REGISTRY
+        self._m_acquired = reg.counter("lock.acquired")
+        self._m_waits = reg.counter("lock.waits")
+        self._m_wait_seconds = reg.histogram("lock.wait_seconds")
+        self._m_timeouts = reg.counter("lock.timeouts")
+        self._m_deadlocks = reg.counter("lock.deadlocks")
+        self._m_injected = reg.counter("lock.injected")
 
     # -- public API ---------------------------------------------------------
 
@@ -94,8 +105,10 @@ class LockManager:
         fault = self.faults.lock_action(txn_id, resource, mode)
         if fault is not None:
             self.stats["injected"] += 1
+            self._m_injected.inc()
             if fault.kind == "timeout":
                 self.stats["timeouts"] += 1
+                self._m_timeouts.inc()
                 raise LockTimeoutError(
                     f"injected timeout: txn {txn_id} on {resource!r} ({mode})"
                 )
@@ -112,23 +125,28 @@ class LockManager:
             # Must wait.
             if deadline_timeout == 0:
                 self.stats["timeouts"] += 1
+                self._m_timeouts.inc()
                 raise LockTimeoutError(
                     f"txn {txn_id} would block on {resource!r} ({mode})"
                 )
             if self._would_deadlock(txn_id, state):
                 self.stats["deadlocks"] += 1
+                self._m_deadlocks.inc()
                 raise DeadlockError(
                     f"txn {txn_id} deadlocks waiting for {resource!r}"
                 )
             entry = (txn_id, mode)
             state.waiters.append(entry)
             self.stats["waited"] += 1
+            self._m_waits.inc()
+            wait_started = perf_counter()
             try:
                 remaining = deadline_timeout
                 step = 0.05
                 while not state.compatible(txn_id, mode):
                     if remaining <= 0:
                         self.stats["timeouts"] += 1
+                        self._m_timeouts.inc()
                         raise LockTimeoutError(
                             f"txn {txn_id} timed out on {resource!r} ({mode})"
                         )
@@ -137,11 +155,15 @@ class LockManager:
                     remaining -= wait
                     if self._would_deadlock(txn_id, state):
                         self.stats["deadlocks"] += 1
+                        self._m_deadlocks.inc()
                         raise DeadlockError(
                             f"txn {txn_id} deadlocks waiting for {resource!r}"
                         )
                 self._grant(txn_id, resource, state, mode)
             finally:
+                # Wait time is recorded however the wait ends: grant,
+                # timeout or deadlock victimhood all contribute.
+                self._m_wait_seconds.observe(perf_counter() - wait_started)
                 if entry in state.waiters:
                     state.waiters.remove(entry)
 
@@ -181,6 +203,7 @@ class LockManager:
             state.holders[txn_id] = mode
         self._held_by_txn.setdefault(txn_id, set()).add(resource)
         self.stats["acquired"] += 1
+        self._m_acquired.inc()
 
     def _would_deadlock(self, requester: int, wanted: _LockState) -> bool:
         """Check the wait-for graph for a cycle through ``requester``.

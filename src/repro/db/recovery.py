@@ -132,8 +132,13 @@ def recover_file(
 
     A torn trailing record (the signature of a crash mid-append) is
     skipped with a warning — crash recovery must get past the crash's
-    own debris.  Corruption *before* the tail still raises, via
-    :meth:`~repro.db.wal.WriteAheadLog.load_file`.
+    own debris — and counted on the recovered database as
+    ``wal.torn_tail_recoveries``.  Corruption *before* the tail still
+    raises, via :meth:`~repro.db.wal.WriteAheadLog.load_file`.
     """
-    records = walmod.WriteAheadLog.load_file(path)
-    return recover(records, node=node, clock=clock, wal_path=wal_path)
+    torn = []
+    records = walmod.WriteAheadLog.load_file(path, on_torn=lambda: torn.append(1))
+    db = recover(records, node=node, clock=clock, wal_path=wal_path)
+    if torn:
+        db.obs.registry.counter("wal.torn_tail_recoveries").inc(len(torn))
+    return db

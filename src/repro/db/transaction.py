@@ -13,13 +13,37 @@ from __future__ import annotations
 import enum
 import threading
 from dataclasses import dataclass
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Mapping
 
-from ..errors import TransactionStateError
+from ..errors import CrashSignal, TransactionStateError
+from ..obs.metrics import COUNT_BUCKETS
 from . import wal as walmod
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .engine import Database
+
+
+class TxnMetrics:
+    """Transaction metric handles, resolved once per database.
+
+    Transactions are the hot path — one per keystroke — so the engine
+    looks every metric up a single time at construction instead of by
+    name per transaction.
+    """
+
+    __slots__ = ("begun", "committed", "aborted", "crashed", "active",
+                 "duration", "commit_seconds", "ops")
+
+    def __init__(self, registry) -> None:
+        self.begun = registry.counter("txn.begun")
+        self.committed = registry.counter("txn.committed")
+        self.aborted = registry.counter("txn.aborted")
+        self.crashed = registry.counter("txn.crashed")
+        self.active = registry.gauge("txn.active")
+        self.duration = registry.histogram("txn.duration_seconds")
+        self.commit_seconds = registry.histogram("txn.commit_seconds")
+        self.ops = registry.histogram("txn.ops", buckets=COUNT_BUCKETS)
 
 
 class TxnState(enum.Enum):
@@ -57,7 +81,17 @@ class Transaction:
         self._ops: list[tuple[str, int]] = []
         self._ops_seen: set[tuple[str, int]] = set()
         self._lock = threading.RLock()
-        db.wal.append(walmod.BEGIN, txn_id)
+        self._metrics = db.txn_metrics
+        self._span = db.obs.tracer.start("txn", txn=txn_id)
+        self._started = perf_counter()
+        self._finished = False
+        self._metrics.begun.inc()
+        self._metrics.active.inc()
+        try:
+            db.wal.append(walmod.BEGIN, txn_id)
+        except CrashSignal:
+            self._finish("crash")
+            raise
 
     # -- context manager ----------------------------------------------------
 
@@ -82,6 +116,27 @@ class Transaction:
     @property
     def is_active(self) -> bool:
         return self.state is TxnState.ACTIVE
+
+    def _finish(self, outcome: str) -> None:
+        """Close the transaction's span and settle its lifecycle metrics.
+
+        Idempotent, and exactly one outcome wins: a transaction killed by
+        an injected crash records ``"crash"`` even though the post-mortem
+        context manager still calls :meth:`abort` afterwards.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        metrics = self._metrics
+        metrics.active.dec()
+        metrics.duration.observe(perf_counter() - self._started)
+        if outcome == "commit":
+            metrics.committed.inc()
+        elif outcome == "abort":
+            metrics.aborted.inc()
+        else:
+            metrics.crashed.inc()
+        self._span.end(outcome)
 
     # -- locking ------------------------------------------------------------
 
@@ -108,51 +163,64 @@ class Transaction:
         """Insert a row; returns its rowid."""
         self._require_active()
         table = self._db.table(table_name)
-        with self._lock:
-            for index in table.indexes().values():
-                if index.unique and index.column in values:
-                    self._lock_key(table_name, index.column,
-                                   values[index.column])
-            rowid, row = table.stage_insert(self.txn_id, values)
-            self._lock_row(table_name, rowid)
-            self._record_op(table_name, rowid)
-            self._db.wal.append(
-                walmod.INSERT, self.txn_id, table=table_name, rowid=rowid,
-                values=table.schema.row_dict(row),
-            )
-            return rowid
+        try:
+            with self._lock:
+                for index in table.indexes().values():
+                    if index.unique and index.column in values:
+                        self._lock_key(table_name, index.column,
+                                       values[index.column])
+                rowid, row = table.stage_insert(self.txn_id, values)
+                self._lock_row(table_name, rowid)
+                self._record_op(table_name, rowid)
+                self._db.wal.append(
+                    walmod.INSERT, self.txn_id, table=table_name,
+                    rowid=rowid, values=table.schema.row_dict(row),
+                )
+                return rowid
+        except CrashSignal:
+            self._finish("crash")
+            raise
 
     def update(self, table_name: str, rowid: int,
                updates: Mapping[str, Any]) -> dict:
         """Update a row; returns the new full row mapping."""
         self._require_active()
         table = self._db.table(table_name)
-        with self._lock:
-            self._lock_row(table_name, rowid)
-            for index in table.indexes().values():
-                if index.unique and index.column in updates:
-                    self._lock_key(table_name, index.column,
-                                   updates[index.column])
-            row = table.stage_update(self.txn_id, rowid, updates)
-            self._record_op(table_name, rowid)
-            row_map = table.schema.row_dict(row)
-            self._db.wal.append(
-                walmod.UPDATE, self.txn_id, table=table_name, rowid=rowid,
-                values=row_map,
-            )
-            return row_map
+        try:
+            with self._lock:
+                self._lock_row(table_name, rowid)
+                for index in table.indexes().values():
+                    if index.unique and index.column in updates:
+                        self._lock_key(table_name, index.column,
+                                       updates[index.column])
+                row = table.stage_update(self.txn_id, rowid, updates)
+                self._record_op(table_name, rowid)
+                row_map = table.schema.row_dict(row)
+                self._db.wal.append(
+                    walmod.UPDATE, self.txn_id, table=table_name,
+                    rowid=rowid, values=row_map,
+                )
+                return row_map
+        except CrashSignal:
+            self._finish("crash")
+            raise
 
     def delete(self, table_name: str, rowid: int) -> None:
         """Delete a row."""
         self._require_active()
         table = self._db.table(table_name)
-        with self._lock:
-            self._lock_row(table_name, rowid)
-            table.stage_delete(self.txn_id, rowid)
-            self._record_op(table_name, rowid)
-            self._db.wal.append(
-                walmod.DELETE, self.txn_id, table=table_name, rowid=rowid,
-            )
+        try:
+            with self._lock:
+                self._lock_row(table_name, rowid)
+                table.stage_delete(self.txn_id, rowid)
+                self._record_op(table_name, rowid)
+                self._db.wal.append(
+                    walmod.DELETE, self.txn_id, table=table_name,
+                    rowid=rowid,
+                )
+        except CrashSignal:
+            self._finish("crash")
+            raise
 
     # -- reads (own-writes visible) ------------------------------------------
 
@@ -200,33 +268,48 @@ class Transaction:
         append, not the in-memory apply).
         """
         self._require_active()
-        with self._lock:
-            self._db.faults.fire("txn.pre_commit", txn=self.txn_id)
-            self._db.wal.append(walmod.COMMIT, self.txn_id)
-            self._db.faults.fire("txn.post_commit", txn=self.txn_id)
-            changes: list[Change] = []
-            for table_name, rowid in self._ops:
-                table = self._db.table(table_name)
-                kind, row = table.commit_row(self.txn_id, rowid)
-                if kind == "noop":
-                    continue
-                row_map = table.schema.row_dict(row) if row is not None else None
-                changes.append(Change(table_name, kind, rowid, row_map))
-            self.state = TxnState.COMMITTED
+        started = perf_counter()
+        try:
+            with self._lock:
+                self._db.faults.fire("txn.pre_commit", txn=self.txn_id)
+                self._db.wal.append(walmod.COMMIT, self.txn_id)
+                self._db.faults.fire("txn.post_commit", txn=self.txn_id)
+                changes: list[Change] = []
+                for table_name, rowid in self._ops:
+                    table = self._db.table(table_name)
+                    kind, row = table.commit_row(self.txn_id, rowid)
+                    if kind == "noop":
+                        continue
+                    row_map = table.schema.row_dict(row) \
+                        if row is not None else None
+                    changes.append(Change(table_name, kind, rowid, row_map))
+                self.state = TxnState.COMMITTED
+        except CrashSignal:
+            self._finish("crash")
+            raise
         self._db.locks.release_all(self.txn_id)
         self._db.on_commit(self, changes)
+        self._metrics.commit_seconds.observe(perf_counter() - started)
+        self._metrics.ops.observe(len(self._ops))
+        self._finish("commit")
         return changes
 
     def abort(self) -> None:
         """Roll back every staged change and release locks."""
         self._require_active()
-        with self._lock:
-            for table_name, rowid in reversed(self._ops):
-                self._db.table(table_name).rollback_row(self.txn_id, rowid)
-            self._db.wal.append(walmod.ABORT, self.txn_id)
-            self.state = TxnState.ABORTED
+        try:
+            with self._lock:
+                for table_name, rowid in reversed(self._ops):
+                    self._db.table(table_name).rollback_row(self.txn_id,
+                                                            rowid)
+                self._db.wal.append(walmod.ABORT, self.txn_id)
+                self.state = TxnState.ABORTED
+        except CrashSignal:
+            self._finish("crash")
+            raise
         self._db.locks.release_all(self.txn_id)
         self._db.on_abort(self)
+        self._finish("abort")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Transaction(id={self.txn_id}, state={self.state.value})"

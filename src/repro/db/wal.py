@@ -20,10 +20,12 @@ import os
 import threading
 import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterable, Iterator
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
 from ..errors import WalError
 from ..ids import Oid
+from ..obs.metrics import NULL_REGISTRY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.injector import FaultInjector
@@ -114,7 +116,8 @@ class WriteAheadLog:
     """
 
     def __init__(self, path: str | None = None,
-                 faults: "FaultInjector | None" = None) -> None:
+                 faults: "FaultInjector | None" = None,
+                 registry=None) -> None:
         from ..faults.injector import NO_FAULTS
         self._records: list[WalRecord] = []
         self._lock = threading.RLock()
@@ -126,6 +129,12 @@ class WriteAheadLog:
                               if path and os.path.exists(path) else 0)
         self.faults = faults if faults is not None else NO_FAULTS
         self.faults.attach_wal(self)
+        reg = registry if registry is not None else NULL_REGISTRY
+        self._m_appends = reg.counter("wal.appends")
+        self._m_append_seconds = reg.histogram("wal.append_seconds")
+        self._m_bytes = reg.counter("wal.appended_bytes")
+        self._m_fsyncs = reg.counter("wal.fsyncs")
+        self._m_fsync_seconds = reg.histogram("wal.fsync_seconds")
 
     @property
     def path(self) -> str | None:
@@ -135,6 +144,7 @@ class WriteAheadLog:
         """Append one record and return it (with its assigned LSN)."""
         if type_ not in _TYPES:
             raise WalError(f"unknown WAL record type {type_!r}")
+        started = perf_counter()
         self.faults.fire("wal.before_append", type=type_, txn=txn_id)
         with self._lock:
             record = WalRecord(self._next_lsn, type_, txn_id,
@@ -156,13 +166,20 @@ class WriteAheadLog:
                     self._file.write(line[:keep])
                     self.faults.crash(torn, type=type_, txn=txn_id)
                 self._file.write(line + "\n")
+                self._m_bytes.inc(len(line) + 1)
                 if type_ in (COMMIT, ABORT, CHECKPOINT):
                     self.faults.fire("wal.before_fsync", type=type_,
                                      txn=txn_id)
+                    fsync_started = perf_counter()
                     self._file.flush()
                     os.fsync(self._file.fileno())
                     self._durable_size = self._file.tell()
+                    self._m_fsyncs.inc()
+                    self._m_fsync_seconds.observe(
+                        perf_counter() - fsync_started)
             self._records.append(record)
+            self._m_appends.inc()
+            self._m_append_seconds.observe(perf_counter() - started)
             return record
 
     def records(self) -> Iterator[WalRecord]:
@@ -220,13 +237,17 @@ class WriteAheadLog:
             return len(self._records)
 
     @staticmethod
-    def load_file(path: str) -> list[WalRecord]:
+    def load_file(path: str,
+                  on_torn: Callable[[], None] | None = None,
+                  ) -> list[WalRecord]:
         """Read a mirrored log file back into records (for recovery).
 
         A torn *trailing* record — a crash mid-write leaves a partial
         JSON line, or one missing required fields — is skipped with a
         warning: that is the expected signature of process death and
-        recovery must proceed past it.  A malformed record *followed by
+        recovery must proceed past it.  ``on_torn`` (if given) is called
+        when that happens, so recovery can count the event
+        (``wal.torn_tail_recoveries``).  A malformed record *followed by
         valid ones* is a different story (real corruption, not a torn
         tail) and raises :class:`~repro.errors.WalError` rather than
         silently discarding committed history.
@@ -248,6 +269,8 @@ class WriteAheadLog:
                         RuntimeWarning,
                         stacklevel=2,
                     )
+                    if on_torn is not None:
+                        on_torn()
                     break
                 raise WalError(
                     f"corrupt WAL record at line {i + 1} of {path!r} "

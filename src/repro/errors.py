@@ -12,6 +12,17 @@ class TendaxError(Exception):
     """Base class for every error raised by this library."""
 
 
+class CrashSignal(BaseException):
+    """Simulated process death (see :mod:`repro.faults.plan`).
+
+    Derives from :class:`BaseException` (like ``KeyboardInterrupt``) so it
+    flies through ``except Exception`` / ``except TendaxError`` handlers —
+    a dead process does not run error handling.  Defined here (not in
+    :mod:`repro.faults`) so the engine's instrumented hot paths can close
+    spans on crash without importing the fault package.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Database engine errors
 # ---------------------------------------------------------------------------

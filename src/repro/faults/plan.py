@@ -14,6 +14,17 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field, replace
 
+from ..errors import CrashSignal
+
+__all__ = [
+    "CRASH_POINTS",
+    "CrashSignal",
+    "CrashSpec",
+    "DeliveryFault",
+    "FaultPlan",
+    "LockFault",
+]
+
 #: Every named crash point threaded through the engine.  The strings are
 #: the contract between the injector and the instrumented code — tests
 #: address points by these names.
@@ -25,15 +36,6 @@ CRASH_POINTS = (
     "txn.post_commit",         # COMMIT durable, in-memory apply interrupted
     "checkpoint.mid_snapshot", # crash while building the snapshot
 )
-
-
-class CrashSignal(BaseException):
-    """Simulated process death.
-
-    Derives from :class:`BaseException` (like ``KeyboardInterrupt``) so it
-    flies through ``except Exception`` / ``except TendaxError`` handlers —
-    a dead process does not run error handling.
-    """
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,90 @@
+"""The metric catalogue: every name the engine may emit, with meaning.
+
+The catalogue is a contract in both directions: instrumented code must
+only emit names listed here (the bench snapshot validator rejects
+unknown names, so adding a metric forces a catalogue + docs update), and
+renaming or dropping a name here fails the smoke-bench's regression
+check.  ``docs/OBSERVABILITY.md`` is the human-readable mirror.
+"""
+
+from __future__ import annotations
+
+#: name -> (kind, description).  Kind is "counter" | "gauge" | "histogram".
+METRIC_CATALOGUE: dict[str, tuple[str, str]] = {
+    # -- transactions (repro/db/transaction.py) -----------------------------
+    "txn.begun": ("counter", "transactions started"),
+    "txn.committed": ("counter", "transactions committed"),
+    "txn.aborted": ("counter", "transactions rolled back"),
+    "txn.crashed": ("counter",
+                    "transactions ended by an injected CrashSignal"),
+    "txn.active": ("gauge", "transactions currently in flight"),
+    "txn.duration_seconds": ("histogram",
+                             "begin-to-end transaction lifetime"),
+    "txn.commit_seconds": ("histogram",
+                           "commit call latency (log + apply + publish)"),
+    "txn.ops": ("histogram", "distinct rows staged per transaction"),
+    # -- write-ahead log (repro/db/wal.py) ----------------------------------
+    "wal.appends": ("counter", "WAL records appended"),
+    "wal.append_seconds": ("histogram", "WAL append latency"),
+    "wal.appended_bytes": ("counter",
+                           "bytes written to the mirrored WAL file"),
+    "wal.fsyncs": ("counter", "commit-boundary fsyncs"),
+    "wal.fsync_seconds": ("histogram", "flush+fsync latency"),
+    "wal.torn_tail_recoveries": ("counter",
+                                 "recoveries that skipped a torn trailing "
+                                 "record"),
+    # -- lock manager (repro/db/locks.py) -----------------------------------
+    "lock.acquired": ("counter", "lock grants (including upgrades)"),
+    "lock.waits": ("counter", "acquires that had to wait"),
+    "lock.wait_seconds": ("histogram",
+                          "time spent waiting for contended locks"),
+    "lock.timeouts": ("counter", "lock waits that timed out"),
+    "lock.deadlocks": ("counter", "deadlock victims"),
+    "lock.injected": ("counter", "faults injected into lock acquires"),
+    # -- engine (repro/db/engine.py) ----------------------------------------
+    "db.checkpoints": ("counter", "checkpoints written"),
+    "db.checkpoint_seconds": ("histogram", "checkpoint snapshot duration"),
+    # -- collaboration (repro/collab) ---------------------------------------
+    "collab.operations": ("counter", "editing operations dispatched"),
+    "collab.op_seconds": ("histogram",
+                          "operation dispatch latency (verb to commit "
+                          "fan-out)"),
+    "collab.notifications": ("counter", "change notifications produced"),
+    "collab.deliveries": ("counter", "notifications delivered to inboxes"),
+    "collab.held": ("counter", "notifications held back by the fault plan"),
+    "collab.drains": ("counter", "delivery backlog drains"),
+    "collab.queue_depth": ("gauge", "notifications held, awaiting drain"),
+    "collab.sessions": ("gauge", "connected editing sessions"),
+    # -- search (repro/search/engine.py) ------------------------------------
+    "search.queries": ("counter", "content/metadata searches run"),
+    "search.query_seconds": ("histogram", "end-to-end search latency"),
+    "search.index_hits": ("counter",
+                          "candidate documents produced by the inverted "
+                          "index"),
+    "search.structure_queries": ("counter", "structure searches run"),
+    # -- tracing (repro/obs/tracing.py) -------------------------------------
+    "trace.active_spans": ("gauge", "spans started but not yet ended"),
+    "trace.spans_started": ("counter", "spans handed out by the tracer"),
+}
+
+#: Core names every instrumented engine run must produce; the smoke
+#: bench fails if any is missing from a BENCH_obs.json union.
+REQUIRED_METRICS: frozenset[str] = frozenset({
+    "txn.begun",
+    "txn.committed",
+    "txn.commit_seconds",
+    "txn.duration_seconds",
+    "wal.appends",
+    "wal.append_seconds",
+    "lock.acquired",
+})
+
+
+def unknown_names(names) -> list[str]:
+    """Names not in the catalogue (a regression or a missing entry)."""
+    return sorted(set(names) - set(METRIC_CATALOGUE))
+
+
+def missing_required(names) -> list[str]:
+    """Required core names absent from ``names``."""
+    return sorted(REQUIRED_METRICS - set(names))

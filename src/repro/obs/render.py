@@ -1,0 +1,71 @@
+"""Human-readable rendering of metrics snapshots (``repro stats``)."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .catalogue import METRIC_CATALOGUE
+
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value < 1e-6:
+        return f"{value * 1e9:.0f}ns"
+    if value < 1e-3:
+        return f"{value * 1e6:.1f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.3f}s"
+
+
+def _fmt_value(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.3f}"
+    return f"{int(value):,}"
+
+
+def render_snapshot(snapshot: Mapping[str, dict]) -> str:
+    """Render a registry snapshot as an aligned, prefix-grouped table.
+
+    Histograms named ``*_seconds`` format their quantiles as latencies;
+    other histograms (e.g. ``txn.ops``) as plain numbers.
+    """
+    if not snapshot:
+        return "(no metrics recorded)"
+    rows: list[tuple[str, str]] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry.get("type")
+        if kind in ("counter", "gauge"):
+            rows.append((name, _fmt_value(entry.get("value"))))
+        elif kind == "histogram":
+            fmt = _fmt_seconds if name.endswith("_seconds") else _fmt_value
+            rows.append((
+                name,
+                f"n={entry.get('count', 0)}  "
+                f"p50={fmt(entry.get('p50'))}  "
+                f"p95={fmt(entry.get('p95'))}  "
+                f"p99={fmt(entry.get('p99'))}  "
+                f"max={fmt(entry.get('max'))}",
+            ))
+        else:
+            rows.append((name, repr(entry)))
+    width = max(len(name) for name, __ in rows)
+    lines = []
+    previous_prefix = None
+    for name, value in rows:
+        prefix = name.split(".", 1)[0]
+        if previous_prefix is not None and prefix != previous_prefix:
+            lines.append("")
+        previous_prefix = prefix
+        lines.append(f"  {name.ljust(width)}  {value}")
+    return "\n".join(lines)
+
+
+def describe(name: str) -> str:
+    """One-line description of a catalogued metric name."""
+    kind, text = METRIC_CATALOGUE.get(name, ("?", "(uncatalogued)"))
+    return f"{name} ({kind}): {text}"

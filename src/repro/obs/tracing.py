@@ -1,0 +1,193 @@
+"""Lightweight trace spans with context propagation.
+
+A :class:`Span` is one timed unit of engine work — a transaction, a
+collab operation dispatch, a search — with a name, attributes, a status
+and a parent.  The :class:`Tracer` hands spans out and routes finished
+spans to registered sinks.
+
+Two usage shapes:
+
+* ``with tracer.span("search.query"):`` — scoped work on one thread.
+  The span joins the thread's context stack, so spans started inside it
+  (either shape) get it as their parent.
+* ``span = tracer.start("txn"); ...; span.end("commit")`` — *detached*
+  spans for work whose begin and end live in different calls (a
+  transaction's lifetime).  Detached spans take the current context span
+  as parent but do not occupy the stack.
+
+**No-op fast path**: with no sink registered, :meth:`Tracer.start`
+returns the shared :data:`NULL_SPAN` and records nothing — the hot
+paths stay instrumented at the cost of one attribute check.
+
+**Balance**: every started span must be ended exactly once; the tracer
+tracks open spans (``trace.active_spans`` gauge) so the test suite can
+assert none leak, including across injected crashes (a transaction
+killed by a :class:`~repro.faults.plan.CrashSignal` ends its span with
+status ``"crash"``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import threading
+from time import perf_counter
+from typing import Any, Callable, Iterator
+
+SpanSink = Callable[["Span"], None]
+
+
+class Span:
+    """One timed, named, attributed unit of work."""
+
+    __slots__ = ("name", "span_id", "parent_id", "attrs", "started",
+                 "ended", "status", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id: int | None, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.started = perf_counter()
+        self.ended: float | None = None
+        self.status: str | None = None
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def end(self, status: str = "ok") -> None:
+        """Finish the span (idempotent: only the first end counts)."""
+        if self.ended is not None:
+            return
+        self.ended = perf_counter()
+        self.status = status
+        self._tracer._finish(self)
+
+    @property
+    def duration(self) -> float | None:
+        if self.ended is None:
+            return None
+        return self.ended - self.started
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = self.status if self.ended is not None else "open"
+        return f"Span({self.name!r}, id={self.span_id}, {state})"
+
+
+class _NullSpan:
+    """Shared inert span returned when no sink is listening."""
+
+    __slots__ = ()
+    name = "null"
+    span_id = 0
+    parent_id = None
+    attrs: dict = {}
+    status = None
+    duration = None
+    ended = None
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def end(self, status: str = "ok") -> None:
+        pass
+
+
+#: The tracer's no-op fast path target.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Creates spans, tracks open ones, fans finished spans to sinks."""
+
+    def __init__(self, registry=None) -> None:
+        from .metrics import NULL_REGISTRY
+        reg = registry if registry is not None else NULL_REGISTRY
+        self._sinks: list[SpanSink] = []
+        self._ids = itertools.count(1)
+        self._open: dict[int, Span] = {}
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._active = reg.gauge("trace.active_spans")
+        self._started = reg.counter("trace.spans_started")
+
+    # -- sinks ---------------------------------------------------------------
+
+    @property
+    def recording(self) -> bool:
+        return bool(self._sinks)
+
+    def add_sink(self, sink: SpanSink) -> SpanSink:
+        """Register a callable receiving every finished span."""
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: SpanSink) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def start(self, name: str, **attrs: Any) -> Span | _NullSpan:
+        """Start a detached span (caller must :meth:`Span.end` it)."""
+        if not self._sinks:
+            return NULL_SPAN
+        current = self.current()
+        span = Span(self, name, next(self._ids),
+                    current.span_id if current is not None else None, attrs)
+        with self._lock:
+            self._open[span.span_id] = span
+        self._active.inc()
+        self._started.inc()
+        return span
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span | _NullSpan]:
+        """Scoped span: joins the thread's context stack for its extent."""
+        span = self.start(name, **attrs)
+        if span is NULL_SPAN:
+            yield span
+            return
+        stack = self._stack()
+        stack.append(span)
+        try:
+            yield span
+            span.end("ok")
+        except BaseException:
+            # BaseException on purpose: CrashSignal must close spans too.
+            span.end("error")
+            raise
+        finally:
+            stack.remove(span)
+
+    def current(self) -> Span | None:
+        """The innermost scoped span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            self._open.pop(span.span_id, None)
+        self._active.dec()
+        for sink in self._sinks:
+            sink(span)
+
+    # -- introspection -------------------------------------------------------
+
+    def open_spans(self) -> list[Span]:
+        """Snapshot of started-but-not-ended spans (leak detection)."""
+        with self._lock:
+            return list(self._open.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Tracer(sinks={len(self._sinks)}, "
+                f"open={len(self.open_spans())})")

@@ -15,6 +15,7 @@ Results are document profiles ranked by any of the paper's options.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from ..db import Database, col
 from ..ids import Oid
@@ -47,6 +48,11 @@ class SearchEngine:
         self.index = InvertedIndex(db)
         self.ranker = Ranker(self.meta)
         self.extractor = FeatureExtractor(db)
+        registry = db.obs.registry
+        self._m_queries = registry.counter("search.queries")
+        self._m_query_seconds = registry.histogram("search.query_seconds")
+        self._m_index_hits = registry.counter("search.index_hits")
+        self._m_structure = registry.counter("search.structure_queries")
 
     # ------------------------------------------------------------------
     # Main entry point
@@ -56,6 +62,8 @@ class SearchEngine:
                ranking: str = "relevance",
                limit: int = 20) -> list[SearchResult]:
         """Run a query; returns ranked results."""
+        started = perf_counter()
+        self._m_queries.inc()
         if isinstance(query, str):
             query = parse_query(query)
         self.index.ensure_fresh()
@@ -64,6 +72,7 @@ class SearchEngine:
             candidates = self.index.matching_docs(query.all_terms)
             for phrase in query.phrases:
                 candidates &= self.index.phrase_docs(phrase)
+            self._m_index_hits.inc(len(candidates))
         else:
             candidates = {
                 r["doc"] for r in
@@ -95,6 +104,7 @@ class SearchEngine:
                 profile=profile,
                 snippet=self._snippet(profile["doc"], query.all_terms),
             ))
+        self._m_query_seconds.observe(perf_counter() - started)
         return results
 
     def _light_profile(self, doc: Oid, *, need_readers: bool,
@@ -171,6 +181,7 @@ class SearchEngine:
         Returns node rows augmented with their document name — "parts of
         documents can ... be found based on ... structure".
         """
+        self._m_structure.inc()
         needle = term.lower()
         rows = self.db.query(S.STRUCTURE).run()
         names = {

@@ -1,0 +1,148 @@
+"""Tests for the benchmark reporting pipeline (``benchmarks/report.py``).
+
+Covers the paper-style table renderer (against a golden file, so format
+drift is a conscious decision) and the BENCH_obs.json schema contract
+the smoke-bench CI step enforces.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+
+import pytest
+
+from benchmarks.report import (
+    SCHEMA_ID,
+    build_obs_payload,
+    load_groups,
+    render,
+    render_obs,
+    validate_obs_payload,
+)
+from repro.obs import REQUIRED_METRICS, MetricsRegistry, compact_snapshot
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "data",
+                      "report_golden.txt")
+
+#: A frozen two-group pytest-benchmark payload (only the fields the
+#: renderer consumes).
+SAMPLE_BENCH = {
+    "benchmarks": [
+        {
+            "group": "C1 keystroke mid-doc n=500",
+            "name": "test_keystroke_tendax[500]",
+            "stats": {"median": 0.000234, "mean": 0.000245},
+            "extra_info": {"system": "tendax", "n": 500},
+        },
+        {
+            "group": "C1 keystroke mid-doc n=500",
+            "name": "test_keystroke_file_baseline[500]",
+            "stats": {"median": 0.00311, "mean": 0.00305},
+            "extra_info": {"system": "file-wp", "n": 500},
+        },
+        {
+            "group": "D6 content search n=50",
+            "name": "test_indexed_content_search[50]",
+            "stats": {"median": 0.00037, "mean": 0.00039},
+            "extra_info": {"mode": "indexed", "docs": 50},
+        },
+        {
+            "name": "test_ungrouped_probe",
+            "stats": {"median": 2e-07, "mean": 2.5e-07},
+            "extra_info": {},
+        },
+    ]
+}
+
+
+def sample_obs_payload() -> dict:
+    """A valid payload built the way the bench harness builds it."""
+    registry = MetricsRegistry()
+    for name in REQUIRED_METRICS:
+        kind = "histogram" if name.endswith("_seconds") else "counter"
+        if kind == "histogram":
+            registry.histogram(name).observe(0.001)
+        else:
+            registry.counter(name).inc(7)
+    registry.gauge("txn.active").set(0)
+    metrics = compact_snapshot(registry.snapshot())
+    return build_obs_payload([
+        {"name": "test_keystroke_tendax[500]",
+         "group": "C1 keystroke mid-doc n=500", "metrics": metrics},
+    ])
+
+
+class TestTableRendering:
+    def test_render_matches_golden_file(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(SAMPLE_BENCH), encoding="utf-8")
+        rendered = render(load_groups(str(path)))
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            assert rendered == handle.read()
+
+    def test_groups_sorted_and_rows_ordered_by_median(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(SAMPLE_BENCH), encoding="utf-8")
+        rendered = render(load_groups(str(path)))
+        c1 = rendered.index("C1 keystroke")
+        d6 = rendered.index("D6 content search")
+        assert c1 < d6
+        # Within C1, tendax (faster median) renders before file-wp.
+        assert rendered.index("tendax") < rendered.index("file-wp")
+
+
+class TestObsSchema:
+    def test_valid_payload_passes(self):
+        payload = sample_obs_payload()
+        assert validate_obs_payload(payload) == []
+        assert validate_obs_payload(payload, require_core=True) == []
+        assert payload["schema"] == SCHEMA_ID
+
+    def test_payload_is_json_serialisable(self):
+        payload = sample_obs_payload()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_render_obs_mentions_every_metric(self):
+        payload = sample_obs_payload()
+        text = render_obs(payload)
+        for name in REQUIRED_METRICS:
+            assert name in text
+
+    def test_wrong_schema_id_rejected(self):
+        payload = sample_obs_payload()
+        payload["schema"] = "tendax.bench-obs.v0"
+        assert any("schema" in e for e in validate_obs_payload(payload))
+
+    def test_unknown_metric_name_rejected(self):
+        payload = sample_obs_payload()
+        payload["benchmarks"][0]["metrics"]["txn.visited"] = {
+            "type": "counter", "value": 1}
+        errors = validate_obs_payload(payload)
+        assert any("txn.visited" in e and "catalogue" in e for e in errors)
+
+    @pytest.mark.parametrize("mutate, fragment", [
+        (lambda p: p.pop("benchmarks"), "'benchmarks' must be a list"),
+        (lambda p: p["benchmarks"].append("nope"), "must be an object"),
+        (lambda p: p["benchmarks"][0].pop("name"), ".name"),
+        (lambda p: p["benchmarks"][0].__setitem__("group", 7), ".group"),
+        (lambda p: p["benchmarks"][0].__setitem__("metrics", []),
+         ".metrics"),
+        (lambda p: p["benchmarks"][0]["metrics"]["txn.begun"].pop("value"),
+         "numeric 'value'"),
+        (lambda p: p["benchmarks"][0]["metrics"]["txn.begun"]
+         .__setitem__("type", "meter"), "unknown type"),
+    ])
+    def test_malformed_entries_rejected(self, mutate, fragment):
+        payload = copy.deepcopy(sample_obs_payload())
+        mutate(payload)
+        errors = validate_obs_payload(payload)
+        assert any(fragment in e for e in errors), errors
+
+    def test_require_core_detects_name_regression(self):
+        payload = sample_obs_payload()
+        del payload["benchmarks"][0]["metrics"]["txn.begun"]
+        assert validate_obs_payload(payload) == []
+        errors = validate_obs_payload(payload, require_core=True)
+        assert any("txn.begun" in e for e in errors)

@@ -426,3 +426,58 @@ class TestNoteVerbs:
         s1.add_note(doc, 0, "hello margin")
         notes = s2.notifications()
         assert notes and "tx_notes" in notes[0].tables
+
+
+class TestStatisticsThreadSafety:
+    """Regression: ``server.stats`` was a plain dict mutated with ``+=``,
+    which silently lost increments when sessions operated from multiple
+    threads.  The counters now live in the obs registry; operation counts
+    must be exact however many threads drive the server."""
+
+    def test_operation_count_exact_under_concurrent_sessions(self, server):
+        import threading
+
+        n_threads, ops_each = 4, 25
+        workers = []
+        for i in range(n_threads):
+            user = f"typist{i}"
+            server.register_user(user)
+            session = server.connect(user)
+            handle = session.create_document(f"pad-{i}", text="seed ")
+            workers.append((session, handle.doc))
+        base_ops = server.stats["operations"]
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def hammer(session, doc):
+            try:
+                barrier.wait()
+                for __ in range(ops_each):
+                    session.insert(doc, 0, "x")
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=worker)
+                   for worker in workers]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert server.stats["operations"] - base_ops \
+            == n_threads * ops_each
+        stats = server.statistics()
+        assert stats["operations"] == server.stats["operations"]
+        assert stats["sessions"] == n_threads
+
+    def test_statistics_merge_into_the_obs_registry(self, server):
+        session = server.connect("ana")
+        handle = session.create_document("obs", text="hello")
+        session.insert(handle.doc, 0, "x")
+        snapshot = server.db.metrics_snapshot()
+        assert snapshot["collab.operations"]["value"] \
+            == server.stats["operations"]
+        assert snapshot["collab.sessions"]["value"] == len(server.sessions())
+        session.disconnect()
+        assert server.db.metrics_snapshot()["collab.sessions"]["value"] \
+            == len(server.sessions())

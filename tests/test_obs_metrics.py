@@ -1,0 +1,285 @@
+"""Property and unit tests for the metrics layer (``repro.obs``).
+
+The load-bearing property: a histogram's quantile *estimate* always lies
+inside the bucket containing the *true* quantile, so its error is
+bounded by that bucket's width.  Stated with hypothesis over arbitrary
+value streams and quantiles.  Counters and gauges must be exact — under
+seeded deterministic interleavings and under real threads.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.faults import DeterministicScheduler
+from repro.obs import (
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    Observability,
+    collecting,
+    compact_snapshot,
+    merge_snapshots,
+)
+
+#: Deliberately coarse bounds so streams exercise interior buckets, the
+#: first bucket (below bounds[0]) and the overflow bucket (> bounds[-1]).
+BOUNDS = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def true_quantile(values: list[float], q: float) -> float:
+    """Rank-based quantile over the raw stream (the histogram's target)."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+# ---------------------------------------------------------------------------
+# The quantile error-bound property
+# ---------------------------------------------------------------------------
+
+class TestQuantileErrorBound:
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=16.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=200),
+        q=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_estimate_shares_the_true_quantiles_bucket(self, values, q):
+        hist = Histogram("h", buckets=BOUNDS)
+        for v in values:
+            hist.observe(v)
+        estimate = hist.quantile(q)
+        truth = true_quantile(values, q)
+        # The bucket the true quantile falls in: (lo, hi], clamped to the
+        # observed range — exactly the interval the estimate interpolates
+        # within.  Sharing it bounds the error by the bucket width.
+        i = bisect_left(BOUNDS, truth)
+        lo = BOUNDS[i - 1] if i > 0 else min(values)
+        hi = BOUNDS[i] if i < len(BOUNDS) else max(values)
+        assert max(lo, min(values)) <= estimate <= min(hi, max(values))
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=16.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=100),
+    )
+    def test_count_sum_min_max_are_exact(self, values):
+        hist = Histogram("h", buckets=BOUNDS)
+        for v in values:
+            hist.observe(v)
+        assert hist.count == len(values)
+        assert hist.sum == pytest.approx(math.fsum(values))
+        assert hist.min == min(values)
+        assert hist.max == max(values)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=16.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=100),
+    )
+    def test_quantiles_are_monotone_and_clamped(self, values):
+        hist = Histogram("h", buckets=BOUNDS)
+        for v in values:
+            hist.observe(v)
+        qs = [hist.quantile(q / 10) for q in range(11)]
+        assert all(a <= b for a, b in zip(qs, qs[1:]))
+        assert min(values) <= qs[0] and qs[-1] <= max(values)
+
+    def test_empty_histogram_has_no_quantiles(self):
+        hist = Histogram("h", buckets=BOUNDS)
+        assert hist.quantile(0.5) is None
+        snap = hist.snapshot()
+        assert snap["count"] == 0 and snap["p50"] is None
+
+    def test_quantile_outside_unit_interval_rejected(self):
+        hist = Histogram("h", buckets=BOUNDS)
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_bucket_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+
+# ---------------------------------------------------------------------------
+# Exactness under interleaving and threads
+# ---------------------------------------------------------------------------
+
+class TestCounterExactness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_counters_exact_under_seeded_interleavings(self, seed):
+        registry = MetricsRegistry()
+        total = registry.counter("total")
+        sched = DeterministicScheduler(seed)
+        per_actor = {}
+        for name in ("ana", "ben", "cleo"):
+            own = registry.counter(f"ops.{name}")
+            per_actor[name] = own
+
+            def step(own=own):
+                own.inc()
+                total.inc()
+
+            sched.add_actor(name, step, weight=1 + len(name) % 3)
+        trace = sched.run(200)
+        assert total.value == 200
+        for name, counter in per_actor.items():
+            assert counter.value == trace.count(name)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_gauge_tracks_interleaved_inc_dec(self, seed):
+        registry = MetricsRegistry()
+        depth = registry.gauge("depth")
+        sched = DeterministicScheduler(seed)
+        shadow = {"value": 0}
+
+        def up():
+            depth.inc()
+            shadow["value"] += 1
+
+        def down():
+            depth.dec()
+            shadow["value"] -= 1
+
+        sched.add_actor("up", up, weight=2)
+        sched.add_actor("down", down)
+        sched.run(300)
+        assert depth.value == shadow["value"]
+
+    def test_counter_exact_under_threads(self):
+        counter = MetricsRegistry().counter("n")
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.inc() for __ in range(2000)])
+            for __ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8 * 2000
+
+    def test_histogram_count_exact_under_threads(self):
+        hist = Histogram("h", buckets=BOUNDS)
+        threads = [
+            threading.Thread(
+                target=lambda: [hist.observe(1.0) for __ in range(1000)])
+            for __ in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.count == 6000
+
+
+# ---------------------------------------------------------------------------
+# Registry, null registry, merge, compact
+# ---------------------------------------------------------------------------
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_snapshot_round_trips_through_json_types(self):
+        import json
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.histogram("h", buckets=BOUNDS).observe(1.5)
+        snap = registry.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_reset_zeroes_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        registry.histogram("h", buckets=BOUNDS).observe(1.0)
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap["c"]["value"] == 0 and snap["h"]["count"] == 0
+
+    def test_null_registry_records_nothing(self):
+        NULL_REGISTRY.counter("x").inc()
+        NULL_REGISTRY.gauge("x").set(5)
+        NULL_REGISTRY.histogram("x").observe(1.0)
+        assert NULL_REGISTRY.snapshot() == {}
+        assert not NULL_REGISTRY.enabled
+
+    def test_disabled_observability_uses_null_registry(self):
+        obs = Observability(enabled=False)
+        assert obs.registry is NULL_REGISTRY
+
+
+class TestMergeAndCompact:
+    def test_counters_and_gauges_add(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.counter("c").inc(2)
+        r2.counter("c").inc(3)
+        r1.gauge("g").set(1)
+        r2.gauge("g").set(4)
+        merged = merge_snapshots([r1.snapshot(), r2.snapshot()])
+        assert merged["c"]["value"] == 5
+        assert merged["g"]["value"] == 5
+
+    def test_histograms_merge_buckets_and_recompute_quantiles(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        h1 = r1.histogram("h", buckets=BOUNDS)
+        h2 = r2.histogram("h", buckets=BOUNDS)
+        stream1, stream2 = [0.3, 0.7, 1.5], [3.0, 6.0, 12.0]
+        for v in stream1:
+            h1.observe(v)
+        for v in stream2:
+            h2.observe(v)
+        merged = merge_snapshots([r1.snapshot(), r2.snapshot()])["h"]
+        combined = stream1 + stream2
+        assert merged["count"] == len(combined)
+        assert merged["min"] == min(combined)
+        assert merged["max"] == max(combined)
+        assert merged["overflow"] == 1          # the 12.0
+        # The recomputed p50 obeys the same bucket error bound.
+        truth = true_quantile(combined, 0.5)
+        i = bisect_left(BOUNDS, truth)
+        lo = BOUNDS[i - 1] if i > 0 else min(combined)
+        hi = BOUNDS[i] if i < len(BOUNDS) else max(combined)
+        assert lo <= merged["p50"] <= hi
+
+    def test_merge_rejects_kind_conflicts(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.counter("x").inc()
+        r2.gauge("x").set(1)
+        with pytest.raises(ValueError):
+            merge_snapshots([r1.snapshot(), r2.snapshot()])
+
+    def test_compact_drops_bucket_arrays(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=BOUNDS).observe(1.0)
+        registry.counter("c").inc()
+        compact = compact_snapshot(registry.snapshot())
+        assert "buckets" not in compact["h"]
+        assert compact["h"]["count"] == 1
+        assert compact["c"] == {"type": "counter", "value": 1}
+
+    def test_collecting_captures_enabled_engines_only(self):
+        with collecting() as seen:
+            enabled = Observability()
+            Observability(enabled=False)
+        assert seen == [enabled]

@@ -223,3 +223,27 @@ class TestNewsroomInvariants:
         session.insert(article.doc, 0, "LATE EDIT ")
         session.undo(article.doc)
         assert article.text() == before
+
+    def test_metrics_snapshot_covers_every_subsystem(self, newsroom):
+        # The acceptance bar for the observability layer: after a full
+        # shift, one Database.metrics_snapshot() call reports on every
+        # subsystem, and emits only catalogued names.
+        from repro.obs import unknown_names
+
+        server = newsroom["server"]
+        # Search metrics must not depend on which soak test ran first.
+        SearchEngine(server.db).search("article")
+        snapshot = server.db.metrics_snapshot()
+        prefixes = {name.split(".", 1)[0] for name in snapshot}
+        assert {"txn", "wal", "lock", "collab", "search"} <= prefixes
+        assert unknown_names(snapshot) == []
+        assert snapshot["txn.begun"]["value"] > 0
+        assert snapshot["txn.committed"]["value"] > 0
+        assert snapshot["txn.active"]["value"] == 0
+        assert snapshot["wal.appends"]["value"] > 0
+        assert snapshot["lock.acquired"]["value"] > 0
+        assert snapshot["collab.operations"]["value"] > 0
+        assert snapshot["collab.notifications"]["value"] > 0
+        assert snapshot["search.queries"]["value"] > 0
+        assert snapshot["txn.duration_seconds"]["count"] \
+            == snapshot["txn.begun"]["value"]

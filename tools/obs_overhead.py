@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Measure the observability layer's overhead on the C1 keystroke path.
+
+Replays the C1 per-keystroke workload (mid-document ``insert_after`` on
+a 2000-char document) against two engines:
+
+* **enabled** — the default ``Database`` (live metrics registry);
+* **disabled** — ``Database(obs=Observability(enabled=False))``, where
+  every instrumented site hits the null-registry fast path.
+
+Prints per-round medians and the relative overhead.  The PR acceptance
+bar is <10%; docs/OBSERVABILITY.md quotes the measured number.
+
+Usage::
+
+    PYTHONPATH=src python tools/obs_overhead.py [rounds] [keystrokes]
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import sys
+from time import perf_counter
+
+from repro.db import Database
+from repro.obs import Observability
+from repro.text import DocumentStore
+
+DOC_SIZE = 2000
+
+
+def make_text(n: int, seed: int = 7) -> str:
+    rng = random.Random(seed)
+    alphabet = "abcdefghijklmnopqrstuvwxyz     "
+    return "".join(rng.choice(alphabet) for __ in range(n))
+
+
+def run_round(enabled: bool, keystrokes: int) -> float:
+    """Median per-keystroke latency for one fresh engine."""
+    db = Database("ovh", obs=Observability(enabled=enabled))
+    store = DocumentStore(db, log_reads=False, log_writes=False)
+    handle = store.create("doc", "ana", text=make_text(DOC_SIZE))
+    anchor = handle.char_oid_at(DOC_SIZE // 2)
+    samples = []
+    for __ in range(keystrokes):
+        t0 = perf_counter()
+        handle.insert_after(anchor, "x", "ana")
+        samples.append(perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def main(argv: list[str]) -> int:
+    rounds = int(argv[1]) if len(argv) > 1 else 7
+    keystrokes = int(argv[2]) if len(argv) > 2 else 400
+    results: dict[bool, list[float]] = {True: [], False: []}
+    # Interleave rounds so drift (thermal, page cache) hits both arms.
+    for i in range(rounds):
+        for enabled in (True, False) if i % 2 == 0 else (False, True):
+            results[enabled].append(run_round(enabled, keystrokes))
+    on = statistics.median(results[True])
+    off = statistics.median(results[False])
+    overhead = (on - off) / off * 100.0
+    print(f"C1 keystroke, doc={DOC_SIZE} chars, "
+          f"{rounds} rounds x {keystrokes} keystrokes")
+    print(f"  obs enabled : {on * 1e6:8.2f} us/keystroke (median)")
+    print(f"  obs disabled: {off * 1e6:8.2f} us/keystroke (median)")
+    print(f"  overhead    : {overhead:+.1f}%")
+    return 0 if overhead < 10.0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

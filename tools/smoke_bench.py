@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Smoke-bench: one cheap benchmark per experiment group, obs-validated.
+
+Runs a minimal slice of the benchmark suite (the cheapest node from each
+C*/D* experiment group) with GC disabled, then validates the emitted
+``BENCH_obs.json`` against the schema in :mod:`benchmarks.report` with
+``require_core=True`` — so CI fails on:
+
+* an invalid or missing snapshot payload (pipeline regression);
+* a metric name outside the catalogue (undocumented metric);
+* a required core metric missing from every bench (name regression —
+  somebody renamed or dropped ``txn.begun`` & co).
+
+Usage::
+
+    PYTHONPATH=src python tools/smoke_bench.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: The cheapest benchmark node from each experiment group.
+SMOKE_NODES = (
+    "benchmarks/bench_editing_transactions.py::test_keystroke_tendax[500]",
+    "benchmarks/bench_undo_redo.py::test_undo_redo_cycle[10]",
+    "benchmarks/bench_recovery_security.py::test_recovery_replay[100]",
+    "benchmarks/bench_versioning.py::test_tag_version[500]",
+    "benchmarks/bench_collaborative_editing.py::test_party_throughput[1]",
+    "benchmarks/bench_workflow.py::test_task_state_transition",
+    "benchmarks/bench_dynamic_folders.py::test_event_driven_update[25]",
+    "benchmarks/bench_lineage.py::test_build_lineage_graph[10]",
+    "benchmarks/bench_visual_mining.py::test_feature_extraction",
+    "benchmarks/bench_search.py::test_indexed_content_search[50]",
+)
+
+
+def run_smoke() -> int:
+    obs_path = os.path.join(REPO, "BENCH_obs.json")
+    if os.path.exists(obs_path):
+        os.remove(obs_path)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    cmd = [sys.executable, "-m", "pytest", *SMOKE_NODES, "-q",
+           "--benchmark-only", "--benchmark-disable-gc",
+           "--benchmark-warmup=off"]
+    proc = subprocess.run(cmd, cwd=REPO, env=env)
+    if proc.returncode != 0:
+        print("smoke benchmarks failed", file=sys.stderr)
+        return 1
+    return validate(obs_path)
+
+
+def validate(obs_path: str) -> int:
+    sys.path.insert(0, REPO)
+    sys.path.insert(0, os.path.join(REPO, "src"))
+    from benchmarks.report import validate_obs_payload
+
+    if not os.path.exists(obs_path):
+        print("BENCH_obs.json was not emitted", file=sys.stderr)
+        return 1
+    with open(obs_path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    errors = validate_obs_payload(payload, require_core=True)
+    if errors:
+        for error in errors:
+            print(f"BENCH_obs invalid: {error}", file=sys.stderr)
+        return 1
+    names = {n for b in payload["benchmarks"] for n in b["metrics"]}
+    print(f"BENCH_obs.json valid: {len(payload['benchmarks'])} benchmarks, "
+          f"{len(names)} distinct metrics")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run_smoke())
