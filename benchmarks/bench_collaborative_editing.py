@@ -68,6 +68,32 @@ def test_full_lan_party_scenario(benchmark):
     benchmark.extra_info["final_length"] = report.final_length
 
 
+@pytest.mark.parametrize("n_editors", [2, 4])
+def test_replication_visibility(benchmark, n_editors):
+    """Keystroke→remote-visibility: one editor types, N-1 replicas see it.
+
+    The measured unit is one keystroke including its fan-out, which
+    drives the ``collab.replication_seconds`` histogram (keystroke start
+    to each remote inbox arrival) into the bench's obs snapshot — the
+    end-to-end replication latency the paper's real-time claim is about.
+    """
+    server, shared, editors, __ = _build_party(n_editors)
+    active = editors[0]
+
+    def keystroke():
+        active.move_end()
+        active.type("x")
+
+    benchmark.group = "D1 replication visibility"
+    benchmark.extra_info["editors"] = n_editors
+    benchmark(keystroke)
+    snapshot = server.db.metrics_snapshot()
+    replication = snapshot.get("collab.replication_seconds", {})
+    assert replication.get("count", 0) > 0
+    texts = {e.text() for e in editors}
+    assert len(texts) == 1
+
+
 # ---------------------------------------------------------------------------
 # Ablation: push propagation vs client polling
 # ---------------------------------------------------------------------------

@@ -8,7 +8,12 @@ code:
 * ``portal`` — build a knowledge base and print dynamic folders, the
   lineage tree (Fig. 1) and the document-space map (Fig. 2);
 * ``search`` — build a corpus and run a query against it;
-* ``stats`` — corpus/database statistics for a generated workload.
+* ``stats`` — corpus/database statistics for a generated workload
+  (``--json`` for the raw metrics snapshot);
+* ``trace`` — run a traced two-editor scenario and inspect the causal
+  keystroke→remote-visibility traces (ASCII tree, JSONL or Chrome
+  trace-event output);
+* ``top`` — hottest metrics and slowest traces of a traced workload.
 """
 
 from __future__ import annotations
@@ -74,11 +79,16 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
     from .obs import render_snapshot
     from .workload import build_knowledge_base
 
     kb = build_knowledge_base(n_docs=args.docs, seed=args.seed)
     db = kb.server.db
+    if args.json:
+        print(json.dumps(db.metrics_snapshot(), indent=2, sort_keys=True))
+        return 0
     print(f"node          : {db.node}")
     print(f"tables        : {len(db.tables())}")
     print(f"total rows    : {db.catalog.total_rows()}")
@@ -92,6 +102,83 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print("\nengine metrics:")
     print(render_snapshot(db.metrics_snapshot()))
     return 0
+
+
+def _run_traced_workload(args: argparse.Namespace):
+    """Run the traced duet (with optional held delivery) for trace/top."""
+    import os
+    import tempfile
+
+    from .workload import run_traced_duet
+
+    faults = None
+    if args.hold_seed is not None:
+        from .faults import FaultInjector, FaultPlan
+        faults = FaultInjector(FaultPlan.delivery_only(args.hold_seed))
+    slow = args.slow_ms / 1000.0 if args.slow_ms is not None else None
+    # A real WAL file makes the fsync leg show up in every trace.
+    fd, wal_path = tempfile.mkstemp(suffix=".wal")
+    os.close(fd)
+    try:
+        server, buffer = run_traced_duet(text=args.text, faults=faults,
+                                         slow_threshold=slow,
+                                         wal_path=wal_path)
+    finally:
+        os.unlink(wal_path)
+    return server, buffer
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import chrome_trace, render_trace, spans_to_jsonl
+
+    server, buffer = _run_traced_workload(args)
+    traces = buffer.traces()
+    if args.slow_ms is not None:
+        traces = buffer.slow_ops()
+    if args.trace is not None:
+        traces = [t for t in traces if t.trace_id == args.trace]
+        if not traces:
+            print(f"no trace with id {args.trace}", file=sys.stderr)
+            return 1
+    if args.format == "tree":
+        out = "\n\n".join(render_trace(t) for t in traces)
+    elif args.format == "jsonl":
+        out = spans_to_jsonl(s for t in traces for s in t.spans)
+    else:
+        out = json.dumps(chrome_trace(traces), indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(out + "\n")
+        print(f"wrote {len(traces)} trace(s) to {args.out}")
+    else:
+        print(out)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .obs import render_top
+
+    refreshes = max(1, args.watch)
+    for round_no in range(refreshes):
+        server, buffer = _run_traced_workload(args)
+        view = render_top(server.db.metrics_snapshot(), buffer.traces(),
+                          limit=args.limit)
+        if refreshes > 1:
+            print(f"-- refresh {round_no + 1}/{refreshes} --")
+        print(view)
+    return 0
+
+
+def _add_traced_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--text", default="causal trace",
+                        help="characters the two editors alternate typing")
+    parser.add_argument("--hold-seed", type=int, default=None,
+                        help="run with a seeded held/reordered delivery "
+                             "fault plan")
+    parser.add_argument("--slow-ms", type=float, default=None,
+                        help="slow-op threshold in milliseconds")
 
 
 def _cmd_dump(args: argparse.Namespace) -> int:
@@ -161,7 +248,29 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="database statistics")
     stats.add_argument("--docs", type=int, default=24)
     stats.add_argument("--seed", type=int, default=2006)
+    stats.add_argument("--json", action="store_true",
+                       help="emit the raw metrics snapshot as JSON")
     stats.set_defaults(fn=_cmd_stats)
+
+    trace = sub.add_parser(
+        "trace", help="trace a two-editor session keystroke by keystroke")
+    _add_traced_options(trace)
+    trace.add_argument("--format", choices=("tree", "jsonl", "chrome"),
+                       default="tree")
+    trace.add_argument("--trace", type=int, default=None,
+                       help="show only the trace with this id")
+    trace.add_argument("--out", default=None,
+                       help="write output to a file instead of stdout")
+    trace.set_defaults(fn=_cmd_trace)
+
+    top = sub.add_parser(
+        "top", help="hottest metrics + slowest traces of a traced workload")
+    _add_traced_options(top)
+    top.add_argument("--watch", type=int, default=1,
+                     help="re-run and re-render this many times")
+    top.add_argument("--limit", type=int, default=8,
+                     help="rows per section")
+    top.set_defaults(fn=_cmd_top)
 
     dump = sub.add_parser(
         "dump", help="export a generated corpus as .tendax.json files")

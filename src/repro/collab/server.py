@@ -57,12 +57,14 @@ class CollaborationServer:
         #: Collab metrics live in the database's registry, so one
         #: ``Database.metrics_snapshot()`` covers the whole server.
         registry = self.db.obs.registry
+        self._tracer = self.db.obs.tracer
         self._m_operations = registry.counter("collab.operations")
         self._m_op_seconds = registry.histogram("collab.op_seconds")
         self._m_notifications = registry.counter("collab.notifications")
         self._m_sessions = registry.gauge("collab.sessions")
         #: The "network" between commits and session inboxes.
-        self.delivery = DeliveryBus(self.faults, registry=registry)
+        self.delivery = DeliveryBus(self.faults, registry=registry,
+                                    tracer=self._tracer)
         self.documents = DocumentStore(self.db)
         self.principals = PrincipalRegistry(self.db)
         self.acl = AccessController(self.db, self.principals)
@@ -77,6 +79,9 @@ class CollaborationServer:
         self._session_counter = itertools.count(1)
         self._notification_seq = itertools.count(1)
         self._operating_session: EditingSession | None = None
+        #: ``perf_counter`` at the start of the in-flight operation —
+        #: the keystroke zero point stamped onto notification envelopes.
+        self._operating_started: float | None = None
         self._subscription = self.db.bus.subscribe("db.commit",
                                                    self._on_commit)
 
@@ -173,17 +178,30 @@ class CollaborationServer:
     # ------------------------------------------------------------------
 
     @contextlib.contextmanager
-    def _operating(self, session: EditingSession) -> Iterator[None]:
-        """Mark ``session`` as the origin of commits made inside."""
+    def _operating(self, session: EditingSession, *,
+                   verb: str = "") -> Iterator[None]:
+        """Mark ``session`` as the origin of commits made inside.
+
+        Opens the keystroke's *root* trace span (``collab.op``): the
+        transaction started inside parents under it, and through the
+        notification envelope so do dispatch, delivery and every remote
+        session's apply — one causally linked trace per editor
+        operation.  ``_operating_started`` is the replication-latency
+        zero point the envelope carries.
+        """
         previous = self._operating_session
+        previous_started = self._operating_started
         self._operating_session = session
+        self._operating_started = started = perf_counter()
         self._m_operations.inc()
-        started = perf_counter()
-        try:
-            yield
-        finally:
-            self._m_op_seconds.observe(perf_counter() - started)
-            self._operating_session = previous
+        with self._tracer.span("collab.op", session=session.id,
+                               user=session.user, verb=verb):
+            try:
+                yield
+            finally:
+                self._m_op_seconds.observe(perf_counter() - started)
+                self._operating_session = previous
+                self._operating_started = previous_started
 
     def _on_commit(self, event) -> None:
         changes: list[Change] = event["changes"]
@@ -204,23 +222,34 @@ class CollaborationServer:
         if not by_doc:
             return
         origin = self._operating_session
+        origin_started = self._operating_started if origin else None
         now = self.db.now()
         for doc, entry in by_doc.items():
-            notification = Notification(
-                doc=doc,
-                origin_session=origin.id if origin else None,
-                origin_user=origin.user if origin else None,
-                tables=tuple(sorted(entry["tables"])),
-                n_changes=entry["count"],
-                at=now,
-                seq=next(self._notification_seq),
-            )
-            for session in self._sessions.values():
-                if doc in session.open_documents():
-                    if origin is not None and session.id == origin.id:
-                        continue
-                    self.delivery.send(session, notification)
-                    self._m_notifications.inc()
+            # One dispatch span per notified document; its (trace, span)
+            # context rides on the envelope so delivery/apply spans can
+            # resume the trace after a hold or reorder.  With no trace
+            # sink the scoped span is NULL_SPAN and ``ctx`` is None.
+            with self._tracer.span("collab.dispatch", doc=str(doc),
+                                   changes=entry["count"]) as dispatch:
+                ctx = dispatch.ctx
+                notification = Notification(
+                    doc=doc,
+                    origin_session=origin.id if origin else None,
+                    origin_user=origin.user if origin else None,
+                    tables=tuple(sorted(entry["tables"])),
+                    n_changes=entry["count"],
+                    at=now,
+                    seq=next(self._notification_seq),
+                    trace_id=ctx[0] if ctx else None,
+                    parent_span=ctx[1] if ctx else None,
+                    origin_started=origin_started,
+                )
+                for session in self._sessions.values():
+                    if doc in session.open_documents():
+                        if origin is not None and session.id == origin.id:
+                            continue
+                        self.delivery.send(session, notification)
+                        self._m_notifications.inc()
 
     # ------------------------------------------------------------------
     # Teardown

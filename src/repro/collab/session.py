@@ -31,6 +31,16 @@ class Notification:
     numbers are not ascending observed out-of-order delivery (possible
     only under injected delivery faults — see
     :class:`~repro.collab.bus.DeliveryBus`).
+
+    The last three fields are the *causal envelope*: ``trace_id`` /
+    ``parent_span`` carry the originating keystroke's dispatch-span
+    context across the session boundary (so delivery and remote apply
+    link into the same trace, even when the bus holds or reorders the
+    notification), and ``origin_started`` is the ``perf_counter`` stamp
+    of the editor operation that caused the change — the zero point of
+    the ``collab.replication_seconds`` histogram.  All three default to
+    ``None``: with tracing off the trace fields are never populated
+    (the null fast path), and non-session commits carry no origin stamp.
     """
 
     doc: Oid
@@ -40,6 +50,16 @@ class Notification:
     n_changes: int
     at: float
     seq: int = 0
+    trace_id: int | None = None
+    parent_span: int | None = None
+    origin_started: float | None = None
+
+    @property
+    def trace_ctx(self) -> tuple[int, int] | None:
+        """The envelope's span context, or ``None`` when tracing was off."""
+        if self.trace_id is None or self.parent_span is None:
+            return None
+        return (self.trace_id, self.parent_span)
 
 
 class EditingSession:
@@ -179,7 +199,7 @@ class EditingSession:
         touched = op.char_oids_touched(handle)
         if touched:
             self.server.acl.check_chars_editable(doc, self.user, touched)
-        with self.server._operating(self):
+        with self.server._operating(self, verb=type(op).__name__):
             record = op.apply(handle, self.user)
         if record is not None:
             self.server.undo.record(record)
@@ -380,7 +400,15 @@ class EditingSession:
         return out
 
     def _notify(self, notification: Notification) -> None:
-        self.inbox.append(notification)
+        """Land a delivered notification in the inbox (the remote-apply
+        moment: the editor's cached view was already spliced by the
+        commit trigger, so inbox arrival is when the change becomes
+        *visible* to this session).  Traced as ``collab.apply``, child
+        of the delivery span via the thread context stack."""
+        with self.server.db.obs.tracer.span("collab.apply",
+                                            session=self.id,
+                                            seq=notification.seq):
+            self.inbox.append(notification)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"EditingSession(id={self.id}, user={self.user!r}, "

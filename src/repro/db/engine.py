@@ -83,9 +83,11 @@ class Database:
         self.obs = obs if obs is not None else Observability()
         registry = self.obs.registry
         self.locks = LockManager(default_timeout=lock_timeout,
-                                 faults=self.faults, registry=registry)
+                                 faults=self.faults, registry=registry,
+                                 tracer=self.obs.tracer)
         self.wal = WriteAheadLog(wal_path, faults=self.faults,
-                                 registry=registry)
+                                 registry=registry,
+                                 tracer=self.obs.tracer)
         self.bus = EventBus()
         self.triggers = TriggerRegistry()
         self.catalog = Catalog(self)

@@ -66,8 +66,10 @@ class LockManager:
 
     def __init__(self, default_timeout: float = 5.0,
                  faults: "FaultInjector | None" = None,
-                 registry=None) -> None:
+                 registry=None, tracer=None) -> None:
         from ..faults.injector import NO_FAULTS
+        from ..obs.tracing import NULL_TRACER
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._states: dict[Hashable, _LockState] = {}
         self._held_by_txn: dict[int, set[Hashable]] = {}
         self._cond = threading.Condition()
@@ -140,6 +142,11 @@ class LockManager:
             self.stats["waited"] += 1
             self._m_waits.inc()
             wait_started = perf_counter()
+            # Contended waits are cold and interesting: traced, so a
+            # keystroke trace shows where it stalled (and on what).
+            wait_span = self._tracer.start("lock.wait", txn=txn_id,
+                                           resource=str(resource),
+                                           mode=mode)
             try:
                 remaining = deadline_timeout
                 step = 0.05
@@ -147,6 +154,7 @@ class LockManager:
                     if remaining <= 0:
                         self.stats["timeouts"] += 1
                         self._m_timeouts.inc()
+                        wait_span.end("timeout")
                         raise LockTimeoutError(
                             f"txn {txn_id} timed out on {resource!r} ({mode})"
                         )
@@ -156,13 +164,17 @@ class LockManager:
                     if self._would_deadlock(txn_id, state):
                         self.stats["deadlocks"] += 1
                         self._m_deadlocks.inc()
+                        wait_span.end("deadlock")
                         raise DeadlockError(
                             f"txn {txn_id} deadlocks waiting for {resource!r}"
                         )
                 self._grant(txn_id, resource, state, mode)
             finally:
                 # Wait time is recorded however the wait ends: grant,
-                # timeout or deadlock victimhood all contribute.
+                # timeout or deadlock victimhood all contribute.  The
+                # span end is idempotent, so the error paths above
+                # keep their specific statuses.
+                wait_span.end("ok")
                 self._m_wait_seconds.observe(perf_counter() - wait_started)
                 if entry in state.waiters:
                     state.waiters.remove(entry)

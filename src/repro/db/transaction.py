@@ -269,26 +269,32 @@ class Transaction:
         """
         self._require_active()
         started = perf_counter()
-        try:
-            with self._lock:
-                self._db.faults.fire("txn.pre_commit", txn=self.txn_id)
-                self._db.wal.append(walmod.COMMIT, self.txn_id)
-                self._db.faults.fire("txn.post_commit", txn=self.txn_id)
-                changes: list[Change] = []
-                for table_name, rowid in self._ops:
-                    table = self._db.table(table_name)
-                    kind, row = table.commit_row(self.txn_id, rowid)
-                    if kind == "noop":
-                        continue
-                    row_map = table.schema.row_dict(row) \
-                        if row is not None else None
-                    changes.append(Change(table_name, kind, rowid, row_map))
-                self.state = TxnState.COMMITTED
-        except CrashSignal:
-            self._finish("crash")
-            raise
-        self._db.locks.release_all(self.txn_id)
-        self._db.on_commit(self, changes)
+        # The txn span is detached; putting it in scope for the commit
+        # parents the WAL fsync and the commit fan-out (notification
+        # dispatch) under it, linking the keystroke's causal trace
+        # through the durability and propagation legs.
+        with self._db.obs.tracer.scope(self._span):
+            try:
+                with self._lock:
+                    self._db.faults.fire("txn.pre_commit", txn=self.txn_id)
+                    self._db.wal.append(walmod.COMMIT, self.txn_id)
+                    self._db.faults.fire("txn.post_commit", txn=self.txn_id)
+                    changes: list[Change] = []
+                    for table_name, rowid in self._ops:
+                        table = self._db.table(table_name)
+                        kind, row = table.commit_row(self.txn_id, rowid)
+                        if kind == "noop":
+                            continue
+                        row_map = table.schema.row_dict(row) \
+                            if row is not None else None
+                        changes.append(Change(table_name, kind, rowid,
+                                              row_map))
+                    self.state = TxnState.COMMITTED
+            except CrashSignal:
+                self._finish("crash")
+                raise
+            self._db.locks.release_all(self.txn_id)
+            self._db.on_commit(self, changes)
         self._metrics.commit_seconds.observe(perf_counter() - started)
         self._metrics.ops.observe(len(self._ops))
         self._finish("commit")

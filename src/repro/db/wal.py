@@ -117,8 +117,10 @@ class WriteAheadLog:
 
     def __init__(self, path: str | None = None,
                  faults: "FaultInjector | None" = None,
-                 registry=None) -> None:
+                 registry=None, tracer=None) -> None:
         from ..faults.injector import NO_FAULTS
+        from ..obs.tracing import NULL_TRACER
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._records: list[WalRecord] = []
         self._lock = threading.RLock()
         self._next_lsn = 1
@@ -168,15 +170,19 @@ class WriteAheadLog:
                 self._file.write(line + "\n")
                 self._m_bytes.inc(len(line) + 1)
                 if type_ in (COMMIT, ABORT, CHECKPOINT):
-                    self.faults.fire("wal.before_fsync", type=type_,
-                                     txn=txn_id)
-                    fsync_started = perf_counter()
-                    self._file.flush()
-                    os.fsync(self._file.fileno())
-                    self._durable_size = self._file.tell()
-                    self._m_fsyncs.inc()
-                    self._m_fsync_seconds.observe(
-                        perf_counter() - fsync_started)
+                    # Traced as well as timed: the fsync span is the
+                    # durability leg of the keystroke's causal trace
+                    # (child of the txn span in scope during commit).
+                    with self._tracer.span("wal.fsync", txn=txn_id):
+                        self.faults.fire("wal.before_fsync", type=type_,
+                                         txn=txn_id)
+                        fsync_started = perf_counter()
+                        self._file.flush()
+                        os.fsync(self._file.fileno())
+                        self._durable_size = self._file.tell()
+                        self._m_fsyncs.inc()
+                        self._m_fsync_seconds.observe(
+                            perf_counter() - fsync_started)
             self._records.append(record)
             self._m_appends.inc()
             self._m_append_seconds.observe(perf_counter() - started)

@@ -7,8 +7,12 @@ into:
 
 * :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms
   with bounded-error quantile estimation;
-* :mod:`repro.obs.tracing` — spans with context propagation and a
-  no-op fast path when nobody listens;
+* :mod:`repro.obs.tracing` — spans with context propagation (including
+  explicit cross-session trace contexts) and a no-op fast path when
+  nobody listens;
+* :mod:`repro.obs.export` — bounded trace buffer, JSONL / Chrome
+  trace-event export, slow-op log, and the ``repro trace`` /
+  ``repro top`` renderings;
 * :mod:`repro.obs.catalogue` — the closed set of metric names, the
   contract the bench snapshot validator enforces.
 
@@ -43,8 +47,18 @@ from .metrics import (
     compact_snapshot,
     merge_snapshots,
 )
+from .export import (
+    Trace,
+    TraceBuffer,
+    chrome_trace,
+    render_top,
+    render_trace,
+    span_to_dict,
+    spans_to_jsonl,
+    validate_chrome_trace,
+)
 from .render import describe, render_snapshot
-from .tracing import NULL_SPAN, Span, Tracer
+from .tracing import NULL_SPAN, NULL_TRACER, Span, Tracer
 
 __all__ = [
     "COUNT_BUCKETS",
@@ -52,6 +66,7 @@ __all__ = [
     "METRIC_CATALOGUE",
     "NULL_REGISTRY",
     "NULL_SPAN",
+    "NULL_TRACER",
     "Counter",
     "Gauge",
     "Histogram",
@@ -60,14 +75,22 @@ __all__ = [
     "Observability",
     "REQUIRED_METRICS",
     "Span",
+    "Trace",
+    "TraceBuffer",
     "Tracer",
+    "chrome_trace",
     "collecting",
     "compact_snapshot",
     "describe",
     "merge_snapshots",
     "missing_required",
     "render_snapshot",
+    "render_top",
+    "render_trace",
+    "span_to_dict",
+    "spans_to_jsonl",
     "unknown_names",
+    "validate_chrome_trace",
 ]
 
 

@@ -55,6 +55,15 @@ METRIC_CATALOGUE: dict[str, tuple[str, str]] = {
     "collab.drains": ("counter", "delivery backlog drains"),
     "collab.queue_depth": ("gauge", "notifications held, awaiting drain"),
     "collab.sessions": ("gauge", "connected editing sessions"),
+    "collab.replication_seconds": (
+        "histogram",
+        "end-to-end replication latency: editor keystroke start to the "
+        "notification landing in each remote replica's inbox (the paper's "
+        "real-time number; held delivery counts its backlog time)"),
+    "collab.held_seconds": (
+        "histogram",
+        "time held notifications spent in the delivery-bus backlog "
+        "before drain released them"),
     # -- search (repro/search/engine.py) ------------------------------------
     "search.queries": ("counter", "content/metadata searches run"),
     "search.query_seconds": ("histogram", "end-to-end search latency"),
@@ -62,9 +71,12 @@ METRIC_CATALOGUE: dict[str, tuple[str, str]] = {
                           "candidate documents produced by the inverted "
                           "index"),
     "search.structure_queries": ("counter", "structure searches run"),
-    # -- tracing (repro/obs/tracing.py) -------------------------------------
+    # -- tracing (repro/obs/tracing.py, repro/obs/export.py) ----------------
     "trace.active_spans": ("gauge", "spans started but not yet ended"),
     "trace.spans_started": ("counter", "spans handed out by the tracer"),
+    "trace.slow_ops": ("counter",
+                       "traces whose end-to-end extent exceeded the "
+                       "slow-op threshold"),
 }
 
 #: Core names every instrumented engine run must produce; the smoke
@@ -77,6 +89,10 @@ REQUIRED_METRICS: frozenset[str] = frozenset({
     "wal.appends",
     "wal.append_seconds",
     "lock.acquired",
+    # The paper's headline number: the bench trajectory must always
+    # carry keystroke→remote-visibility latency (emitted by any bench
+    # with >= 2 editors on one document).
+    "collab.replication_seconds",
 })
 
 

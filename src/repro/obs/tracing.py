@@ -15,9 +15,23 @@ Two usage shapes:
   transaction's lifetime).  Detached spans take the current context span
   as parent but do not occupy the stack.
 
+**Causal traces**: every span carries a ``trace_id``.  A root span (no
+parent) mints a fresh one; children inherit their parent's, so all the
+work one keystroke causes — editor op, transaction, WAL fsync, dispatch,
+remote delivery — shares a single trace id.  The link crosses session
+and thread boundaries explicitly: :attr:`Span.ctx` is a ``(trace_id,
+span_id)`` pair that can ride on a message envelope, and
+``tracer.span(..., parent_ctx=ctx)`` resumes the trace on the receiving
+side (held/reordered delivery included).  :meth:`Tracer.scope` pushes an
+existing detached span onto the context stack, so work performed *inside*
+a transaction's commit (fsync, commit fan-out) parents under the
+transaction span.
+
 **No-op fast path**: with no sink registered, :meth:`Tracer.start`
 returns the shared :data:`NULL_SPAN` and records nothing — the hot
 paths stay instrumented at the cost of one attribute check.
+:attr:`_NullSpan.ctx` is ``None``, which is what keeps message-envelope
+trace fields ``None`` when tracing is off.
 
 **Balance**: every started span must be ended exactly once; the tracer
 tracks open spans (``trace.active_spans`` gauge) so the test suite can
@@ -36,23 +50,33 @@ from typing import Any, Callable, Iterator
 
 SpanSink = Callable[["Span"], None]
 
+#: A span's address as carried on message envelopes: (trace_id, span_id).
+TraceContext = tuple[int, int]
+
 
 class Span:
     """One timed, named, attributed unit of work."""
 
-    __slots__ = ("name", "span_id", "parent_id", "attrs", "started",
-                 "ended", "status", "_tracer")
+    __slots__ = ("name", "span_id", "parent_id", "trace_id", "attrs",
+                 "started", "ended", "status", "_tracer")
 
     def __init__(self, tracer: "Tracer", name: str, span_id: int,
-                 parent_id: int | None, attrs: dict) -> None:
+                 parent_id: int | None, trace_id: int,
+                 attrs: dict) -> None:
         self._tracer = tracer
         self.name = name
         self.span_id = span_id
         self.parent_id = parent_id
+        self.trace_id = trace_id
         self.attrs = attrs
         self.started = perf_counter()
         self.ended: float | None = None
         self.status: str | None = None
+
+    @property
+    def ctx(self) -> TraceContext:
+        """This span's ``(trace_id, span_id)`` for envelope propagation."""
+        return (self.trace_id, self.span_id)
 
     def set(self, **attrs: Any) -> "Span":
         self.attrs.update(attrs)
@@ -84,6 +108,9 @@ class _NullSpan:
     name = "null"
     span_id = 0
     parent_id = None
+    trace_id = 0
+    #: ``None`` on purpose: envelope trace fields stay unset when off.
+    ctx = None
     attrs: dict = {}
     status = None
     duration = None
@@ -108,6 +135,7 @@ class Tracer:
         reg = registry if registry is not None else NULL_REGISTRY
         self._sinks: list[SpanSink] = []
         self._ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
         self._open: dict[int, Span] = {}
         self._lock = threading.Lock()
         self._local = threading.local()
@@ -131,13 +159,27 @@ class Tracer:
 
     # -- span lifecycle ------------------------------------------------------
 
-    def start(self, name: str, **attrs: Any) -> Span | _NullSpan:
-        """Start a detached span (caller must :meth:`Span.end` it)."""
+    def start(self, name: str,
+              parent_ctx: TraceContext | None = None,
+              **attrs: Any) -> Span | _NullSpan:
+        """Start a detached span (caller must :meth:`Span.end` it).
+
+        ``parent_ctx`` is an explicit ``(trace_id, span_id)`` parent —
+        the cross-session/cross-thread link a message envelope carries.
+        Without it, the parent is the thread's innermost scoped span; a
+        parentless span roots a fresh trace.
+        """
         if not self._sinks:
             return NULL_SPAN
-        current = self.current()
-        span = Span(self, name, next(self._ids),
-                    current.span_id if current is not None else None, attrs)
+        if parent_ctx is not None:
+            trace_id, parent_id = parent_ctx
+        else:
+            current = self.current()
+            if current is not None:
+                trace_id, parent_id = current.trace_id, current.span_id
+            else:
+                trace_id, parent_id = next(self._trace_ids), None
+        span = Span(self, name, next(self._ids), parent_id, trace_id, attrs)
         with self._lock:
             self._open[span.span_id] = span
         self._active.inc()
@@ -145,9 +187,11 @@ class Tracer:
         return span
 
     @contextlib.contextmanager
-    def span(self, name: str, **attrs: Any) -> Iterator[Span | _NullSpan]:
+    def span(self, name: str,
+             parent_ctx: TraceContext | None = None,
+             **attrs: Any) -> Iterator[Span | _NullSpan]:
         """Scoped span: joins the thread's context stack for its extent."""
-        span = self.start(name, **attrs)
+        span = self.start(name, parent_ctx, **attrs)
         if span is NULL_SPAN:
             yield span
             return
@@ -162,6 +206,25 @@ class Tracer:
             raise
         finally:
             stack.remove(span)
+
+    @contextlib.contextmanager
+    def scope(self, span: "Span | _NullSpan") -> Iterator["Span | _NullSpan"]:
+        """Push an existing (detached, open) span onto the context stack.
+
+        Lets work done inside another call chain parent under a detached
+        span — e.g. a transaction's commit puts its own span in scope so
+        the WAL fsync and the commit fan-out trace as its children.  The
+        span is *not* ended on exit; its owner still does that.
+        """
+        if span is NULL_SPAN or span.ended is not None:
+            yield span
+            return
+        stack = self._stack()
+        stack.append(span)  # type: ignore[arg-type]
+        try:
+            yield span
+        finally:
+            stack.remove(span)  # type: ignore[arg-type]
 
     def current(self) -> Span | None:
         """The innermost scoped span on this thread, if any."""
@@ -191,3 +254,8 @@ class Tracer:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"Tracer(sinks={len(self._sinks)}, "
                 f"open={len(self.open_spans())})")
+
+
+#: Shared sink-less tracer: the default wiring for components built
+#: without a database (every start() returns :data:`NULL_SPAN`).
+NULL_TRACER = Tracer()

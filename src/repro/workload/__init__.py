@@ -14,6 +14,7 @@ from .scenarios import (
     LanPartyReport,
     build_knowledge_base,
     run_lan_party,
+    run_traced_duet,
 )
 from .torture import ModelTypist, PlannedOp, SharedText
 from .typist import DEFAULT_MIX, SimulatedTypist, TypistStats
@@ -36,4 +37,5 @@ __all__ = [
     "generate_text",
     "load_corpus",
     "run_lan_party",
+    "run_traced_duet",
 ]

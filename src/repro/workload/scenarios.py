@@ -114,6 +114,50 @@ def run_lan_party(
     )
 
 
+def run_traced_duet(
+    *,
+    text: str = "causal trace",
+    faults=None,
+    slow_threshold: float | None = None,
+    max_traces: int = 1024,
+    wal_path: str | None = None,
+    server: CollaborationServer | None = None,
+):
+    """Two editors alternating keystrokes on one document, fully traced.
+
+    The fixed scenario behind ``repro trace``, the trace-export golden
+    test and ``tools/trace_smoke.py``: ana and ben type ``text`` one
+    character each in turn, every keystroke producing one causal trace
+    (editor op → txn commit → WAL fsync → dispatch → remote deliver →
+    apply).  Deterministic — same text, same trace/span id sequence —
+    except for wall-clock timestamps.  Held notifications (if ``faults``
+    holds any) are drained before returning.
+
+    Returns ``(server, buffer)`` where ``buffer`` is the
+    :class:`~repro.obs.TraceBuffer` holding every finished trace.
+    """
+    from ..obs.export import TraceBuffer
+
+    server = server or CollaborationServer(faults=faults,
+                                           wal_path=wal_path)
+    buffer = TraceBuffer(max_traces=max_traces,
+                         slow_threshold=slow_threshold,
+                         registry=server.db.obs.registry)
+    server.db.obs.tracer.add_sink(buffer)
+    server.register_user("ana")
+    server.register_user("ben")
+    ana = server.connect("ana", os_name="linux")
+    shared = ana.create_document("duet", text="")
+    ben = server.connect("ben", os_name="macosx")
+    editors = [EditorClient(ana, shared.doc), EditorClient(ben, shared.doc)]
+    for i, char in enumerate(text):
+        editor = editors[i % 2]
+        editor.move_end()
+        editor.type(char)
+    server.delivery.drain()
+    return server, buffer
+
+
 @dataclass
 class KnowledgeBase:
     """The populated server of :func:`build_knowledge_base`."""

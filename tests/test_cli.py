@@ -45,6 +45,18 @@ class TestCli:
         assert "tx_documents" in out
         assert "total rows" in out
 
+    def test_stats_json_round_trips_metrics_snapshot(self):
+        import json
+
+        code, out = run_cli("stats", "--docs", "4", "--seed", "1", "--json")
+        assert code == 0
+        snapshot = json.loads(out)
+        assert snapshot["txn.committed"]["type"] == "counter"
+        assert snapshot["txn.committed"]["value"] > 0
+        assert "txn.commit_seconds" in snapshot
+        # The raw snapshot round-trips: dump → load → identical.
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
@@ -52,6 +64,67 @@ class TestCli:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestTraceCommand:
+    def test_tree_format_shows_causal_chain(self):
+        code, out = run_cli("trace", "--text", "hi")
+        assert code == 0
+        for name in ("collab.op", "txn", "wal.fsync", "collab.dispatch",
+                     "collab.deliver", "collab.apply"):
+            assert name in out
+
+    def test_chrome_format_is_valid(self, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        path = tmp_path / "trace.json"
+        code, out = run_cli("trace", "--text", "hi", "--format", "chrome",
+                            "--out", str(path))
+        assert code == 0
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert validate_chrome_trace(payload) == []
+
+    def test_jsonl_format_one_object_per_line(self):
+        import json
+
+        code, out = run_cli("trace", "--text", "a", "--format", "jsonl")
+        assert code == 0
+        lines = [line for line in out.splitlines() if line]
+        assert all("span" in json.loads(line) for line in lines)
+
+    def test_single_trace_selection_and_missing_id(self):
+        code, out = run_cli("trace", "--text", "a", "--trace", "1")
+        assert code == 0
+        assert out.count("trace 1 ·") == 1
+        code, __ = run_cli("trace", "--text", "a", "--trace", "99999")
+        assert code == 1
+
+    def test_slow_threshold_filters_to_slow_ops(self):
+        # An absurd threshold: nothing qualifies, output is empty.
+        code, out = run_cli("trace", "--text", "a", "--slow-ms", "60000")
+        assert code == 0
+        assert "collab.op" not in out
+
+    def test_hold_seed_runs_fault_plan(self):
+        code, out = run_cli("trace", "--text", "hi", "--hold-seed", "1311")
+        assert code == 0
+        assert "collab.apply" in out
+
+
+class TestTopCommand:
+    def test_one_shot(self):
+        code, out = run_cli("top", "--text", "hello")
+        assert code == 0
+        assert "hot paths" in out
+        assert "slowest recent traces" in out
+        assert "collab.replication_seconds" in out
+
+    def test_watch_renders_each_refresh(self):
+        code, out = run_cli("top", "--text", "ab", "--watch", "2")
+        assert code == 0
+        assert out.count("-- refresh") == 2
 
 
 class TestDumpLoad:

@@ -1,15 +1,22 @@
 #!/usr/bin/env python3
-"""Measure the observability layer's overhead on the C1 keystroke path.
+"""Measure the observability layer's overhead on the hot editing paths.
 
-Replays the C1 per-keystroke workload (mid-document ``insert_after`` on
-a 2000-char document) against two engines:
+Replays two workloads against engines with observability on and off:
 
-* **enabled** — the default ``Database`` (live metrics registry);
-* **disabled** — ``Database(obs=Observability(enabled=False))``, where
-  every instrumented site hits the null-registry fast path.
+* **C1 keystroke** — mid-document ``insert_after`` on a 2000-char
+  document, straight against the store (no collab layer).  This is the
+  path the <10% acceptance bar applies to; docs/OBSERVABILITY.md quotes
+  the measured number.
+* **collab keystroke** — the same keystroke through a two-session
+  collaboration server, so the cost of causal-context propagation
+  (trace-id stamping on notification envelopes, dispatch/deliver/apply
+  span sites) is covered too.  With observability off every one of
+  those sites must hit the null fast path.
 
-Prints per-round medians and the relative overhead.  The PR acceptance
-bar is <10%; docs/OBSERVABILITY.md quotes the measured number.
+The **enabled** arm uses the default ``Database`` (live metrics
+registry, tracer with no sinks); **disabled** passes
+``Observability(enabled=False)`` so every instrumented site hits the
+null-registry/null-span fast path.
 
 Usage::
 
@@ -23,6 +30,7 @@ import statistics
 import sys
 from time import perf_counter
 
+from repro.collab import CollaborationServer, EditorClient
 from repro.db import Database
 from repro.obs import Observability
 from repro.text import DocumentStore
@@ -36,8 +44,8 @@ def make_text(n: int, seed: int = 7) -> str:
     return "".join(rng.choice(alphabet) for __ in range(n))
 
 
-def run_round(enabled: bool, keystrokes: int) -> float:
-    """Median per-keystroke latency for one fresh engine."""
+def run_round_store(enabled: bool, keystrokes: int) -> float:
+    """Median per-keystroke latency against a fresh bare engine (C1)."""
     db = Database("ovh", obs=Observability(enabled=enabled))
     store = DocumentStore(db, log_reads=False, log_writes=False)
     handle = store.create("doc", "ana", text=make_text(DOC_SIZE))
@@ -50,23 +58,56 @@ def run_round(enabled: bool, keystrokes: int) -> float:
     return statistics.median(samples)
 
 
-def main(argv: list[str]) -> int:
-    rounds = int(argv[1]) if len(argv) > 1 else 7
-    keystrokes = int(argv[2]) if len(argv) > 2 else 400
+def run_round_collab(enabled: bool, keystrokes: int) -> float:
+    """Median per-keystroke latency through a two-session server."""
+    db = Database("ovh", obs=Observability(enabled=enabled))
+    server = CollaborationServer(db)
+    server.register_user("ana")
+    server.register_user("ben")
+    ana = server.connect("ana")
+    shared = ana.create_document("doc", text=make_text(DOC_SIZE))
+    ben = server.connect("ben")
+    active = EditorClient(ana, shared.doc)
+    EditorClient(ben, shared.doc)
+    active.move_to(DOC_SIZE // 2)
+    samples = []
+    for __ in range(keystrokes):
+        t0 = perf_counter()
+        active.type("x")
+        samples.append(perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def measure(run_round, rounds: int, keystrokes: int) -> tuple[float, float]:
     results: dict[bool, list[float]] = {True: [], False: []}
     # Interleave rounds so drift (thermal, page cache) hits both arms.
     for i in range(rounds):
         for enabled in (True, False) if i % 2 == 0 else (False, True):
             results[enabled].append(run_round(enabled, keystrokes))
-    on = statistics.median(results[True])
-    off = statistics.median(results[False])
+    return (statistics.median(results[True]),
+            statistics.median(results[False]))
+
+
+def report(label: str, on: float, off: float) -> float:
     overhead = (on - off) / off * 100.0
-    print(f"C1 keystroke, doc={DOC_SIZE} chars, "
-          f"{rounds} rounds x {keystrokes} keystrokes")
+    print(f"{label}")
     print(f"  obs enabled : {on * 1e6:8.2f} us/keystroke (median)")
     print(f"  obs disabled: {off * 1e6:8.2f} us/keystroke (median)")
     print(f"  overhead    : {overhead:+.1f}%")
-    return 0 if overhead < 10.0 else 1
+    return overhead
+
+
+def main(argv: list[str]) -> int:
+    rounds = int(argv[1]) if len(argv) > 1 else 7
+    keystrokes = int(argv[2]) if len(argv) > 2 else 400
+    print(f"doc={DOC_SIZE} chars, {rounds} rounds x {keystrokes} keystrokes")
+    on, off = measure(run_round_store, rounds, keystrokes)
+    c1 = report("C1 keystroke (store path)", on, off)
+    on, off = measure(run_round_collab, rounds, keystrokes)
+    report("collab keystroke (two sessions, causal envelopes)", on, off)
+    # The acceptance bar is on the C1 path; the collab number is quoted
+    # in docs/OBSERVABILITY.md for context.
+    return 0 if c1 < 10.0 else 1
 
 
 if __name__ == "__main__":

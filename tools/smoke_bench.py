@@ -32,6 +32,7 @@ SMOKE_NODES = (
     "benchmarks/bench_recovery_security.py::test_recovery_replay[100]",
     "benchmarks/bench_versioning.py::test_tag_version[500]",
     "benchmarks/bench_collaborative_editing.py::test_party_throughput[1]",
+    "benchmarks/bench_collaborative_editing.py::test_replication_visibility[2]",
     "benchmarks/bench_workflow.py::test_task_state_transition",
     "benchmarks/bench_dynamic_folders.py::test_event_driven_update[25]",
     "benchmarks/bench_lineage.py::test_build_lineage_graph[10]",

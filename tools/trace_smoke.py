@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Trace-export smoke check: run the traced duet, validate the export.
+
+CI's guard on the causal-tracing pipeline.  Runs the fixed two-editor
+scenario (plus one seeded held/reordered-delivery variant), exports the
+traces as Chrome trace-event JSON and fails on:
+
+* structural problems in the payload (see
+  :func:`repro.obs.validate_chrome_trace`);
+* a keystroke trace missing any leg of the causal chain
+  (``collab.op`` → ``txn`` → ``wal.fsync`` / ``collab.dispatch`` →
+  ``collab.deliver`` → ``collab.apply``);
+* unbalanced spans (anything still open when the scenario is done).
+
+Usage::
+
+    PYTHONPATH=src python tools/trace_smoke.py [--out trace.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+#: Every keystroke trace must contain this causal chain.
+CHAIN = ("collab.op", "txn", "wal.fsync", "collab.dispatch",
+         "collab.deliver", "collab.apply")
+
+
+def run_scenario(hold_seed: int | None):
+    from repro.workload import run_traced_duet
+
+    faults = None
+    if hold_seed is not None:
+        from repro.faults import FaultInjector, FaultPlan
+        faults = FaultInjector(FaultPlan.delivery_only(hold_seed))
+    fd, wal_path = tempfile.mkstemp(suffix=".wal")
+    os.close(fd)
+    try:
+        return run_traced_duet(faults=faults, wal_path=wal_path)
+    finally:
+        os.unlink(wal_path)
+
+
+def check(hold_seed: int | None, out: str | None) -> list[str]:
+    from repro.obs import chrome_trace, validate_chrome_trace
+
+    label = "direct" if hold_seed is None else f"held(seed={hold_seed})"
+    server, buffer = run_scenario(hold_seed)
+    problems = []
+    open_spans = server.db.obs.tracer.open_spans()
+    if open_spans:
+        problems.append(f"{label}: {len(open_spans)} span(s) never finished")
+    traces = buffer.traces()
+    keystrokes = [t for t in traces
+                  if t.root is not None and t.root.name == "collab.op"]
+    if not keystrokes:
+        problems.append(f"{label}: no keystroke traces recorded")
+    for trace in keystrokes:
+        names = {span.name for span in trace.spans}
+        missing = [name for name in CHAIN if name not in names]
+        if missing:
+            problems.append(
+                f"{label}: trace {trace.trace_id} is missing causal "
+                f"leg(s) {missing}")
+    payload = chrome_trace(traces)
+    problems.extend(f"{label}: {e}" for e in validate_chrome_trace(payload))
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print(f"{label}: wrote {len(traces)} traces to {out}")
+    print(f"{label}: {len(keystrokes)} keystroke traces, "
+          f"{sum(len(t) for t in traces)} spans")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None,
+                        help="also write the direct run's Chrome trace JSON")
+    parser.add_argument("--hold-seed", type=int, default=1311,
+                        help="seed for the held/reordered delivery variant")
+    args = parser.parse_args(argv)
+    problems = check(None, args.out) + check(args.hold_seed, None)
+    for problem in problems:
+        print(f"trace smoke FAILED: {problem}", file=sys.stderr)
+    if not problems:
+        print("trace smoke OK")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
