@@ -114,6 +114,15 @@ class EditorClient:
     # Typing
     # ------------------------------------------------------------------
 
+    def batch(self):
+        """Typing-burst batching: coalesce the edits made inside into
+        one transaction (see :meth:`EditingSession.batch`).  A burst of
+        ``type()`` calls — or a replace (selection delete + insert) —
+        then costs one commit record and one grouped fsync instead of
+        one per keystroke.
+        """
+        return self.session.batch()
+
     def type(self, text: str, *, style: Oid | None = None) -> list[Oid]:
         """Type ``text`` at the cursor (replacing any selection)."""
         if self._selection:

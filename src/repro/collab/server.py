@@ -188,13 +188,21 @@ class CollaborationServer:
         session's apply — one causally linked trace per editor
         operation.  ``_operating_started`` is the replication-latency
         zero point the envelope carries.
+
+        Inside a :meth:`~repro.db.engine.Database.batch` the op's span
+        parents under the batch *transaction* span instead of rooting a
+        fresh trace: every coalesced keystroke then links to the batch's
+        single commit and its group's fsync.
         """
         previous = self._operating_session
         previous_started = self._operating_started
         self._operating_session = session
         self._operating_started = started = perf_counter()
         self._m_operations.inc()
-        with self._tracer.span("collab.op", session=session.id,
+        batch = self.db.current_batch()
+        parent = batch.span.ctx if batch is not None else None
+        with self._tracer.span("collab.op", parent_ctx=parent,
+                               session=session.id,
                                user=session.user, verb=verb):
             try:
                 yield

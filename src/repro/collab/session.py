@@ -145,6 +145,19 @@ class EditingSession:
         if not self.connected:
             raise SessionError(f"session {self.id} is disconnected")
 
+    def batch(self):
+        """Coalesce a burst of this session's edits into one transaction.
+
+        Delegates to :meth:`~repro.db.engine.Database.batch`: every
+        editing verb issued inside the ``with`` block joins a single
+        transaction that commits once (one COMMIT record, one grouped
+        fsync) when the block exits, and rolls back atomically on error.
+        Opt-in — outside a batch the engine keeps the paper's
+        one-operation-one-transaction behaviour.
+        """
+        self._require_connected()
+        return self.server.db.batch()
+
     # ------------------------------------------------------------------
     # Editing verbs (position addressed)
     # ------------------------------------------------------------------

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+from contextlib import contextmanager
 from time import perf_counter
 from typing import Any, Iterable, Mapping
 
@@ -32,7 +33,7 @@ from .locks import LockManager
 from .query import Query
 from .schema import Column, TableSchema
 from .table import Table
-from .transaction import Change, Transaction, TxnMetrics
+from .transaction import BatchJoin, Change, Transaction, TxnMetrics
 from .triggers import TriggerRegistry
 from .wal import WriteAheadLog
 
@@ -63,6 +64,12 @@ class Database:
         trace spans into; a fresh enabled one is created by default.
         Pass ``Observability(enabled=False)`` for a no-op baseline (see
         ``docs/OBSERVABILITY.md``).
+    wal_group_commit / wal_group_window / wal_group_max:
+        Group-commit knobs forwarded to the
+        :class:`~repro.db.wal.WriteAheadLog`: concurrent committers share
+        one fsync via a commit barrier (see ``docs/INTERNALS.md``,
+        "Group commit & batching").  Defaults keep single-threaded
+        behaviour identical to per-commit fsync.
     """
 
     def __init__(
@@ -74,6 +81,9 @@ class Database:
         lock_timeout: float = 5.0,
         faults=None,
         obs: Observability | None = None,
+        wal_group_commit: bool = True,
+        wal_group_window: float = 0.0,
+        wal_group_max: int = 64,
     ) -> None:
         from ..faults.injector import NO_FAULTS
         self.node = node
@@ -87,13 +97,18 @@ class Database:
                                  tracer=self.obs.tracer)
         self.wal = WriteAheadLog(wal_path, faults=self.faults,
                                  registry=registry,
-                                 tracer=self.obs.tracer)
+                                 tracer=self.obs.tracer,
+                                 group_commit=wal_group_commit,
+                                 group_window=wal_group_window,
+                                 group_max=wal_group_max)
         self.bus = EventBus()
         self.triggers = TriggerRegistry()
         self.catalog = Catalog(self)
         self._tables: dict[str, Table] = {}
         self._txn_counter = itertools.count(1)
         self._ddl_lock = threading.RLock()
+        #: Per-thread active batch transaction (see :meth:`batch`).
+        self._batch_local = threading.local()
         self.stats = {"commits": 0, "aborts": 0, "transactions": 0}
         #: Metric handles resolved once; transactions are the hot path.
         self.txn_metrics = TxnMetrics(registry)
@@ -179,7 +194,17 @@ class Database:
     # ------------------------------------------------------------------
 
     def begin(self, *, lock_timeout: float | None = None) -> Transaction:
-        """Start a new transaction."""
+        """Start a new transaction.
+
+        Inside an active :meth:`batch` on the same thread this returns a
+        :class:`~repro.db.transaction.BatchJoin` view of the batch
+        transaction instead: code written per-operation ("one keystroke,
+        one transaction") transparently coalesces into the batch.
+        """
+        batch = self.current_batch()
+        if batch is not None and batch.is_active:
+            batch.batched_ops += 1
+            return BatchJoin(batch)  # type: ignore[return-value]
         txn_id = next(self._txn_counter)
         self.stats["transactions"] += 1
         return Transaction(self, txn_id, lock_timeout=lock_timeout)
@@ -187,6 +212,50 @@ class Database:
     def transaction(self, *, lock_timeout: float | None = None) -> Transaction:
         """Alias of :meth:`begin`; reads well in ``with`` statements."""
         return self.begin(lock_timeout=lock_timeout)
+
+    def current_batch(self) -> Transaction | None:
+        """The batch transaction open on this thread, if any."""
+        txn = getattr(self._batch_local, "txn", None)
+        if txn is not None and not txn.is_active:
+            # A crash/abort may have killed the batch under the context
+            # manager's feet; never hand out a dead transaction.
+            return None
+        return txn
+
+    @contextmanager
+    def batch(self, *, lock_timeout: float | None = None):
+        """Coalesce a burst of editing operations into one transaction.
+
+        Every ``db.transaction()`` / ``db.begin()`` opened on this thread
+        inside the ``with`` block joins a single underlying transaction:
+        the burst stages all its row ops under amortised locks and
+        commits once — one COMMIT record, one (group-committed) fsync —
+        instead of paying the durability cost per keystroke.  On
+        exception the whole batch rolls back; partial bursts never
+        commit.  Nested calls join the outer batch.  The number of
+        coalesced operations is observed as ``txn.batched_ops``.
+        """
+        existing = self.current_batch()
+        if existing is not None:
+            yield existing
+            return
+        txn = self.begin(lock_timeout=lock_timeout)
+        self._batch_local.txn = txn
+        try:
+            yield txn
+        except BaseException:
+            self._batch_local.txn = None
+            if txn.is_active:
+                txn.abort()
+            raise
+        else:
+            # Clear the thread-local *before* committing so commit
+            # triggers that open their own transactions don't join a
+            # batch that is already sealing.
+            self._batch_local.txn = None
+            if txn.is_active:
+                self.txn_metrics.batched_ops.observe(txn.batched_ops)
+                txn.commit()
 
     def on_commit(self, txn: Transaction, changes: list[Change]) -> None:
         """Called by a transaction after it applied its commit."""

@@ -6,6 +6,13 @@ order; records of transactions without a COMMIT are discarded.  This gives
 the paper's promise — a crash mid-keystroke loses at most the uncommitted
 keystroke, never an acknowledged one.
 
+Under group commit the acknowledgement point is the *group fsync*, not the
+COMMIT append: ``power_off(lose_unsynced=True)`` truncates the file back
+to the last fsync boundary, so an unacknowledged commit's records never
+reach recovery after power loss.  After a plain process crash the page
+cache survives and unacknowledged COMMIT records may be replayed — that is
+correct, durability is a lower bound, never an upper one.
+
 Use :func:`recover` with an in-memory record list (tests) or
 :func:`recover_file` with a mirrored WAL file (process-crash simulation).
 """
@@ -65,15 +72,25 @@ def recover(
     node: str = "db",
     clock: Clock | None = None,
     wal_path: str | None = None,
+    wal_group_commit: bool = True,
+    wal_group_window: float = 0.0,
+    wal_group_max: int = 64,
 ) -> Database:
     """Build a fresh :class:`Database` from WAL records.
 
     Only effects of committed transactions survive.  DDL records
     (txn id 0) are always applied — the engine logs them after the fact,
     so they describe objects that really existed.
+
+    The ``wal_group_*`` knobs carry the crashed engine's commit policy
+    onto the recovered one, so a configured group window or group-size
+    bound is not silently reset to defaults by the crash.
     """
     records = list(records)
-    db = Database(node, clock=clock, wal_path=wal_path)
+    db = Database(node, clock=clock, wal_path=wal_path,
+                  wal_group_commit=wal_group_commit,
+                  wal_group_window=wal_group_window,
+                  wal_group_max=wal_group_max)
     committed = committed_txn_ids(records)
 
     start = 0
@@ -127,6 +144,9 @@ def recover_file(
     node: str = "db",
     clock: Clock | None = None,
     wal_path: str | None = None,
+    wal_group_commit: bool = True,
+    wal_group_window: float = 0.0,
+    wal_group_max: int = 64,
 ) -> Database:
     """Recover from a WAL file written by a (crashed) engine.
 
@@ -138,7 +158,10 @@ def recover_file(
     """
     torn = []
     records = walmod.WriteAheadLog.load_file(path, on_torn=lambda: torn.append(1))
-    db = recover(records, node=node, clock=clock, wal_path=wal_path)
+    db = recover(records, node=node, clock=clock, wal_path=wal_path,
+                 wal_group_commit=wal_group_commit,
+                 wal_group_window=wal_group_window,
+                 wal_group_max=wal_group_max)
     if torn:
         db.obs.registry.counter("wal.torn_tail_recoveries").inc(len(torn))
     return db

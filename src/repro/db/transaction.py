@@ -14,7 +14,7 @@ import enum
 import threading
 from dataclasses import dataclass
 from time import perf_counter
-from typing import TYPE_CHECKING, Any, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from ..errors import CrashSignal, TransactionStateError
 from ..obs.metrics import COUNT_BUCKETS
@@ -33,7 +33,7 @@ class TxnMetrics:
     """
 
     __slots__ = ("begun", "committed", "aborted", "crashed", "active",
-                 "duration", "commit_seconds", "ops")
+                 "duration", "commit_seconds", "ops", "batched_ops")
 
     def __init__(self, registry) -> None:
         self.begun = registry.counter("txn.begun")
@@ -44,6 +44,8 @@ class TxnMetrics:
         self.duration = registry.histogram("txn.duration_seconds")
         self.commit_seconds = registry.histogram("txn.commit_seconds")
         self.ops = registry.histogram("txn.ops", buckets=COUNT_BUCKETS)
+        self.batched_ops = registry.histogram("txn.batched_ops",
+                                              buckets=COUNT_BUCKETS)
 
 
 class TxnState(enum.Enum):
@@ -80,6 +82,14 @@ class Transaction:
         #: (table_name, rowid) in staging order — commit applies in order.
         self._ops: list[tuple[str, int]] = []
         self._ops_seen: set[tuple[str, int]] = set()
+        #: Resources already locked by this transaction (strict 2PL holds
+        #: them until the end, so a local set is an exact fast path that
+        #: spares repeat acquires the lock-manager round-trip — batched
+        #: bursts touch the same document row once per keystroke).
+        self._held_res: set = set()
+        #: Editing operations that joined this transaction via
+        #: ``Database.batch()`` (observed as ``txn.batched_ops``).
+        self.batched_ops = 0
         self._lock = threading.RLock()
         self._metrics = db.txn_metrics
         self._span = db.obs.tracer.start("txn", txn=txn_id)
@@ -138,18 +148,49 @@ class Transaction:
             metrics.crashed.inc()
         self._span.end(outcome)
 
+    @property
+    def span(self):
+        """The transaction's trace span (for cross-layer parenting)."""
+        return self._span
+
     # -- locking ------------------------------------------------------------
 
     def _lock_row(self, table: str, rowid: int) -> None:
-        self._db.locks.acquire(self.txn_id, ("row", table, rowid),
+        resource = ("row", table, rowid)
+        if resource in self._held_res:
+            return
+        self._db.locks.acquire(self.txn_id, resource,
                                timeout=self.lock_timeout)
+        self._held_res.add(resource)
 
     def _lock_key(self, table: str, column: str, value: Any) -> None:
         """Serialise claims on a unique key value across transactions."""
         if value is None:
             return
-        self._db.locks.acquire(self.txn_id, ("key", table, column, value),
+        resource = ("key", table, column, value)
+        if resource in self._held_res:
+            return
+        self._db.locks.acquire(self.txn_id, resource,
                                timeout=self.lock_timeout)
+        self._held_res.add(resource)
+
+    def lock_rows(self, table_name: str, rowids: Iterable[int]) -> None:
+        """Pre-acquire exclusive locks on a batch of rows at once.
+
+        Range operations (styling, deleting a selection) know every row
+        they will touch up front; one
+        :meth:`~repro.db.locks.LockManager.acquire_many` call amortises
+        the lock-manager round-trip across the whole range instead of
+        paying it per row.
+        """
+        self._require_active()
+        fresh = [("row", table_name, rowid) for rowid in rowids
+                 if ("row", table_name, rowid) not in self._held_res]
+        if not fresh:
+            return
+        self._db.locks.acquire_many(self.txn_id, fresh,
+                                    timeout=self.lock_timeout)
+        self._held_res.update(fresh)
 
     def _record_op(self, table: str, rowid: int) -> None:
         marker = (table, rowid)
@@ -319,3 +360,40 @@ class Transaction:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Transaction(id={self.txn_id}, state={self.state.value})"
+
+
+class BatchJoin:
+    """A view of an open batch transaction handed out by ``db.begin()``.
+
+    Editing code written as ``with db.transaction() as txn:`` joins the
+    thread's active :meth:`~repro.db.engine.Database.batch` transparently:
+    DML, reads and locking forward to the underlying transaction, but a
+    clean context exit does **not** commit — the batch's own exit does,
+    with one COMMIT record and one (grouped) fsync for the whole burst.
+    An exception aborts the whole batch: partial batches never commit.
+    Calling :meth:`Transaction.commit` / ``abort`` explicitly through the
+    proxy also acts on the whole batch.
+    """
+
+    __slots__ = ("_txn",)
+
+    def __init__(self, txn: Transaction) -> None:
+        self._txn = txn
+
+    @property
+    def batch_txn(self) -> Transaction:
+        """The underlying batch transaction."""
+        return self._txn
+
+    def __enter__(self) -> "BatchJoin":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None and self._txn.is_active:
+            self._txn.abort()
+
+    def __getattr__(self, name: str):
+        return getattr(self._txn, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BatchJoin({self._txn!r})"

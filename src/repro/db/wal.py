@@ -23,9 +23,9 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
-from ..errors import WalError
+from ..errors import CrashSignal, WalError
 from ..ids import Oid
-from ..obs.metrics import NULL_REGISTRY
+from ..obs.metrics import COUNT_BUCKETS, NULL_REGISTRY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.injector import FaultInjector
@@ -71,6 +71,11 @@ class WalRecord:
 
 def encode_value(value: Any) -> Any:
     """Make a stored value JSON-serialisable (Oid and bytes get wrapped)."""
+    # Fast path: the overwhelming majority of row values are plain
+    # scalars (checked by exact class, so Oid/bool subtleties fall
+    # through to the isinstance chain below).
+    if value is None or value.__class__ in (str, int, float, bool):
+        return value
     if isinstance(value, Oid):
         return {"__oid__": str(value)}
     if isinstance(value, bytes):
@@ -107,17 +112,38 @@ class WriteAheadLog:
         transaction.
     faults:
         Optional :class:`~repro.faults.injector.FaultInjector`.  The WAL
-        passes three crash points — ``wal.before_append`` (record never
+        passes four crash points — ``wal.before_append`` (record never
         lands anywhere), ``wal.mid_record`` (a torn prefix of the JSON
-        line reaches the file, then death) and ``wal.before_fsync``
-        (record written, the commit-boundary fsync never happens) — and
-        supports :meth:`power_off` so a simulated power loss drops every
-        byte since the last fsync.
+        line reaches the file, then death), ``wal.after_write`` (a
+        commit-boundary record reached the file buffer but the commit
+        barrier was never entered) and ``wal.before_fsync`` (records
+        written, the group's fsync never happens) — and supports
+        :meth:`power_off` so a simulated power loss drops every byte
+        since the last fsync.
+    group_commit:
+        When true (the default) commit-boundary appends go through a
+        *group-commit barrier*: concurrent committers enqueue and block
+        while one of them — the leader — performs a single flush+fsync
+        for the whole group, then acknowledges every waiter whose LSN
+        the fsync covered.  N concurrent keystrokes then cost one fsync
+        instead of N.  Single-threaded behaviour is unchanged: a lone
+        committer elects itself leader and fsyncs immediately.
+    group_window:
+        Seconds the leader lingers at the barrier for more committers
+        to join before fsyncing (0.0 = fsync immediately; natural
+        batching still occurs because committers that arrive during a
+        leader's fsync pile up and are synced by the next leader).
+    group_max:
+        Size bound for one group: the leader stops waiting for joiners
+        once this many commits are pending.
     """
 
     def __init__(self, path: str | None = None,
                  faults: "FaultInjector | None" = None,
-                 registry=None, tracer=None) -> None:
+                 registry=None, tracer=None, *,
+                 group_commit: bool = True,
+                 group_window: float = 0.0,
+                 group_max: int = 64) -> None:
         from ..faults.injector import NO_FAULTS
         from ..obs.tracing import NULL_TRACER
         self._tracer = tracer if tracer is not None else NULL_TRACER
@@ -129,6 +155,18 @@ class WriteAheadLog:
         #: File size at the last fsync: what survives a power loss.
         self._durable_size = (os.path.getsize(path)
                               if path and os.path.exists(path) else 0)
+        # Group-commit barrier state, guarded by ``_group_cond`` (never
+        # nested inside ``_lock`` acquisition ordering is always
+        # ``_lock`` -> ``_group_cond`` or one at a time).
+        self._group_commit = group_commit
+        self._group_window = group_window
+        self._group_max = max(1, group_max)
+        self._group_cond = threading.Condition()
+        self._leader_busy = False
+        self._pending_commits = 0
+        #: Highest LSN known durable (covered by an fsync, or flushed on
+        #: a clean close).  Commit waiters block until their LSN is <= it.
+        self._synced_lsn = 0
         self.faults = faults if faults is not None else NO_FAULTS
         self.faults.attach_wal(self)
         reg = registry if registry is not None else NULL_REGISTRY
@@ -137,17 +175,34 @@ class WriteAheadLog:
         self._m_bytes = reg.counter("wal.appended_bytes")
         self._m_fsyncs = reg.counter("wal.fsyncs")
         self._m_fsync_seconds = reg.histogram("wal.fsync_seconds")
+        self._m_group_size = reg.histogram("wal.group_commit_size",
+                                           buckets=COUNT_BUCKETS)
+        self._m_sync_wait = reg.histogram("wal.sync_wait_seconds")
 
     @property
     def path(self) -> str | None:
         return self._path
 
+    @property
+    def durable_lsn(self) -> int:
+        """Highest LSN acknowledged durable by the commit barrier."""
+        with self._group_cond:
+            return self._synced_lsn
+
     def append(self, type_: str, txn_id: int, **payload: Any) -> WalRecord:
-        """Append one record and return it (with its assigned LSN)."""
+        """Append one record and return it (with its assigned LSN).
+
+        Commit-boundary records (COMMIT / ABORT / CHECKPOINT) additionally
+        block until the record is durable: the line is written to the
+        file buffer under the append lock, then the caller enters the
+        group-commit barrier *outside* it (see :meth:`_sync_to`), so
+        concurrent committers share one fsync.
+        """
         if type_ not in _TYPES:
             raise WalError(f"unknown WAL record type {type_!r}")
         started = perf_counter()
         self.faults.fire("wal.before_append", type=type_, txn=txn_id)
+        needs_sync = False
         with self._lock:
             record = WalRecord(self._next_lsn, type_, txn_id,
                                encode_value(payload))
@@ -158,7 +213,7 @@ class WriteAheadLog:
                     "type": record.type,
                     "txn": record.txn_id,
                     "payload": record.payload,
-                })
+                }, separators=(",", ":"))
                 torn = self.faults.check("wal.mid_record")
                 if torn is not None:
                     # Torn write: a prefix of the line (never the whole
@@ -169,24 +224,137 @@ class WriteAheadLog:
                     self.faults.crash(torn, type=type_, txn=txn_id)
                 self._file.write(line + "\n")
                 self._m_bytes.inc(len(line) + 1)
-                if type_ in (COMMIT, ABORT, CHECKPOINT):
-                    # Traced as well as timed: the fsync span is the
-                    # durability leg of the keystroke's causal trace
-                    # (child of the txn span in scope during commit).
-                    with self._tracer.span("wal.fsync", txn=txn_id):
-                        self.faults.fire("wal.before_fsync", type=type_,
-                                         txn=txn_id)
-                        fsync_started = perf_counter()
-                        self._file.flush()
-                        os.fsync(self._file.fileno())
-                        self._durable_size = self._file.tell()
-                        self._m_fsyncs.inc()
-                        self._m_fsync_seconds.observe(
-                            perf_counter() - fsync_started)
+                needs_sync = type_ in (COMMIT, ABORT, CHECKPOINT)
             self._records.append(record)
             self._m_appends.inc()
-            self._m_append_seconds.observe(perf_counter() - started)
-            return record
+        if needs_sync:
+            # Record is in the file buffer but not yet durable: death
+            # here loses the commit without having acknowledged it.
+            self.faults.fire("wal.after_write", type=type_, txn=txn_id)
+            self._sync_to(record.lsn, type_, txn_id)
+        self._m_append_seconds.observe(perf_counter() - started)
+        return record
+
+    def _fsync_locked(self, group: int, type_: str, txn_id: int) -> None:
+        """Flush+fsync the file (caller holds ``_lock``; file is open).
+
+        Traced as well as timed: the fsync span is the durability leg of
+        every grouped keystroke's causal trace (child of the leader's txn
+        span in scope during commit; followers link via their wait).
+        """
+        with self._tracer.span("wal.fsync", txn=txn_id, group_size=group):
+            self.faults.fire("wal.before_fsync", type=type_, txn=txn_id,
+                             group=group)
+            fsync_started = perf_counter()
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._durable_size = self._file.tell()
+            self._m_fsyncs.inc()
+            self._m_fsync_seconds.observe(perf_counter() - fsync_started)
+            self._m_group_size.observe(group)
+
+    def _sync_to(self, lsn: int, type_: str, txn_id: int) -> None:
+        """Block until ``lsn`` is durable (group-commit barrier).
+
+        One waiter at a time is elected *leader*; it optionally lingers
+        ``group_window`` seconds for more committers (bounded by
+        ``group_max``), snapshots the newest written LSN, performs a
+        single flush+fsync, and publishes the synced LSN so every covered
+        waiter returns.  Waiters whose WAL dies before their LSN is
+        durable raise :class:`~repro.errors.CrashSignal` — an
+        unacknowledged commit must never be reported as durable.
+        """
+        if not self._group_commit:
+            with self._lock:
+                if self._file is None:
+                    raise CrashSignal("WAL died before commit fsync "
+                                      f"(txn {txn_id})")
+                self._fsync_locked(1, type_, txn_id)
+            with self._group_cond:
+                self._synced_lsn = max(self._synced_lsn, lsn)
+            return
+        waited_from = perf_counter()
+        cond = self._group_cond
+        with cond:
+            self._pending_commits += 1
+            if self._leader_busy and self._pending_commits >= self._group_max:
+                # Wake a leader lingering in its group window: the group
+                # is full, so it can fsync immediately instead of
+                # sleeping the window out.  (Joins below the bound stay
+                # silent — waking every follower per join is a wake
+                # storm that costs more than the window saves.)
+                cond.notify_all()
+            try:
+                while True:
+                    if self._synced_lsn >= lsn:
+                        self._m_sync_wait.observe(
+                            perf_counter() - waited_from)
+                        return
+                    if self._file is None:
+                        raise CrashSignal(
+                            "WAL died before commit became durable "
+                            f"(txn {txn_id}, lsn {lsn})")
+                    if not self._leader_busy:
+                        break  # become leader
+                    cond.wait(0.05)
+                self._leader_busy = True
+                if self._group_window > 0.0:
+                    deadline = waited_from + self._group_window
+                    while (self._pending_commits < self._group_max
+                           and self._file is not None):
+                        remaining = deadline - perf_counter()
+                        if remaining <= 0.0:
+                            break
+                        cond.wait(remaining)
+                group = self._pending_commits
+            finally:
+                self._pending_commits -= 1
+        # Leader: flush under the append lock (pinning the covered LSN
+        # and byte position), then fsync *outside* it on a duped fd, so
+        # other writers keep staging records while the disk syncs — the
+        # overlap is where group commit's throughput comes from.
+        try:
+            with self._tracer.span("wal.fsync", txn=txn_id,
+                                   group_size=group):
+                with self._lock:
+                    if self._file is None:
+                        raise CrashSignal(
+                            "WAL died before commit became durable "
+                            f"(txn {txn_id}, lsn {lsn})")
+                    self.faults.fire("wal.before_fsync", type=type_,
+                                     txn=txn_id, group=group)
+                    fsync_started = perf_counter()
+                    self._file.flush()
+                    flush_upto = self._next_lsn - 1
+                    flush_pos = self._file.tell()
+                    fd = os.dup(self._file.fileno())
+                try:
+                    os.fsync(fd)
+                finally:
+                    os.close(fd)
+                with self._lock:
+                    if self._file is None:
+                        # power_off raced the fsync: a power loss may
+                        # have truncated below our flush point, so the
+                        # group must die unacknowledged.
+                        raise CrashSignal(
+                            "WAL died during the group fsync "
+                            f"(txn {txn_id}, lsn {lsn})")
+                    if self._durable_size < flush_pos:
+                        self._durable_size = flush_pos
+                self._m_fsyncs.inc()
+                self._m_fsync_seconds.observe(perf_counter() - fsync_started)
+                self._m_group_size.observe(group)
+        except BaseException:
+            with cond:
+                self._leader_busy = False
+                cond.notify_all()
+            raise
+        with cond:
+            self._leader_busy = False
+            self._synced_lsn = max(self._synced_lsn, flush_upto)
+            cond.notify_all()
+        self._m_sync_wait.observe(perf_counter() - waited_from)
 
     def records(self) -> Iterator[WalRecord]:
         """Iterate records in LSN order (snapshot)."""
@@ -212,11 +380,21 @@ class WriteAheadLog:
             return dropped
 
     def close(self) -> None:
-        """Flush and close the mirror file, if any."""
-        if self._file is not None:
-            self._file.flush()
-            self._file.close()
-            self._file = None
+        """Flush and close the mirror file, if any.
+
+        A clean close flushes every buffered record to the OS, so any
+        commit still waiting at the group barrier is acknowledged: its
+        record will be seen by recovery.
+        """
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+                self._file.close()
+                self._file = None
+            last = self._next_lsn - 1
+        with self._group_cond:
+            self._synced_lsn = max(self._synced_lsn, last)
+            self._group_cond.notify_all()
 
     def power_off(self, *, lose_unsynced: bool = False) -> None:
         """Simulate losing the process (or the machine) mid-flight.
@@ -237,6 +415,10 @@ class WriteAheadLog:
             if lose_unsynced and self._path is not None:
                 with open(self._path, "r+b") as raw:
                     raw.truncate(self._durable_size)
+        # Wake commit waiters: their next barrier check sees the dead
+        # file and raises CrashSignal (never a false durability ack).
+        with self._group_cond:
+            self._group_cond.notify_all()
 
     def __len__(self) -> int:
         with self._lock:

@@ -31,7 +31,8 @@ __all__ = [
 CRASH_POINTS = (
     "wal.before_append",       # record never reaches memory or disk
     "wal.mid_record",          # torn write: a prefix of the JSON line lands
-    "wal.before_fsync",        # record written, commit-boundary fsync lost
+    "wal.after_write",         # commit record buffered, barrier never entered
+    "wal.before_fsync",        # records written, the group's fsync lost
     "txn.pre_commit",          # crash before the COMMIT record is appended
     "txn.post_commit",         # COMMIT durable, in-memory apply interrupted
     "checkpoint.mid_snapshot", # crash while building the snapshot

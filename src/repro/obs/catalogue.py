@@ -23,13 +23,22 @@ METRIC_CATALOGUE: dict[str, tuple[str, str]] = {
     "txn.commit_seconds": ("histogram",
                            "commit call latency (log + apply + publish)"),
     "txn.ops": ("histogram", "distinct rows staged per transaction"),
+    "txn.batched_ops": ("histogram",
+                        "editing operations coalesced into one batched "
+                        "transaction (Database.batch)"),
     # -- write-ahead log (repro/db/wal.py) ----------------------------------
     "wal.appends": ("counter", "WAL records appended"),
     "wal.append_seconds": ("histogram", "WAL append latency"),
     "wal.appended_bytes": ("counter",
                            "bytes written to the mirrored WAL file"),
-    "wal.fsyncs": ("counter", "commit-boundary fsyncs"),
+    "wal.fsyncs": ("counter", "physical commit-boundary fsyncs"),
     "wal.fsync_seconds": ("histogram", "flush+fsync latency"),
+    "wal.group_commit_size": ("histogram",
+                              "commits made durable per fsync (group "
+                              "commit barrier)"),
+    "wal.sync_wait_seconds": ("histogram",
+                              "time a committer waited at the group-commit "
+                              "barrier for its durable-LSN ack"),
     "wal.torn_tail_recoveries": ("counter",
                                  "recoveries that skipped a torn trailing "
                                  "record"),

@@ -358,12 +358,15 @@ def render_top(snapshot: Mapping[str, dict],
     """The ``repro top`` view: hottest metrics + slowest recent traces.
 
     Histograms rank by total recorded time (``sum``) — where the engine
-    actually spends it — counters/gauges by value.
+    actually spends it — counters/gauges by value.  Count-shaped
+    histograms (``txn.ops``, ``wal.group_commit_size``) sort below the
+    ``*_seconds`` ones: their sums are incommensurable with time.
     """
     lines: list[str] = []
     hists = [(name, m) for name, m in snapshot.items()
              if m.get("type") == "histogram" and m.get("count")]
-    hists.sort(key=lambda kv: kv[1].get("sum", 0.0), reverse=True)
+    hists.sort(key=lambda kv: (kv[0].endswith("_seconds"),
+                               kv[1].get("sum", 0.0)), reverse=True)
     lines.append("hot paths (by total recorded time)")
     if not hists:
         lines.append("  (no histogram samples recorded)")

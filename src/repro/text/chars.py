@@ -118,9 +118,9 @@ def logical_delete(txn: Transaction, db: Database, char_oids: Sequence[Oid],
     Returns the number of characters actually flipped, which is what
     document size accounting must use.
     """
+    pairs = _resolve_and_lock(txn, db, char_oids)
     flipped = 0
-    for oid in char_oids:
-        rowid, row = char_row(db, oid, txn)
+    for rowid, row in pairs:
         if not row["ch"]:
             raise InvalidPositionError("cannot delete a sentinel")
         if row["deleted"]:
@@ -141,8 +141,7 @@ def undelete(txn: Transaction, db: Database, char_oids: Sequence[Oid],
     characters actually resurrected.
     """
     flipped = 0
-    for oid in char_oids:
-        rowid, row = char_row(db, oid, txn)
+    for rowid, row in _resolve_and_lock(txn, db, char_oids):
         if not row["deleted"]:
             continue
         txn.update(S.CHARS, rowid, {
@@ -156,11 +155,24 @@ def undelete(txn: Transaction, db: Database, char_oids: Sequence[Oid],
 def set_style(txn: Transaction, db: Database, char_oids: Sequence[Oid],
               style: Oid | None) -> None:
     """Point characters at a style definition (collaborative layout)."""
-    for oid in char_oids:
-        rowid, row = char_row(db, oid, txn)
+    for rowid, row in _resolve_and_lock(txn, db, char_oids):
         txn.update(S.CHARS, rowid, {
             "style": style, "version": row["version"] + 1,
         })
+
+
+def _resolve_and_lock(txn: Transaction, db: Database,
+                      char_oids: Sequence[Oid]) -> list[tuple[int, dict]]:
+    """Resolve a range of characters and lock their rows in one batch.
+
+    Range operations know every row they will touch up front, so one
+    :meth:`~repro.db.transaction.Transaction.lock_rows` call amortises
+    the lock-manager round-trip across the range instead of paying it
+    inside each per-character update.
+    """
+    pairs = [char_row(db, oid, txn) for oid in char_oids]
+    txn.lock_rows(S.CHARS, [rowid for rowid, _ in pairs])
+    return pairs
 
 
 def doc_char_rows(db: Database, doc: Oid,

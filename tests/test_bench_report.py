@@ -146,3 +146,79 @@ class TestObsSchema:
         assert validate_obs_payload(payload) == []
         errors = validate_obs_payload(payload, require_core=True)
         assert any("txn.begun" in e for e in errors)
+
+
+class TestPerfTrendGate:
+    """The perf-trend gate in ``tools/smoke_bench.py``.
+
+    The tool is a script, not a package module, so it is loaded from its
+    file path; ``check_trend`` takes explicit paths so the tests drive it
+    against synthetic pytest-benchmark dumps.
+    """
+
+    @pytest.fixture(scope="class")
+    def smoke(self):
+        import importlib.util
+        path = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "tools", "smoke_bench.py")
+        spec = importlib.util.spec_from_file_location("_smoke_bench", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def _dump(self, tmp_path, smoke, medians: dict) -> str:
+        by_key = {v: k for k, v in smoke.TREND_NODES.items()}
+        payload = {"benchmarks": [
+            {"fullname": by_key[key], "stats": {"median": value}}
+            for key, value in medians.items()
+        ]}
+        path = tmp_path / "smoke.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def _full(self, smoke, value: float) -> dict:
+        return {key: value for key in smoke.TREND_NODES.values()}
+
+    def test_record_then_pass_on_same_numbers(self, tmp_path, smoke):
+        dump = self._dump(tmp_path, smoke, self._full(smoke, 0.01))
+        trend = str(tmp_path / "trend.json")
+        assert smoke.check_trend(record_baseline=True, smoke_json=dump,
+                                 trend_path=trend) == 0
+        assert smoke.check_trend(smoke_json=dump, trend_path=trend) == 0
+
+    def test_small_jitter_passes_big_regression_fails(self, tmp_path, smoke):
+        trend = str(tmp_path / "trend.json")
+        base = self._dump(tmp_path, smoke, self._full(smoke, 0.01))
+        smoke.check_trend(record_baseline=True, smoke_json=base,
+                          trend_path=trend)
+        jitter = self._dump(tmp_path, smoke, self._full(smoke, 0.018))
+        assert smoke.check_trend(smoke_json=jitter, trend_path=trend) == 0
+        blown = self._dump(tmp_path, smoke, self._full(smoke, 0.031))
+        assert smoke.check_trend(smoke_json=blown, trend_path=trend) == 1
+
+    def test_tolerance_env_override(self, tmp_path, smoke, monkeypatch):
+        trend = str(tmp_path / "trend.json")
+        base = self._dump(tmp_path, smoke, self._full(smoke, 0.01))
+        smoke.check_trend(record_baseline=True, smoke_json=base,
+                          trend_path=trend)
+        blown = self._dump(tmp_path, smoke, self._full(smoke, 0.05))
+        assert smoke.check_trend(smoke_json=blown, trend_path=trend) == 1
+        monkeypatch.setenv("BENCH_TREND_MAX_RATIO", "10")
+        assert smoke.check_trend(smoke_json=blown, trend_path=trend) == 0
+
+    def test_missing_trend_node_fails(self, tmp_path, smoke):
+        trend = str(tmp_path / "trend.json")
+        medians = self._full(smoke, 0.01)
+        medians.pop("group_commit_multiwriter")
+        dump = self._dump(tmp_path, smoke, medians)
+        assert smoke.check_trend(smoke_json=dump, trend_path=trend) == 1
+
+    def test_missing_baseline_file_fails(self, tmp_path, smoke):
+        dump = self._dump(tmp_path, smoke, self._full(smoke, 0.01))
+        assert smoke.check_trend(smoke_json=dump,
+                                 trend_path=str(tmp_path / "no.json")) == 1
+
+    def test_committed_baseline_covers_all_trend_nodes(self, smoke):
+        with open(smoke.TREND_PATH, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        assert set(baseline["medians"]) == set(smoke.TREND_NODES.values())

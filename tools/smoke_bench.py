@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Smoke-bench: one cheap benchmark per experiment group, obs-validated.
+"""Smoke-bench: one cheap benchmark per experiment group, obs-validated,
+with a perf-trend gate.
 
 Runs a minimal slice of the benchmark suite (the cheapest node from each
 C*/D* experiment group) with GC disabled, then validates the emitted
@@ -11,9 +12,17 @@ C*/D* experiment group) with GC disabled, then validates the emitted
 * a required core metric missing from every bench (name regression —
   somebody renamed or dropped ``txn.begun`` & co).
 
+On top of the validity checks, a **perf-trend gate**: the medians of a
+few headline nodes (C1 keystroke, group-commit multi-writer, replication
+visibility) are compared against the committed baseline in
+``BENCH_trend.json``.  Only a blow-up beyond ``BENCH_TREND_MAX_RATIO``
+(default 2.0 — generous on purpose, CI runners are noisy) fails the
+gate; ordinary jitter passes.
+
 Usage::
 
     PYTHONPATH=src python tools/smoke_bench.py
+    PYTHONPATH=src python tools/smoke_bench.py --record-baseline
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 #: The cheapest benchmark node from each experiment group.
 SMOKE_NODES = (
     "benchmarks/bench_editing_transactions.py::test_keystroke_tendax[500]",
+    "benchmarks/bench_editing_transactions.py::test_group_commit_multiwriter",
     "benchmarks/bench_undo_redo.py::test_undo_redo_cycle[10]",
     "benchmarks/bench_recovery_security.py::test_recovery_replay[100]",
     "benchmarks/bench_versioning.py::test_tag_version[500]",
@@ -40,8 +50,21 @@ SMOKE_NODES = (
     "benchmarks/bench_search.py::test_indexed_content_search[50]",
 )
 
+#: Headline nodes whose medians are tracked in BENCH_trend.json.
+TREND_NODES = {
+    "benchmarks/bench_editing_transactions.py::test_keystroke_tendax[500]":
+        "c1_keystroke_500",
+    "benchmarks/bench_editing_transactions.py::test_group_commit_multiwriter":
+        "group_commit_multiwriter",
+    "benchmarks/bench_collaborative_editing.py::test_replication_visibility[2]":
+        "c3_replication_visibility_2",
+}
 
-def run_smoke() -> int:
+TREND_PATH = os.path.join(REPO, "BENCH_trend.json")
+SMOKE_JSON = os.path.join(REPO, "BENCH_smoke.json")
+
+
+def run_smoke(record_baseline: bool = False) -> int:
     obs_path = os.path.join(REPO, "BENCH_obs.json")
     if os.path.exists(obs_path):
         os.remove(obs_path)
@@ -50,12 +73,15 @@ def run_smoke() -> int:
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
     cmd = [sys.executable, "-m", "pytest", *SMOKE_NODES, "-q",
            "--benchmark-only", "--benchmark-disable-gc",
-           "--benchmark-warmup=off"]
+           "--benchmark-warmup=off", f"--benchmark-json={SMOKE_JSON}"]
     proc = subprocess.run(cmd, cwd=REPO, env=env)
     if proc.returncode != 0:
         print("smoke benchmarks failed", file=sys.stderr)
         return 1
-    return validate(obs_path)
+    status = validate(obs_path)
+    if status:
+        return status
+    return check_trend(record_baseline=record_baseline)
 
 
 def validate(obs_path: str) -> int:
@@ -79,5 +105,82 @@ def validate(obs_path: str) -> int:
     return 0
 
 
+def _load_medians(smoke_json: str) -> dict[str, float]:
+    """Median seconds per trend key from a pytest-benchmark JSON dump."""
+    with open(smoke_json, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    medians: dict[str, float] = {}
+    for bench in payload.get("benchmarks", []):
+        key = TREND_NODES.get(bench.get("fullname", ""))
+        if key is not None:
+            medians[key] = bench["stats"]["median"]
+    return medians
+
+
+def check_trend(*, record_baseline: bool = False,
+                smoke_json: str = SMOKE_JSON,
+                trend_path: str = TREND_PATH) -> int:
+    """Gate the headline medians against the committed baseline.
+
+    ``record_baseline`` rewrites ``BENCH_trend.json`` from the current
+    run instead of gating (used after intentional perf changes).  The
+    tolerated ratio comes from ``BENCH_TREND_MAX_RATIO`` (default 2.0):
+    the gate only catches a node getting *several times* slower — real
+    regressions, not runner noise.
+    """
+    if not os.path.exists(smoke_json):
+        print("benchmark JSON dump missing; cannot check trend",
+              file=sys.stderr)
+        return 1
+    medians = _load_medians(smoke_json)
+    missing = sorted(set(TREND_NODES.values()) - set(medians))
+    if missing:
+        print(f"trend nodes missing from the run: {', '.join(missing)}",
+              file=sys.stderr)
+        return 1
+    if record_baseline:
+        baseline = {
+            "comment": "perf-trend baselines (median seconds); regenerate "
+                       "with: PYTHONPATH=src python tools/smoke_bench.py "
+                       "--record-baseline",
+            "max_ratio_default": 2.0,
+            "medians": {k: round(v, 6) for k, v in sorted(medians.items())},
+        }
+        with open(trend_path, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"recorded perf-trend baseline: {trend_path}")
+        return 0
+    if not os.path.exists(trend_path):
+        print("BENCH_trend.json missing; record a baseline first "
+              "(--record-baseline)", file=sys.stderr)
+        return 1
+    with open(trend_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    max_ratio = float(os.environ.get(
+        "BENCH_TREND_MAX_RATIO", baseline.get("max_ratio_default", 2.0)))
+    failures = []
+    for key, current in sorted(medians.items()):
+        base = baseline["medians"].get(key)
+        if base is None:
+            failures.append(f"{key}: no baseline recorded")
+            continue
+        ratio = current / base
+        marker = "FAIL" if ratio > max_ratio else "ok"
+        print(f"trend {key}: {current * 1e3:.3f} ms vs baseline "
+              f"{base * 1e3:.3f} ms (x{ratio:.2f}) [{marker}]")
+        if ratio > max_ratio:
+            failures.append(
+                f"{key}: {ratio:.2f}x slower than baseline "
+                f"(limit {max_ratio:.1f}x)")
+    if failures:
+        for failure in failures:
+            print(f"perf-trend regression: {failure}", file=sys.stderr)
+        return 1
+    print(f"perf-trend gate passed ({len(medians)} nodes, "
+          f"limit {max_ratio:.1f}x)")
+    return 0
+
+
 if __name__ == "__main__":
-    sys.exit(run_smoke())
+    sys.exit(run_smoke(record_baseline="--record-baseline" in sys.argv[1:]))
