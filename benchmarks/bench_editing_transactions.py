@@ -132,6 +132,127 @@ def test_shape_tendax_flat_offset_linear():
 
 
 # ---------------------------------------------------------------------------
+# Order-cache scalability: mid-document keystroke + remote splice
+# ---------------------------------------------------------------------------
+
+#: Document sizes for the order-cache arms.  256k is the headline: the
+#: flat-list cache pays an O(n) memmove + O(n) identity scan per remote
+#: splice there, the chunked cache ~O(sqrt n).
+CACHE_SIZES = [4_000, 64_000, 256_000]
+
+#: size -> (db, store, editor handle).  Building a 256k-char document
+#: through the full transactional path costs ~20 s, so the document is
+#: built once per session and shared by every cache arm (each keystroke
+#: grows it by a handful of characters — noise at these sizes).
+_cache_docs: dict = {}
+
+
+def _large_doc(size: int):
+    if size not in _cache_docs:
+        db = Database("bench")
+        store = DocumentStore(db, log_reads=False, log_writes=False)
+        handle = store.create("doc", "ana", text=make_text(size))
+        _cache_docs[size] = (db, store, handle)
+    return _cache_docs[size]
+
+
+def _mid_anchors(handle, size: int, count: int):
+    """Deterministic mid-document anchor positions (hint-hostile)."""
+    import random
+
+    rng = random.Random(size * 31 + 7)
+    spread = min(1000, size // 4)
+    return [
+        handle.char_oid_at(size // 2 + rng.randint(-spread, spread))
+        for __ in range(count)
+    ]
+
+
+def _remote_splice_round(handle, remote, anchors, state) -> None:
+    """One mid-document keystroke, observed by an attached remote handle."""
+    anchor = anchors[state["i"] % len(anchors)]
+    state["i"] += 1
+    handle.insert_after(anchor, "x", "ana")
+
+
+@pytest.mark.parametrize("size", CACHE_SIZES)
+def test_cache_remote_splice_chunked(benchmark, size):
+    """Chunked order cache: a remote replica splices in ~O(sqrt n)."""
+    __, store, handle = _large_doc(size)
+    remote = store.handle(handle.doc)           # chunked (default)
+    anchors = _mid_anchors(handle, size, 64)
+    state = {"i": 0}
+
+    benchmark.group = f"C1 order-cache remote splice n={size}"
+    benchmark.extra_info["system"] = "tendax-chunked"
+    benchmark.extra_info["doc_size"] = size
+    try:
+        benchmark.pedantic(_remote_splice_round,
+                           args=(handle, remote, anchors, state),
+                           rounds=30, iterations=1, warmup_rounds=2)
+    finally:
+        remote.close()
+
+
+@pytest.mark.parametrize("size", CACHE_SIZES)
+def test_cache_remote_splice_flat(benchmark, size):
+    """Flat-list baseline: the same splice pays an O(n) insert + scan."""
+    __, store, handle = _large_doc(size)
+    remote = store.handle(handle.doc, cache="flat")
+    anchors = _mid_anchors(handle, size, 64)
+    state = {"i": 0}
+
+    benchmark.group = f"C1 order-cache remote splice n={size}"
+    benchmark.extra_info["system"] = "flat-cache-baseline"
+    benchmark.extra_info["doc_size"] = size
+    try:
+        benchmark.pedantic(_remote_splice_round,
+                           args=(handle, remote, anchors, state),
+                           rounds=5, iterations=1, warmup_rounds=1)
+    finally:
+        remote.close()
+
+
+def test_shape_cache_chunked_beats_flat_256k():
+    """Acceptance shape: at 256k chars, a mid-document keystroke with a
+    chunked remote replica attached is >= 10x faster than with the
+    flat-list replica, and text() afterwards costs no table scan."""
+    import gc
+    import time as _time
+
+    size = 256_000
+    db, store, handle = _large_doc(size)
+    anchors = _mid_anchors(handle, size, 32)
+
+    def typed_seconds(remote, n: int) -> float:
+        gc.collect()
+        start = _time.perf_counter()
+        for i in range(n):
+            handle.insert_after(anchors[i % len(anchors)], "x", "ana")
+        return (_time.perf_counter() - start) / n
+
+    remote = store.handle(handle.doc)
+    try:
+        chunked = min(typed_seconds(remote, 20) for __ in range(3))
+    finally:
+        remote.close()
+    remote = store.handle(handle.doc, cache="flat")
+    try:
+        flat = min(typed_seconds(remote, 4) for __ in range(3))
+    finally:
+        remote.close()
+    assert flat / chunked >= 10.0, (flat, chunked)
+
+    # And rendering stays off the table-scan path: a keystroke plus a
+    # text() must not bump the full-scan counter.
+    scans_before = db.metrics_snapshot()["doc.full_scans"]["value"]
+    handle.insert_after(anchors[0], "x", "ana")
+    assert len(handle.text()) >= size
+    scans_after = db.metrics_snapshot()["doc.full_scans"]["value"]
+    assert scans_after == scans_before
+
+
+# ---------------------------------------------------------------------------
 # Group commit + batched typing bursts under concurrent writers
 # ---------------------------------------------------------------------------
 

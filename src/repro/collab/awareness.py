@@ -36,26 +36,7 @@ def resolve_anchor_position(handle: DocumentHandle, anchor: Oid) -> int:
     the nearest surviving predecessor — the behaviour users expect when
     someone else deletes the text under their cursor.
     """
-    if anchor == handle.begin_char:
-        return 0
-    pos = handle.position_of(anchor)
-    if pos is not None:
-        return pos + 1
-    from ..text import chars as C
-    current = anchor
-    seen = {anchor}
-    while True:
-        __, row = C.char_row(handle.db, current)
-        prev = row["prev"]
-        if prev is None or prev == handle.begin_char:
-            return 0
-        prev_pos = handle.position_of(prev)
-        if prev_pos is not None:
-            return prev_pos + 1
-        if prev in seen:  # corrupt chain; don't loop forever
-            return 0
-        seen.add(prev)
-        current = prev
+    return handle.visible_position_after(anchor)
 
 
 class AwarenessRegistry:

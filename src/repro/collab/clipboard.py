@@ -56,15 +56,17 @@ class Clipboard:
     def copy_range(self, handle: DocumentHandle, pos: int,
                    count: int) -> ClipboardContent:
         """Copy ``count`` characters at ``pos`` (with their OIDs)."""
-        oids = handle.char_oids()[pos:pos + count]
-        if len(oids) != count or count <= 0:
+        if count <= 0 or pos < 0:
             raise ClipboardError(
                 f"copy range [{pos}, {pos + count}) outside document"
             )
-        from ..text import chars as C
-        rows = C.doc_char_rows(self.db, handle.doc)
-        text = "".join(rows[oid]["ch"] for oid in oids)
-        self._content = ClipboardContent(text, handle.doc, tuple(oids))
+        oids = handle.char_oids_range(pos, count)
+        if len(oids) != count:
+            raise ClipboardError(
+                f"copy range [{pos}, {pos + count}) outside document"
+            )
+        self._content = ClipboardContent(handle.text_of(oids), handle.doc,
+                                         tuple(oids))
         return self._content
 
     def set_external(self, text: str, source: str) -> ClipboardContent:

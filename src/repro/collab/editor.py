@@ -80,7 +80,7 @@ class EditorClient:
 
     def select(self, pos: int, count: int) -> str:
         """Select ``count`` characters at ``pos``; returns the text."""
-        oids = self.handle.char_oids()[pos:pos + count]
+        oids = self.handle.char_oids_range(pos, count)
         if len(oids) != count:
             raise InvalidPositionError("selection outside document")
         self._selection = tuple(oids)
@@ -100,9 +100,7 @@ class EditorClient:
 
     def selected_text(self) -> str:
         """The text of the (still-visible) selection."""
-        from ..text import chars as C
-        rows = C.doc_char_rows(self.handle.db, self.doc)
-        return "".join(rows[oid]["ch"] for oid in self.selection())
+        return self.handle.text_of(self.selection())
 
     def _publish_cursor(self) -> None:
         self.session.server.awareness.update_cursor(

@@ -179,7 +179,7 @@ class EditingSession:
     def delete(self, doc: Oid, pos: int, count: int) -> list[Oid]:
         """Delete ``count`` characters at ``pos``."""
         handle = self.handle(doc)
-        oids = tuple(handle.char_oids()[pos:pos + count])
+        oids = tuple(handle.char_oids_range(pos, count))
         if len(oids) != count:
             from ..errors import InvalidPositionError
             raise InvalidPositionError(
@@ -196,7 +196,7 @@ class EditingSession:
                     style: Oid | None) -> None:
         """Apply layout to a range."""
         handle = self.handle(doc)
-        oids = tuple(handle.char_oids()[pos:pos + count])
+        oids = tuple(handle.char_oids_range(pos, count))
         self._apply(doc, ApplyStyle(oids, style))
 
     def style_chars(self, doc: Oid, oids: Sequence[Oid],

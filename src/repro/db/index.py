@@ -81,21 +81,23 @@ class HashIndex(Index):
         bucket = self._map.get(key)
         if bucket is None:
             self._map[key] = {rowid}
+            self._size += 1
         else:
             if self.unique and bucket:
                 raise UniqueViolation(
                     f"index {self.name!r}: duplicate key {key!r}"
                 )
-            bucket.add(rowid)
-        self._size += 1
+            if rowid not in bucket:
+                bucket.add(rowid)
+                self._size += 1
 
     def remove(self, key: Any, rowid: int) -> None:
         """Drop the entry if present (absent entries are a no-op)."""
         if key is None:
             return
         bucket = self._map.get(key)
-        if bucket is not None:
-            bucket.discard(rowid)
+        if bucket is not None and rowid in bucket:
+            bucket.remove(rowid)
             self._size -= 1
             if not bucket:
                 del self._map[key]

@@ -189,8 +189,19 @@ class Query:
         return out
 
     def first(self) -> RowView | None:
-        """Return the first result or ``None``."""
-        results = self.limit(1).run() if self._limit is None else self.run()
+        """Return the first result or ``None``.
+
+        The probe must not leak into the builder: the limit is applied
+        only for this execution, so a query object reused for ``run()``
+        afterwards still returns every match.
+        """
+        saved = self._limit
+        if saved is None:
+            self._limit = 1
+        try:
+            results = self.run()
+        finally:
+            self._limit = saved
         return results[0] if results else None
 
     def count(self) -> int:

@@ -53,6 +53,19 @@ METRIC_CATALOGUE: dict[str, tuple[str, str]] = {
     # -- engine (repro/db/engine.py) ----------------------------------------
     "db.checkpoints": ("counter", "checkpoints written"),
     "db.checkpoint_seconds": ("histogram", "checkpoint snapshot duration"),
+    # -- document order cache (repro/text/document.py) ----------------------
+    "doc.cache_splice_seconds": (
+        "histogram",
+        "order-cache splice latency per committed character change "
+        "(insert/delete/undelete applied to an open handle's view)"),
+    "doc.cache_lookup_seconds": (
+        "histogram",
+        "order-cache positional lookup latency (char_oid_at, "
+        "position_of, range resolution)"),
+    "doc.full_scans": (
+        "counter",
+        "full chain traversals to (re)build a handle's order cache — "
+        "expected only on open and refresh(), never on text()/keystrokes"),
     # -- collaboration (repro/collab) ---------------------------------------
     "collab.operations": ("counter", "editing operations dispatched"),
     "collab.op_seconds": ("histogram",

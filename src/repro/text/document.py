@@ -3,10 +3,14 @@
 :class:`DocumentStore` is the library's entry point for document management
 (create/open/list), and :class:`DocumentHandle` is an open document — the
 thing an editor client holds.  A handle keeps an in-memory *order cache*
-(the live character OIDs in document order), maintained incrementally from
-commit notifications, which is how the real TeNDaX editors mirror the
-database state: the database stores neighbour-linked characters; the editor
-materialises the sequence.
+(the live character OIDs in document order plus their render payload),
+maintained incrementally from commit notifications, which is how the real
+TeNDaX editors mirror the database state: the database stores
+neighbour-linked characters; the editor materialises the sequence.  The
+cache itself is a chunked order-statistic structure
+(:mod:`repro.text.ordercache`) so splices and positional lookups stay
+~O(√n) on large documents, and ``text()`` is served from per-chunk
+segments instead of a table scan.
 
 Editing through a handle is transactional: one call = one committed
 "real-time transaction" (insert rows + neighbour pointer updates + document
@@ -16,6 +20,7 @@ for collaborative keystroke-level editing.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Sequence
 
 from ..db import Database, Transaction, col
@@ -23,6 +28,7 @@ from ..errors import InvalidPositionError, UnknownDocumentError
 from ..ids import Oid
 from . import chars as C
 from . import dbschema as S
+from .ordercache import make_order_cache
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..db.transaction import Change
@@ -85,7 +91,8 @@ class DocumentStore:
             handle.insert_text(0, text, creator)
         return handle
 
-    def open(self, doc: Oid, user: str) -> "DocumentHandle":
+    def open(self, doc: Oid, user: str, *,
+             cache: str = "chunked") -> "DocumentHandle":
         """Open an existing document for ``user`` (logged as a read)."""
         self.meta(doc)  # raises if unknown
         if self.log_reads:
@@ -93,12 +100,17 @@ class DocumentStore:
                 "entry": self.db.new_oid("log"), "doc": doc,
                 "user": user, "action": "read", "at": self.db.now(),
             })
-        return DocumentHandle(self, doc)
+        return DocumentHandle(self, doc, cache=cache)
 
-    def handle(self, doc: Oid) -> "DocumentHandle":
-        """Open without logging (internal tooling, tests)."""
+    def handle(self, doc: Oid, *, cache: str = "chunked") -> "DocumentHandle":
+        """Open without logging (internal tooling, tests, benchmarks).
+
+        ``cache`` selects the order-cache implementation: ``"chunked"``
+        (the default) or ``"flat"`` (the O(n) baseline the large-document
+        benchmarks compare against).
+        """
         self.meta(doc)
-        return DocumentHandle(self, doc)
+        return DocumentHandle(self, doc, cache=cache)
 
     def meta(self, doc: Oid) -> dict:
         """The document-level metadata row."""
@@ -118,26 +130,37 @@ class DocumentStore:
 
     def set_state(self, doc: Oid, state: str, user: str) -> None:
         """Move a document through its lifecycle (draft/review/final...)."""
-        row = self.db.query(S.DOCUMENTS).where(col("doc") == doc).first()
-        if row is None:
-            raise UnknownDocumentError(f"no document {doc}")
         now = self.db.now()
         with self.db.transaction() as txn:
-            txn.update(S.DOCUMENTS, row.rowid, {
+            rowid = self._rowid_for(txn, doc)
+            txn.get_for_update(S.DOCUMENTS, rowid)
+            txn.update(S.DOCUMENTS, rowid, {
                 "state": state, "last_modified": now,
                 "last_modified_by": user,
             })
 
     def set_property(self, doc: Oid, key: str, value: Any,
                      user: str) -> None:
-        """Set a user-defined document property (paper §2 metadata)."""
-        row = self.db.query(S.DOCUMENTS).where(col("doc") == doc).first()
+        """Set a user-defined document property (paper §2 metadata).
+
+        The ``props`` dict is a read-modify-write: it must be re-read
+        *inside* the transaction under the row's write lock, or two
+        concurrent ``set_property`` calls each merge into the same stale
+        snapshot and one key is silently lost.
+        """
+        with self.db.transaction() as txn:
+            rowid = self._rowid_for(txn, doc)
+            current = txn.get_for_update(S.DOCUMENTS, rowid)
+            props = dict(current["props"] or {})
+            props[key] = value
+            txn.update(S.DOCUMENTS, rowid, {"props": props})
+
+    def _rowid_for(self, txn: Transaction, doc: Oid) -> int:
+        """Locate a document's rowid inside ``txn`` (raises if unknown)."""
+        row = txn.query(S.DOCUMENTS).where(col("doc") == doc).first()
         if row is None:
             raise UnknownDocumentError(f"no document {doc}")
-        props = dict(row["props"] or {})
-        props[key] = value
-        with self.db.transaction() as txn:
-            txn.update(S.DOCUMENTS, row.rowid, {"props": props})
+        return row.rowid
 
     # ------------------------------------------------------------------
     # Access logging
@@ -162,16 +185,19 @@ class DocumentHandle:
     appears within the editor as soon as [it is] stored persistently".
     """
 
-    def __init__(self, store: DocumentStore, doc: Oid) -> None:
+    def __init__(self, store: DocumentStore, doc: Oid, *,
+                 cache: str = "chunked") -> None:
         self.store = store
         self.db = store.db
         self.doc = doc
         meta = store.meta(doc)
         self.begin_char: Oid = meta["begin_char"]
         self.end_char: Oid = meta["end_char"]
-        self._order: list[Oid] = []
-        self._present: set[Oid] = set()
-        self._hint = 0
+        registry = self.db.obs.registry
+        self._m_splice = registry.histogram("doc.cache_splice_seconds")
+        self._m_lookup = registry.histogram("doc.cache_lookup_seconds")
+        self._m_full_scans = registry.counter("doc.full_scans")
+        self._cache = make_order_cache(cache)
         self._closed = False
         self.refresh()
         self._trigger = self.db.triggers.on_commit(S.CHARS, self._on_commit)
@@ -181,11 +207,9 @@ class DocumentHandle:
     # ------------------------------------------------------------------
 
     def refresh(self) -> None:
-        """Rebuild the order cache from the database chain."""
-        rows = C.traverse(self.db, self.doc, self.begin_char)
-        self._order = [row["char"] for row in rows]
-        self._present = set(self._order)
-        self._hint = 0
+        """Rebuild the order cache from the database chain (full scan)."""
+        self._m_full_scans.inc()
+        self._cache.rebuild(C.traverse(self.db, self.doc, self.begin_char))
 
     def close(self) -> None:
         """Detach from commit notifications."""
@@ -194,6 +218,7 @@ class DocumentHandle:
             self._trigger.remove()
 
     def _on_commit(self, txn: Transaction, changes: "list[Change]") -> None:
+        cache = self._cache
         for change in changes:
             row = change.row
             if change.kind == "delete":
@@ -203,40 +228,49 @@ class DocumentHandle:
                 continue
             oid = row["char"]
             if change.kind == "insert":
-                if not row["deleted"] and oid not in self._present:
-                    self._splice_in(oid, row["prev"])
+                if not row["deleted"] and oid not in cache:
+                    self._splice_in(row)
             elif change.kind == "update":
-                if row["deleted"] and oid in self._present:
+                if row["deleted"] and oid in cache:
                     self._splice_out(oid)
-                elif not row["deleted"] and oid not in self._present:
-                    self._splice_in(oid, row["prev"])
-                # style/pointer-only updates do not move the cache
+                elif not row["deleted"] and oid not in cache:
+                    self._splice_in(row)
+                else:
+                    # Pointer/style update of an already-visible char:
+                    # keep the render payload current (O(1)).
+                    cache.set_style(oid, row["style"])
 
-    def _splice_in(self, oid: Oid, prev: Oid | None) -> None:
-        index = self._position_after(prev)
-        self._order.insert(index, oid)
-        self._present.add(oid)
-        self._hint = index
+    def _splice_in(self, row: dict) -> None:
+        started = perf_counter()
+        index = self._position_after(row["prev"])
+        self._cache.insert(index, row["char"], row["ch"], row["style"],
+                           row["author"])
+        self._m_splice.observe(perf_counter() - started)
 
     def _splice_out(self, oid: Oid) -> None:
-        index = self._index_of(oid)
-        del self._order[index]
-        self._present.discard(oid)
-        self._hint = index
+        started = perf_counter()
+        self._cache.remove(oid)
+        self._m_splice.observe(perf_counter() - started)
 
     def _position_after(self, prev: Oid | None) -> int:
         """Cache position just after ``prev``, skipping deleted ancestors.
 
-        The walk may cross arbitrarily many deleted predecessors (far more
-        than the cache holds visible characters), so the only stop
-        conditions are reaching a visible character, reaching the BEGIN
-        sentinel, or detecting a cycle (corrupt chain).
+        The common cases are O(1): appending after the current last
+        character (bulk loads, typing at the end), or inserting after a
+        visible character (one oid→chunk probe).  Otherwise the walk may
+        cross arbitrarily many deleted predecessors (far more than the
+        cache holds visible characters), so the only stop conditions are
+        reaching a visible character, reaching the BEGIN sentinel, or
+        detecting a cycle (corrupt chain).
         """
+        cache = self._cache
+        if prev is not None and prev == cache.last_oid():
+            return len(cache)
         current = prev
         seen: set[Oid] = set()
         while current is not None and current != self.begin_char:
-            if current in self._present:
-                return self._index_of(current) + 1
+            if current in cache:
+                return cache.index_of(current) + 1
             if current in seen:
                 break  # corrupt chain; fall back to the front
             seen.add(current)
@@ -245,53 +279,77 @@ class DocumentHandle:
             current = row["prev"]
         return 0
 
-    def _index_of(self, oid: Oid) -> int:
-        """Index with a locality hint (typing is usually sequential)."""
-        order = self._order
-        hint = self._hint
-        for probe in (hint - 1, hint, hint + 1):
-            if 0 <= probe < len(order) and order[probe] == oid:
-                return probe
-        return order.index(oid)
-
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
     def text(self) -> str:
-        """The document's visible text (from the cache)."""
-        rows = C.doc_char_rows(self.db, self.doc)
-        return "".join(rows[oid]["ch"] for oid in self._order)
+        """The document's visible text (cache only — no table scan)."""
+        return self._cache.text()
 
     def length(self) -> int:
         """Number of visible characters."""
-        return len(self._order)
+        return len(self._cache)
 
     def char_oids(self) -> list[Oid]:
         """Live character OIDs in document order (copy)."""
-        return list(self._order)
+        return self._cache.oids()
+
+    def char_oids_range(self, pos: int, count: int) -> list[Oid]:
+        """OIDs of positions ``[pos, pos + count)`` without materialising
+        the whole order (what range operations should use).  The range is
+        clamped at the document end; a negative start is invalid."""
+        if pos < 0 or count < 0:
+            raise InvalidPositionError(
+                f"range [{pos}, {pos + count}) has a negative bound"
+            )
+        started = perf_counter()
+        oids = self._cache.oid_slice(pos, pos + count)
+        self._m_lookup.observe(perf_counter() - started)
+        return oids
 
     def char_oid_at(self, pos: int) -> Oid:
         """OID of the character at position ``pos``."""
-        if not 0 <= pos < len(self._order):
+        started = perf_counter()
+        try:
+            return self._cache.oid_at(pos)
+        except IndexError:
             raise InvalidPositionError(
-                f"position {pos} outside document of length {len(self._order)}"
-            )
-        return self._order[pos]
+                f"position {pos} outside document of "
+                f"length {len(self._cache)}"
+            ) from None
+        finally:
+            self._m_lookup.observe(perf_counter() - started)
 
     def position_of(self, oid: Oid) -> int | None:
         """Current position of a character, or ``None`` if not visible."""
-        if oid not in self._present:
+        if oid not in self._cache:
             return None
-        return self._index_of(oid)
+        started = perf_counter()
+        index = self._cache.index_of(oid)
+        self._m_lookup.observe(perf_counter() - started)
+        return index
+
+    def visible_position_after(self, anchor: Oid) -> int:
+        """Position just after ``anchor``, sliding left over deleted
+        predecessors — the cursor-anchor resolution rule (a cursor sits
+        *after* its anchor; deleting the anchor slides the cursor left)."""
+        if anchor == self.begin_char:
+            return 0
+        return self._position_after(anchor)
+
+    def text_of(self, oids: Sequence[Oid]) -> str:
+        """The text of still-visible characters among ``oids``."""
+        cache = self._cache
+        return "".join(cache.char_of(oid) for oid in oids if oid in cache)
 
     def anchor_for(self, pos: int) -> Oid:
         """The character OID an insert *at* ``pos`` goes after."""
-        if pos < 0 or pos > len(self._order):
+        if pos < 0 or pos > len(self._cache):
             raise InvalidPositionError(
-                f"position {pos} outside document of length {len(self._order)}"
+                f"position {pos} outside document of length {len(self._cache)}"
             )
-        return self.begin_char if pos == 0 else self._order[pos - 1]
+        return self.begin_char if pos == 0 else self._cache.oid_at(pos - 1)
 
     def char_meta(self, pos: int) -> dict:
         """Full character-level metadata row at ``pos``."""
@@ -339,12 +397,12 @@ class DocumentHandle:
         """Logically delete ``count`` characters starting at ``pos``."""
         if count < 0:
             raise InvalidPositionError("count must be >= 0")
-        if pos < 0 or pos + count > len(self._order):
+        if pos < 0 or pos + count > len(self._cache):
             raise InvalidPositionError(
                 f"range [{pos}, {pos + count}) outside document of "
-                f"length {len(self._order)}"
+                f"length {len(self._cache)}"
             )
-        oids = self._order[pos:pos + count]
+        oids = self.char_oids_range(pos, count)
         self.delete_chars(oids, user)
         return oids
 
@@ -371,9 +429,9 @@ class DocumentHandle:
     def apply_style(self, pos: int, count: int, style: Oid | None,
                     user: str) -> list[Oid]:
         """Apply a style to a range (collaborative layouting)."""
-        if pos < 0 or count < 0 or pos + count > len(self._order):
+        if pos < 0 or count < 0 or pos + count > len(self._cache):
             raise InvalidPositionError("style range outside document")
-        oids = self._order[pos:pos + count]
+        oids = self.char_oids_range(pos, count)
         self.style_chars(oids, style, user)
         return oids
 
@@ -404,29 +462,11 @@ class DocumentHandle:
 
     def styled_runs(self) -> list[tuple[str, Oid | None]]:
         """The text as maximal runs of identically-styled characters."""
-        rows = C.doc_char_rows(self.db, self.doc)
-        runs: list[tuple[str, Oid | None]] = []
-        current_style: Oid | None = None
-        buffer: list[str] = []
-        for oid in self._order:
-            row = rows[oid]
-            if buffer and row["style"] != current_style:
-                runs.append(("".join(buffer), current_style))
-                buffer = []
-            current_style = row["style"]
-            buffer.append(row["ch"])
-        if buffer:
-            runs.append(("".join(buffer), current_style))
-        return runs
+        return self._cache.styled_runs()
 
     def authors(self) -> dict[str, int]:
         """Visible character counts per author (who wrote what)."""
-        rows = C.doc_char_rows(self.db, self.doc)
-        counts: dict[str, int] = {}
-        for oid in self._order:
-            author = rows[oid]["author"]
-            counts[author] = counts.get(author, 0) + 1
-        return counts
+        return self._cache.authors()
 
     def check_integrity(self) -> list[str]:
         """Verify the chain invariants (empty list = healthy)."""
@@ -435,4 +475,4 @@ class DocumentHandle:
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"DocumentHandle({self.doc}, length={len(self._order)})"
+        return f"DocumentHandle({self.doc}, length={len(self._cache)})"

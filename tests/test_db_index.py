@@ -60,6 +60,30 @@ class TestHashIndex:
         idx.add("b", 2)
         assert len(idx) == 2
 
+    def test_len_stable_on_duplicate_add(self):
+        # Regression: re-adding an existing (key, rowid) pair used to
+        # bump _size anyway, so len() drifted above the real entry count.
+        idx = HashIndex("i", "c")
+        idx.add("a", 1)
+        idx.add("a", 1)
+        assert len(idx) == 1
+        assert set(idx.probe_eq("a")) == {1}
+        idx.remove("a", 1)
+        assert len(idx) == 0
+
+    def test_len_stable_on_noop_remove(self):
+        # Regression: removing a rowid absent from an existing bucket
+        # used to decrement _size anyway, driving len() negative.
+        idx = HashIndex("i", "c")
+        idx.add("a", 1)
+        idx.remove("a", 999)   # bucket exists, rowid does not
+        assert len(idx) == 1
+        idx.remove("b", 1)     # bucket does not exist
+        assert len(idx) == 1
+        idx.remove("a", 1)
+        idx.remove("a", 1)     # bucket already gone
+        assert len(idx) == 0
+
 
 class TestOrderedIndex:
     def _populated(self) -> OrderedIndex:

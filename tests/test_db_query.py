@@ -63,6 +63,27 @@ class TestBasicQueries:
         assert row["age"] == 27
         assert people_db.query("people").where(col("name") == "zz").first() is None
 
+    def test_first_does_not_mutate_builder(self, people_db):
+        # Regression: first() used to call self.limit(1), leaving
+        # _limit = 1 on the builder so a later run() silently returned
+        # one row instead of every match.
+        q = people_db.query("people")
+        assert q.first() is not None
+        assert len(q.run()) == 5
+        assert q._limit is None
+
+    def test_first_keeps_explicit_limit(self, people_db):
+        q = people_db.query("people").limit(0)
+        assert q.first() is None          # limit 0 means no rows
+        assert q._limit == 0
+
+    def test_first_restores_limit_on_error(self, people_db):
+        q = people_db.query("people").order_by("age")
+        q._order = ("no_such_column", False)  # force run() to raise
+        with pytest.raises(UnknownColumnError):
+            q.first()
+        assert q._limit is None
+
     def test_iteration(self, people_db):
         names = {r["name"] for r in people_db.query("people")}
         assert len(names) == 5

@@ -1,0 +1,292 @@
+"""The chunked order cache: unit, property, obs and recovery coverage.
+
+The cache is the editor's only view of character order, so its contract
+is absolute: after *any* interleaving of inserts, logical deletes and
+undeletes — applied locally or observed via commit notifications — the
+cached sequence must equal the database chain, and the structural
+invariants (bounded chunks, consistent oid→chunk map) must hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database, recover_file
+from repro.ids import Oid
+from repro.text import DocumentStore
+from repro.text import chars as C
+from repro.text.ordercache import (
+    ChunkedOrderCache,
+    FlatOrderCache,
+    make_order_cache,
+)
+
+
+def _oid(i: int) -> Oid:
+    return Oid("t", i)
+
+
+def _row(i: int, ch: str = "x", style=None, author: str = "u") -> dict:
+    return {"char": _oid(i), "ch": ch, "style": style, "author": author}
+
+
+class TinyChunkCache(ChunkedOrderCache):
+    """Chunk size 4 so a handful of edits exercises split and merge."""
+
+    CHUNK = 4
+
+
+# ---------------------------------------------------------------------------
+# Unit: the chunked structure in isolation
+# ---------------------------------------------------------------------------
+
+class TestChunkedOrderCache:
+    def test_rebuild_and_render(self):
+        cache = TinyChunkCache(_row(i, ch=chr(97 + i)) for i in range(10))
+        assert len(cache) == 10
+        assert cache.text() == "abcdefghij"
+        assert cache.oids() == [_oid(i) for i in range(10)]
+        assert cache.check() == []
+
+    def test_insert_splits_chunks(self):
+        cache = TinyChunkCache()
+        for i in range(40):
+            cache.insert(i, _oid(i), "a", None, "u")
+        assert len(cache) == 40
+        assert cache.check() == []
+        assert [cache.index_of(_oid(i)) for i in range(40)] == list(range(40))
+
+    def test_remove_merges_chunks(self):
+        cache = TinyChunkCache(_row(i) for i in range(32))
+        for i in range(0, 32, 2):
+            cache.remove(_oid(i))
+        assert len(cache) == 16
+        assert cache.check() == []
+        assert cache.oids() == [_oid(i) for i in range(1, 32, 2)]
+
+    def test_remove_returns_former_index(self):
+        cache = TinyChunkCache(_row(i) for i in range(9))
+        assert cache.remove(_oid(4)) == 4
+        assert cache.remove(_oid(5)) == 4  # shifted left
+
+    def test_remove_to_empty_and_reinsert(self):
+        cache = TinyChunkCache(_row(i) for i in range(6))
+        for i in range(6):
+            cache.remove(_oid(i))
+        assert len(cache) == 0
+        assert cache.text() == ""
+        assert cache.last_oid() is None
+        cache.insert(0, _oid(99), "z", None, "u")
+        assert cache.text() == "z"
+        assert cache.check() == []
+
+    def test_mid_insert_keeps_order(self):
+        cache = TinyChunkCache(_row(i, ch=chr(97 + i)) for i in range(8))
+        cache.insert(3, _oid(100), "X", None, "u")
+        assert cache.text() == "abcXdefgh"
+        assert cache.index_of(_oid(100)) == 3
+        assert cache.oid_at(3) == _oid(100)
+        assert cache.check() == []
+
+    def test_oid_slice_spans_chunks(self):
+        cache = TinyChunkCache(_row(i) for i in range(20))
+        assert cache.oid_slice(2, 11) == [_oid(i) for i in range(2, 11)]
+        assert cache.oid_slice(15, 99) == [_oid(i) for i in range(15, 20)]
+        assert cache.oid_slice(7, 7) == []
+
+    def test_set_style_feeds_styled_runs(self):
+        cache = TinyChunkCache(_row(i, ch="a") for i in range(6))
+        bold = Oid("style", 1)
+        assert cache.set_style(_oid(2), bold)
+        assert cache.set_style(_oid(3), bold)
+        assert not cache.set_style(_oid(999), bold)
+        assert cache.styled_runs() == [
+            ("aa", None), ("aa", bold), ("aa", None),
+        ]
+
+    def test_authors_counts(self):
+        cache = TinyChunkCache(
+            _row(i, author="ana" if i % 3 else "ben") for i in range(9)
+        )
+        assert cache.authors() == {"ana": 6, "ben": 3}
+
+    def test_out_of_bounds_raise(self):
+        cache = TinyChunkCache(_row(i) for i in range(3))
+        with pytest.raises(IndexError):
+            cache.oid_at(3)
+        with pytest.raises(IndexError):
+            cache.insert(5, _oid(9), "a", None, "u")
+        with pytest.raises(KeyError):
+            cache.index_of(_oid(77))
+
+    def test_cached_text_invalidated_by_every_mutation(self):
+        cache = TinyChunkCache(_row(i, ch=chr(97 + i)) for i in range(8))
+        assert cache.text() == "abcdefgh"    # populate per-chunk joins
+        cache.insert(1, _oid(50), "Z", None, "u")
+        assert cache.text() == "aZbcdefgh"
+        cache.remove(_oid(3))
+        assert cache.text() == "aZbcefgh"
+        assert cache.check() == []
+
+    def test_make_order_cache_kinds(self):
+        assert isinstance(make_order_cache("chunked"), ChunkedOrderCache)
+        assert isinstance(make_order_cache("flat"), FlatOrderCache)
+        with pytest.raises(ValueError):
+            make_order_cache("btree")
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 500)),
+                max_size=60))
+def test_chunked_matches_flat_reference(ops):
+    """Random insert/remove/lookup programme: chunked == flat, always."""
+    chunked, flat = TinyChunkCache(), FlatOrderCache()
+    next_id = 0
+    for kind, arg in ops:
+        if kind == 0 or len(flat) == 0:   # insert
+            index = arg % (len(flat) + 1)
+            ch = chr(97 + next_id % 26)
+            for cache in (chunked, flat):
+                cache.insert(index, _oid(next_id), ch, None, "u")
+            next_id += 1
+        elif kind == 1:                   # remove
+            victim = flat.oids()[arg % len(flat)]
+            assert chunked.remove(victim) == flat.remove(victim)
+        else:                             # lookup
+            probe = flat.oids()[arg % len(flat)]
+            assert chunked.index_of(probe) == flat.index_of(probe)
+            assert chunked.oid_at(arg % len(flat)) == \
+                flat.oid_at(arg % len(flat))
+    assert chunked.text() == flat.text()
+    assert chunked.oids() == flat.oids()
+    assert chunked.last_oid() == flat.last_oid()
+    assert chunked.check() == []
+    assert flat.check() == []
+
+
+# ---------------------------------------------------------------------------
+# Property: cache order == chain order through the full editing stack
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 500),
+                  st.text(alphabet=st.characters(min_codepoint=32,
+                                                 max_codepoint=126),
+                          min_size=1, max_size=6)),
+        max_size=25,
+    )
+)
+def test_cache_order_matches_chain_after_interleaved_bursts(ops):
+    """Seeded interleaved insert/delete/undelete bursts across two handles
+    (one chunked, one flat): every cache equals the database chain."""
+    db = Database("p")
+    store = DocumentStore(db, log_reads=False, log_writes=False)
+    h1 = store.create("d", "u1")
+    h2 = store.handle(h1.doc, cache="flat")
+    deleted_batches: list[list] = []
+    for kind, raw_pos, text in ops:
+        handle = h1 if raw_pos % 2 == 0 else h2
+        length = handle.length()
+        if kind in (0, 1) or length == 0:       # insert burst
+            handle.insert_text(raw_pos % (length + 1), text, "u")
+        elif kind == 2:                          # delete burst
+            pos = raw_pos % length
+            count = min(1 + len(text), length - pos)
+            deleted_batches.append(handle.delete_range(pos, count, "u"))
+        elif deleted_batches:                    # undelete a prior burst
+            handle.undelete_chars(
+                deleted_batches.pop(raw_pos % len(deleted_batches)), "u"
+            )
+    chain = C.chain_text(db, h1.doc, h1.begin_char)
+    assert h1.text() == chain
+    assert h2.text() == chain
+    assert h1._cache.check() == []
+    assert h2._cache.check() == []
+    assert h1.char_oids() == h2.char_oids()
+    # A freshly refreshed view agrees with the incrementally maintained one.
+    h1.refresh()
+    assert h1.text() == chain
+
+
+# ---------------------------------------------------------------------------
+# Obs: text() after a keystroke must not rescan the table
+# ---------------------------------------------------------------------------
+
+class TestCacheMetrics:
+    def _full_scans(self, db) -> int:
+        return db.metrics_snapshot()["doc.full_scans"]["value"]
+
+    def test_text_after_keystroke_does_no_full_scan(self):
+        db = Database("m")
+        store = DocumentStore(db, log_reads=False, log_writes=False)
+        handle = store.create("d", "ana", text="hello world")
+        baseline = self._full_scans(db)
+        handle.insert_text(5, "!", "ana")
+        assert handle.text() == "hello! world"
+        assert handle.styled_runs()[0][0] == "hello! world"
+        assert handle.authors() == {"ana": 12}
+        assert self._full_scans(db) == baseline, \
+            "text()/styled_runs()/authors() after a keystroke must be " \
+            "served from the cache, not a tx_chars scan"
+
+    def test_refresh_and_open_count_as_full_scans(self):
+        db = Database("m")
+        store = DocumentStore(db, log_reads=False, log_writes=False)
+        handle = store.create("d", "ana", text="abc")
+        before = self._full_scans(db)
+        handle.refresh()
+        assert self._full_scans(db) == before + 1
+        store.handle(handle.doc)
+        assert self._full_scans(db) == before + 2
+
+    def test_splice_and_lookup_latencies_recorded(self):
+        db = Database("m")
+        store = DocumentStore(db, log_reads=False, log_writes=False)
+        handle = store.create("d", "ana", text="abcdef")
+        handle.insert_text(3, "x", "ana")
+        handle.char_oid_at(2)
+        handle.position_of(handle.char_oid_at(2))
+        snap = db.metrics_snapshot()
+        assert snap["doc.cache_splice_seconds"]["count"] >= 7
+        assert snap["doc.cache_lookup_seconds"]["count"] >= 3
+
+
+# ---------------------------------------------------------------------------
+# Crash torture: refresh() against a recovered engine
+# ---------------------------------------------------------------------------
+
+@pytest.mark.torture
+class TestRefreshAfterRecovery:
+    @pytest.mark.filterwarnings(
+        "ignore:skipping torn trailing WAL record")
+    def test_refresh_after_crash_recovery(self, tmp_path):
+        """Crash seeded typist schedules, recover the WAL, and make sure a
+        recovered handle's cache (built by open, then refresh()ed after
+        further edits) equals the recovered chain."""
+        from repro.faults import FaultPlan
+        from tests.test_crash_torture import _run_typist_schedule
+
+        for seed in (3, 11, 29):
+            plan = FaultPlan.random(seed, with_delivery=True)
+            run = _run_typist_schedule(
+                seed, str(tmp_path / f"wal-{seed}.jsonl"), plan)
+            run["server"].db.close()
+
+            recovered = recover_file(run["wal_path"])
+            store = DocumentStore(recovered)
+            clone = store.handle(run["handle"].doc)
+            chain = C.chain_text(recovered, clone.doc, clone.begin_char)
+            assert clone.text() == chain, f"seed {seed}"
+            assert clone._cache.check() == [], f"seed {seed}"
+
+            # The recovered engine is live: edit, then refresh() must
+            # converge on the incrementally maintained view.
+            clone.insert_text(0, "post-recovery ", "phoenix")
+            incremental = clone.text()
+            clone.refresh()
+            assert clone.text() == incremental, f"seed {seed}"
+            assert clone.text().startswith("post-recovery "), f"seed {seed}"

@@ -62,6 +62,64 @@ class TestLifecycle:
         store.set_property(h.doc, "b", 2, "ana")
         assert store.meta(h.doc)["props"] == {"a": 1, "b": 2}
 
+    def test_set_property_unknown_doc_raises(self, db, store):
+        with pytest.raises(UnknownDocumentError):
+            store.set_property(db.new_oid("doc"), "k", 1, "ana")
+
+
+class TestReadModifyWriteRaces:
+    """Regression: set_property/set_state read the row *outside* the
+    transaction, so two concurrent read-modify-writes merged into the
+    same stale snapshot and one update was silently lost."""
+
+    def test_concurrent_set_property_keeps_every_key(self, store):
+        import threading
+
+        h = store.create("d", "ana")
+        keys = [f"k{i}" for i in range(8)]
+        barrier = threading.Barrier(len(keys))
+        errors = []
+
+        def worker(key):
+            try:
+                barrier.wait()
+                store.set_property(h.doc, key, key.upper(), "ana")
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in keys]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        props = store.meta(h.doc)["props"]
+        assert props == {k: k.upper() for k in keys}
+
+    def test_concurrent_state_and_property(self, store):
+        import threading
+
+        h = store.create("d", "ana")
+        barrier = threading.Barrier(2)
+
+        def set_prop():
+            barrier.wait()
+            store.set_property(h.doc, "a", 1, "ana")
+
+        def set_state():
+            barrier.wait()
+            store.set_state(h.doc, "review", "ben")
+
+        threads = [threading.Thread(target=set_prop),
+                   threading.Thread(target=set_state)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        meta = store.meta(h.doc)
+        assert meta["props"] == {"a": 1}
+        assert meta["state"] == "review"
+
 
 class TestEditing:
     def test_insert_at_positions(self, store):

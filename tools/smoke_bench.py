@@ -38,6 +38,10 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SMOKE_NODES = (
     "benchmarks/bench_editing_transactions.py::test_keystroke_tendax[500]",
     "benchmarks/bench_editing_transactions.py::test_group_commit_multiwriter",
+    "benchmarks/bench_editing_transactions.py"
+    "::test_cache_remote_splice_chunked[256000]",
+    "benchmarks/bench_editing_transactions.py"
+    "::test_cache_remote_splice_flat[256000]",
     "benchmarks/bench_undo_redo.py::test_undo_redo_cycle[10]",
     "benchmarks/bench_recovery_security.py::test_recovery_replay[100]",
     "benchmarks/bench_versioning.py::test_tag_version[500]",
@@ -56,6 +60,12 @@ TREND_NODES = {
         "c1_keystroke_500",
     "benchmarks/bench_editing_transactions.py::test_group_commit_multiwriter":
         "group_commit_multiwriter",
+    "benchmarks/bench_editing_transactions.py"
+    "::test_cache_remote_splice_chunked[256000]":
+        "c1_cache_splice_chunked_256k",
+    "benchmarks/bench_editing_transactions.py"
+    "::test_cache_remote_splice_flat[256000]":
+        "c1_cache_splice_flat_256k",
     "benchmarks/bench_collaborative_editing.py::test_replication_visibility[2]":
         "c3_replication_visibility_2",
 }
