@@ -115,6 +115,20 @@ class Database:
         self._m_checkpoints = registry.counter("db.checkpoints")
         self._m_checkpoint_seconds = registry.histogram(
             "db.checkpoint_seconds")
+        # -- MVCC snapshot state (see docs/INTERNALS.md, "MVCC") --------
+        # Ordering: ``_mvcc_lock`` may be held while taking the WAL's
+        # append lock (``last_lsn``), never the other way around — the
+        # WAL layer makes no engine calls.
+        self._mvcc_lock = threading.Lock()
+        #: txn_id -> highest LSN snapshots may pin while this commit is
+        #: between its COMMIT append and its in-memory apply.
+        self._applying: dict[int, int] = {}
+        #: snapshot LSN -> number of live read-only txns pinned to it.
+        self._live_snapshots: dict[int, int] = {}
+        #: Version chains are truncated every N write commits (plus on
+        #: explicit :meth:`gc_versions` calls).
+        self.gc_interval = 512
+        self._commits_since_gc = 0
 
     # ------------------------------------------------------------------
     # DDL
@@ -133,7 +147,7 @@ class Database:
         with self._ddl_lock:
             if name in self._tables:
                 raise DuplicateTableError(f"table {name!r} already exists")
-            table = Table(schema)
+            table = Table(schema, metrics=self.txn_metrics)
             self._tables[name] = table
         if log:
             self.wal.append(
@@ -193,14 +207,35 @@ class Database:
     # Transactions
     # ------------------------------------------------------------------
 
-    def begin(self, *, lock_timeout: float | None = None) -> Transaction:
+    def begin(self, *, lock_timeout: float | None = None,
+              read_only: bool = False,
+              locking_reads: bool = False) -> Transaction:
         """Start a new transaction.
 
-        Inside an active :meth:`batch` on the same thread this returns a
-        :class:`~repro.db.transaction.BatchJoin` view of the batch
-        transaction instead: code written per-operation ("one keystroke,
-        one transaction") transparently coalesces into the batch.
+        ``read_only=True`` starts an MVCC *snapshot* transaction: it pins
+        the current visible LSN and every read resolves the newest
+        version at or below it from the tables' version chains — no
+        LockManager calls, no WAL records, DML raises
+        :class:`~repro.errors.ReadOnlyTransactionError`.  Writers are
+        never blocked by it and never block it.
+
+        ``locking_reads=True`` (with ``read_only``) is the pre-MVCC
+        2PL-reader baseline instead: reads take SHARED row locks held to
+        the end.  Kept for interference benchmarks, not for real use.
+
+        Inside an active :meth:`batch` on the same thread a *write*
+        begin returns a :class:`~repro.db.transaction.BatchJoin` view of
+        the batch transaction instead: code written per-operation ("one
+        keystroke, one transaction") transparently coalesces into the
+        batch.  Read-only begins never join a batch.
         """
+        if read_only:
+            txn_id = next(self._txn_counter)
+            self.stats["transactions"] += 1
+            snapshot_lsn = None if locking_reads else self.pin_snapshot()
+            return Transaction(self, txn_id, lock_timeout=lock_timeout,
+                               read_only=True, snapshot_lsn=snapshot_lsn,
+                               locking_reads=locking_reads)
         batch = self.current_batch()
         if batch is not None and batch.is_active:
             batch.batched_ops += 1
@@ -212,6 +247,18 @@ class Database:
     def transaction(self, *, lock_timeout: float | None = None) -> Transaction:
         """Alias of :meth:`begin`; reads well in ``with`` statements."""
         return self.begin(lock_timeout=lock_timeout)
+
+    @contextmanager
+    def snapshot(self):
+        """A read-only snapshot transaction as a context manager.
+
+        Everything read inside the block observes one consistent commit
+        point — a multi-query analytics pass (search profiling, lineage
+        walks, folder evaluation) cannot see a commit land between its
+        queries.  Exiting releases the snapshot pin so GC can advance.
+        """
+        with self.begin(read_only=True) as txn:
+            yield txn
 
     def current_batch(self) -> Transaction | None:
         """The batch transaction open on this thread, if any."""
@@ -260,6 +307,11 @@ class Database:
     def on_commit(self, txn: Transaction, changes: list[Change]) -> None:
         """Called by a transaction after it applied its commit."""
         self.stats["commits"] += 1
+        self._commits_since_gc += 1
+        if self._commits_since_gc >= self.gc_interval:
+            # Benign racy counter: a skipped or doubled GC pass is fine.
+            self._commits_since_gc = 0
+            self.gc_versions()
         self.triggers.dispatch(txn, changes)
         self.bus.publish("db.commit", txn_id=txn.txn_id, changes=changes)
 
@@ -314,6 +366,96 @@ class Database:
     def now(self) -> float:
         """Current time from the injected clock."""
         return self.clock.now()
+
+    # ------------------------------------------------------------------
+    # MVCC: snapshot pinning, commit intents, version GC
+    # ------------------------------------------------------------------
+
+    def visible_lsn(self) -> int:
+        """The highest LSN a new snapshot may pin right now.
+
+        Usually the last appended WAL LSN.  While any committer sits
+        between its COMMIT append and its in-memory apply (a *commit
+        intent*), the visible LSN is capped just below the oldest such
+        commit — a pinned snapshot therefore always covers only commits
+        whose table images are fully applied, never a torn one.
+        """
+        with self._mvcc_lock:
+            return self._visible_lsn_locked()
+
+    def _visible_lsn_locked(self) -> int:
+        last = self.wal.last_lsn()
+        if not self._applying:
+            return last
+        return min(last, min(self._applying.values()))
+
+    def register_commit_intent(self, txn_id: int) -> None:
+        """Open a commit-intent window before the COMMIT record exists.
+
+        Until :meth:`raise_commit_floor` learns the record's LSN, cap
+        snapshots at the log tail as of now: any LSN the COMMIT record
+        can get is above it.
+        """
+        with self._mvcc_lock:
+            self._applying[txn_id] = self.wal.last_lsn()
+
+    def raise_commit_floor(self, txn_id: int, commit_lsn: int) -> None:
+        """The COMMIT record has its LSN: snapshots may pin up to just
+        below it while the apply is still in flight."""
+        with self._mvcc_lock:
+            if txn_id in self._applying:
+                self._applying[txn_id] = commit_lsn - 1
+
+    def clear_commit_intent(self, txn_id: int) -> None:
+        """The commit is fully applied (or dead): stop capping."""
+        with self._mvcc_lock:
+            self._applying.pop(txn_id, None)
+
+    def pin_snapshot(self) -> int:
+        """Pin and return the current visible LSN (one reader ref)."""
+        with self._mvcc_lock:
+            lsn = self._visible_lsn_locked()
+            self._live_snapshots[lsn] = self._live_snapshots.get(lsn, 0) + 1
+            return lsn
+
+    def unpin_snapshot(self, lsn: int) -> None:
+        """Drop one reader ref from ``lsn`` (snapshot txn finished)."""
+        with self._mvcc_lock:
+            count = self._live_snapshots.get(lsn, 0) - 1
+            if count > 0:
+                self._live_snapshots[lsn] = count
+            else:
+                self._live_snapshots.pop(lsn, None)
+
+    def gc_watermark(self) -> int:
+        """Oldest LSN any live (or future) snapshot can still observe."""
+        with self._mvcc_lock:
+            lsn = self._visible_lsn_locked()
+            if self._live_snapshots:
+                lsn = min(lsn, min(self._live_snapshots))
+            return lsn
+
+    def gc_versions(self, watermark: int | None = None) -> int:
+        """Truncate version chains below the oldest live snapshot.
+
+        Runs automatically every :attr:`gc_interval` write commits;
+        callers with bursty retention (e.g. after closing a long
+        analytics snapshot) may invoke it directly.  Returns the number
+        of versions dropped (also counted as
+        ``txn.version_gc_truncated``).
+        """
+        if watermark is None:
+            watermark = self.gc_watermark()
+        dropped = 0
+        for table in list(self._tables.values()):
+            dropped += table.gc_versions(watermark)
+        if dropped:
+            self.txn_metrics.version_gc_truncated.inc(dropped)
+        return dropped
+
+    def live_versions(self) -> int:
+        """Superseded row versions currently retained across all tables."""
+        return sum(t.live_versions() for t in self._tables.values())
 
     # ------------------------------------------------------------------
     # Checkpointing

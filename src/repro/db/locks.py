@@ -1,8 +1,13 @@
 """Lock manager: shared/exclusive locks with deadlock detection.
 
-The engine runs read-committed isolation: readers never block (they see the
-last committed version), writers take exclusive row locks held until commit
-or abort (strict two-phase locking).  Table-level locks protect DDL.
+Writers run read-committed isolation with exclusive row locks held until
+commit or abort (strict two-phase locking); plain reads see the last
+committed version without blocking.  MVCC snapshot transactions
+(``db.begin(read_only=True)``) bypass this manager entirely — their reads
+resolve from version chains (:mod:`repro.db.table`) and never touch a
+lock.  SHARED mode is used only by the 2PL-reader baseline kept for
+interference benchmarks (``locking_reads=True``).  Table-level locks
+protect DDL.
 
 Blocking waits are supported for multi-threaded use; a wait-for graph is
 checked before every wait so deadlocks are detected immediately and the

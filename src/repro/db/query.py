@@ -267,31 +267,48 @@ class Query:
 
     # -- candidate generation -----------------------------------------------------
 
+    def _probe(self, table: Table, plan: QueryPlan) -> Iterator[int]:
+        """Rowids from the plan's index probe."""
+        index = table.indexes()[plan.index_name]
+        hint = plan.hint
+        if hint.op == "eq":
+            return index.probe_eq(hint.value)
+        if hint.op == "in":
+            return index.probe_in(hint.values)
+        assert isinstance(index, OrderedIndex)
+        return index.probe_range(
+            hint.low, hint.high,
+            low_inclusive=hint.low_inclusive,
+            high_inclusive=hint.high_inclusive,
+        )
+
     def _candidates(self, table: Table,
                     plan: QueryPlan) -> Iterator[tuple[int, tuple]]:
-        """Yield (rowid, row) candidates, with the txn's pending overlay."""
-        pending = (
-            table.pending_of(self._txn.txn_id)
-            if self._txn is not None and self._txn.is_active else {}
-        )
+        """Yield (rowid, row) candidates under the txn's visibility mode.
+
+        * snapshot txn: version-chain reads as of the pinned LSN — zero
+          lock acquisitions;
+        * 2PL-reader baseline txn: committed reads under SHARED row
+          locks;
+        * write txn: committed reads with the txn's pending overlay;
+        * no txn: plain committed reads.
+        """
+        txn = self._txn if (self._txn is not None
+                            and self._txn.is_active) else None
+        snapshot_lsn = getattr(txn, "snapshot_lsn", None)
+        if snapshot_lsn is not None:
+            txn._metrics.snapshot_reads.inc()
+            yield from self._snapshot_candidates(table, plan, snapshot_lsn)
+            return
+        locking = txn is not None and getattr(txn, "locking_reads", False)
+        pending = table.pending_of(txn.txn_id) if txn is not None else {}
         if plan.kind == "index":
-            index = table.indexes()[plan.index_name]
-            hint = plan.hint
-            if hint.op == "eq":
-                rowids = index.probe_eq(hint.value)
-            elif hint.op == "in":
-                rowids = index.probe_in(hint.values)
-            else:
-                assert isinstance(index, OrderedIndex)
-                rowids = index.probe_range(
-                    hint.low, hint.high,
-                    low_inclusive=hint.low_inclusive,
-                    high_inclusive=hint.high_inclusive,
-                )
             emitted: set[int] = set()
-            for rowid in rowids:
+            for rowid in self._probe(table, plan):
                 if rowid in pending:
                     continue  # replaced below by the pending image
+                if locking:
+                    txn.lock_shared(self._table_name, rowid)
                 row = table.read(rowid)
                 if row is not None:
                     emitted.add(rowid)
@@ -305,10 +322,39 @@ class Query:
             for rowid, row in table.committed_items():
                 if rowid in pending:
                     continue
+                if locking:
+                    txn.lock_shared(self._table_name, rowid)
+                    # Re-read under the lock: the unlocked snapshot image
+                    # may predate a writer that committed while we waited.
+                    row = table.read(rowid)
+                    if row is None:
+                        continue
                 yield rowid, row
             for rowid, image in pending.items():
                 if image is not TOMBSTONE:
                     yield rowid, image
+
+    def _snapshot_candidates(self, table: Table, plan: QueryPlan,
+                             snapshot_lsn: int) -> Iterator[tuple[int, tuple]]:
+        """Candidates as of ``snapshot_lsn`` (no locks, no pending).
+
+        Index probes walk the *current* committed index, so rows whose
+        visible version differs from their committed one (rows carrying
+        a version chain) are resolved via an overlay and re-checked by
+        the executor's predicate — the same discipline as pending
+        overlays for writers.
+        """
+        if plan.kind == "index":
+            overlay = table.snapshot_history_rows(snapshot_lsn)
+            for rowid in self._probe(table, plan):
+                if rowid in overlay:
+                    continue  # yielded below from the overlay
+                row = table.snapshot_read(rowid, snapshot_lsn)
+                if row is not None:
+                    yield rowid, row
+            yield from overlay.items()
+        else:
+            yield from table.snapshot_items(snapshot_lsn)
 
 
 class _SortKey:

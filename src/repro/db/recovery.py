@@ -13,6 +13,11 @@ reach recovery after power loss.  After a plain process crash the page
 cache survives and unacknowledged COMMIT records may be replayed — that is
 correct, durability is a lower bound, never an upper one.
 
+Version chains (MVCC snapshots, see :mod:`repro.db.table`) do not survive
+recovery and need no log records of their own: a fresh process has no live
+snapshots, so :meth:`~repro.db.table.Table.load_row` collapses every row
+back to a single committed version visible to all future snapshots.
+
 Use :func:`recover` with an in-memory record list (tests) or
 :func:`recover_file` with a mirrored WAL file (process-crash simulation).
 """

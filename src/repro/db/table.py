@@ -1,10 +1,19 @@
-"""Heap tables with two-version rows (committed + one pending image).
+"""Heap tables with versioned rows (committed chain + one pending image).
 
-The engine runs read-committed isolation.  Each row has:
+Writers run read-committed isolation.  Each row has:
 
-* a *committed* image — what every transaction except the writer sees, and
+* a *committed* image — what every transaction except the writer sees,
 * at most one *pending* image owned by the transaction currently holding the
-  row's exclusive lock (a new row, an updated row, or a delete tombstone).
+  row's exclusive lock (a new row, an updated row, or a delete tombstone),
+* and a small *version chain*: superseded committed images stamped with the
+  commit LSN that replaced them, kept so snapshot (read-only) transactions
+  can read the newest version ``<=`` their pinned LSN without any locks
+  (see ``docs/INTERNALS.md``, "MVCC & snapshots").
+
+The chain is lazy: a row that was only ever inserted carries no history at
+all — only rows that have actually been updated or deleted while older
+snapshots may still need them pay any memory.  The engine's GC watermark
+(:meth:`gc_versions`) truncates chains below the oldest live snapshot.
 
 Indexes cover committed data only; the query executor overlays the owning
 transaction's pending changes (:mod:`repro.db.query`).  Lock acquisition is
@@ -51,10 +60,21 @@ class Pending:
 class Table:
     """One table: schema, rows, and secondary indexes."""
 
-    def __init__(self, schema: TableSchema) -> None:
+    def __init__(self, schema: TableSchema, metrics=None) -> None:
         self.schema = schema
         self._committed: dict[int, tuple] = {}
         self._pending: dict[int, Pending] = {}
+        #: rowid -> commit LSN of the *current* committed image.  Absent
+        #: means "since before version tracking" and compares as 0, so
+        #: loaded/recovered rows are visible to every snapshot.
+        self._version_lsn: dict[int, int] = {}
+        #: rowid -> older versions only, ``[(commit_lsn, image), ...]``
+        #: ascending by LSN.  A deleted row keeps its chain here with a
+        #: trailing ``(delete_lsn, TOMBSTONE)`` entry until GC.
+        self._history: dict[int, list[tuple[int, Any]]] = {}
+        #: Duck-typed metric bundle (``TxnMetrics``); only
+        #: ``versions_live`` is used here.  None when unobserved.
+        self._metrics = metrics
         #: (unique column, value) -> rowid of the pending row claiming it.
         #: Keeps uniqueness checks O(1) instead of scanning all pending
         #: rows (which made bulk loads quadratic).
@@ -242,11 +262,16 @@ class Table:
     # Commit / rollback (called by Transaction)
     # ------------------------------------------------------------------
 
-    def commit_row(self, txn_id: int, rowid: int) -> tuple[str, tuple | None]:
+    def commit_row(self, txn_id: int, rowid: int,
+                   commit_lsn: int = 0) -> tuple[str, tuple | None]:
         """Promote the pending image of ``rowid`` to committed.
 
-        Returns ``(change_kind, new_row)`` where kind is ``"insert"``,
-        ``"update"`` or ``"delete"`` for the commit notification.
+        ``commit_lsn`` stamps the new version (the committing
+        transaction's COMMIT record LSN); the superseded image, if any,
+        is pushed onto the row's version chain so open snapshots keep
+        reading it.  Returns ``(change_kind, new_row)`` where kind is
+        ``"insert"``, ``"update"`` or ``"delete"`` for the commit
+        notification.
         """
         with self._lock:
             pending = self._pending.pop(rowid, None)
@@ -261,16 +286,28 @@ class Table:
                 if old is not None:
                     self._unindex_row(rowid, old)
                     del self._committed[rowid]
+                    self._push_version(rowid, self._version_lsn.pop(rowid, 0),
+                                       old)
+                    self._push_version(rowid, commit_lsn, TOMBSTONE)
                     return "delete", None
                 return "noop", None  # insert+delete inside one txn
             if old is not None:
                 self._unindex_row(rowid, old)
+                self._push_version(rowid, self._version_lsn.get(rowid, 0),
+                                   old)
                 kind = "update"
             else:
                 kind = "insert"
             self._committed[rowid] = pending.image
+            self._version_lsn[rowid] = commit_lsn
             self._index_row(rowid, pending.image)
             return kind, pending.image
+
+    def _push_version(self, rowid: int, lsn: int, image: Any) -> None:
+        """Append one superseded version (caller holds ``_lock``)."""
+        self._history.setdefault(rowid, []).append((lsn, image))
+        if self._metrics is not None:
+            self._metrics.versions_live.inc()
 
     def rollback_row(self, txn_id: int, rowid: int) -> None:
         """Discard the pending image of ``rowid`` (abort path)."""
@@ -317,6 +354,94 @@ class Table:
         with self._lock:
             return iter(list(self._committed.items()))
 
+    # ------------------------------------------------------------------
+    # Snapshot (MVCC) reads — no LockManager involvement, ever
+    # ------------------------------------------------------------------
+
+    def snapshot_read(self, rowid: int, snapshot_lsn: int) -> tuple | None:
+        """The newest version of ``rowid`` committed at or before
+        ``snapshot_lsn`` (``None`` if the row did not exist then)."""
+        with self._lock:
+            return self._snapshot_read_locked(rowid, snapshot_lsn)
+
+    def _snapshot_read_locked(self, rowid: int,
+                              snapshot_lsn: int) -> tuple | None:
+        row = self._committed.get(rowid)
+        if row is not None and self._version_lsn.get(rowid, 0) <= snapshot_lsn:
+            return row
+        for lsn, image in reversed(self._history.get(rowid, ())):
+            if lsn <= snapshot_lsn:
+                return None if image is TOMBSTONE else image
+        return None
+
+    def snapshot_items(self, snapshot_lsn: int) -> Iterator[tuple[int, tuple]]:
+        """Iterate ``(rowid, row)`` as of ``snapshot_lsn`` (full scan)."""
+        with self._lock:
+            out = []
+            for rowid in self._committed.keys() | self._history.keys():
+                row = self._snapshot_read_locked(rowid, snapshot_lsn)
+                if row is not None:
+                    out.append((rowid, row))
+            return iter(out)
+
+    def snapshot_history_rows(self, snapshot_lsn: int) -> dict[int, tuple]:
+        """Visible-at-``snapshot_lsn`` images of every row *with history*.
+
+        The index-probe overlay: committed indexes only know the current
+        image, so any row whose visible version may differ from its
+        committed one (exactly the rows carrying a version chain) is
+        resolved here and re-checked against the predicate by the
+        executor — mirroring how pending overlays work for writers.
+        """
+        with self._lock:
+            out: dict[int, tuple] = {}
+            for rowid in self._history:
+                row = self._snapshot_read_locked(rowid, snapshot_lsn)
+                if row is not None:
+                    out[rowid] = row
+            return out
+
+    def gc_versions(self, watermark: int) -> int:
+        """Drop chain entries no snapshot at or above ``watermark`` needs.
+
+        Keeps, per row, every version newer than the watermark plus the
+        newest one at or below it (the image a watermark-pinned snapshot
+        reads).  A chain whose current committed image (or tombstone) is
+        already visible at the watermark vanishes entirely.  Returns the
+        number of versions dropped.
+        """
+        dropped = 0
+        with self._lock:
+            for rowid in list(self._history):
+                chain = self._history[rowid]
+                if rowid in self._committed:
+                    if self._version_lsn.get(rowid, 0) <= watermark:
+                        dropped += len(chain)
+                        del self._history[rowid]
+                        continue
+                elif chain[-1][0] <= watermark:
+                    # Row is deleted and the delete is visible to every
+                    # live snapshot: nobody can see it anymore.
+                    dropped += len(chain)
+                    del self._history[rowid]
+                    continue
+                newest_le = -1
+                for i, (lsn, __) in enumerate(chain):
+                    if lsn > watermark:
+                        break
+                    newest_le = i
+                if newest_le > 0:
+                    dropped += newest_le
+                    self._history[rowid] = chain[newest_le:]
+        if dropped and self._metrics is not None:
+            self._metrics.versions_live.dec(dropped)
+        return dropped
+
+    def live_versions(self) -> int:
+        """Number of superseded versions currently retained."""
+        with self._lock:
+            return sum(len(chain) for chain in self._history.values())
+
     def pending_of(self, txn_id: int) -> dict[int, Any]:
         """Snapshot of ``rowid -> image-or-TOMBSTONE`` for one transaction."""
         with self._lock:
@@ -335,7 +460,12 @@ class Table:
     # ------------------------------------------------------------------
 
     def load_row(self, rowid: int, values: Mapping[str, Any]) -> None:
-        """Directly install a committed row (recovery only)."""
+        """Directly install a committed row (recovery only).
+
+        Version chains collapse on load: a freshly recovered engine has
+        no live snapshots, so every row starts over as a single committed
+        version visible to all future snapshots (LSN 0).
+        """
         row = self.schema.make_row(values)
         with self._lock:
             old = self._committed.get(rowid)
@@ -343,6 +473,8 @@ class Table:
                 self._unindex_row(rowid, old)
             self._committed[rowid] = row
             self._index_row(rowid, row)
+            self._version_lsn.pop(rowid, None)
+            self._drop_history(rowid)
             # Keep rowid allocation ahead of everything loaded.
             self._bump_rowid(rowid)
 
@@ -352,6 +484,13 @@ class Table:
             old = self._committed.pop(rowid, None)
             if old is not None:
                 self._unindex_row(rowid, old)
+            self._version_lsn.pop(rowid, None)
+            self._drop_history(rowid)
+
+    def _drop_history(self, rowid: int) -> None:
+        chain = self._history.pop(rowid, None)
+        if chain and self._metrics is not None:
+            self._metrics.versions_live.dec(len(chain))
 
     def _bump_rowid(self, seen: int) -> None:
         current = next(self._rowid_counter)

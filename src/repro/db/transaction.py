@@ -16,9 +16,15 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
-from ..errors import CrashSignal, TransactionStateError
+from ..errors import (
+    CrashSignal,
+    ReadOnlyTransactionError,
+    RowNotFoundError,
+    TransactionStateError,
+)
 from ..obs.metrics import COUNT_BUCKETS
 from . import wal as walmod
+from .locks import SHARED
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .engine import Database
@@ -33,7 +39,8 @@ class TxnMetrics:
     """
 
     __slots__ = ("begun", "committed", "aborted", "crashed", "active",
-                 "duration", "commit_seconds", "ops", "batched_ops")
+                 "duration", "commit_seconds", "ops", "batched_ops",
+                 "snapshot_reads", "versions_live", "version_gc_truncated")
 
     def __init__(self, registry) -> None:
         self.begun = registry.counter("txn.begun")
@@ -46,6 +53,10 @@ class TxnMetrics:
         self.ops = registry.histogram("txn.ops", buckets=COUNT_BUCKETS)
         self.batched_ops = registry.histogram("txn.batched_ops",
                                               buckets=COUNT_BUCKETS)
+        self.snapshot_reads = registry.counter("txn.snapshot_reads")
+        self.versions_live = registry.gauge("txn.versions_live")
+        self.version_gc_truncated = registry.counter(
+            "txn.version_gc_truncated")
 
 
 class TxnState(enum.Enum):
@@ -74,11 +85,25 @@ class Transaction:
     """
 
     def __init__(self, db: "Database", txn_id: int, *,
-                 lock_timeout: float | None = None) -> None:
+                 lock_timeout: float | None = None,
+                 read_only: bool = False,
+                 snapshot_lsn: int | None = None,
+                 locking_reads: bool = False) -> None:
         self._db = db
         self.txn_id = txn_id
         self.state = TxnState.ACTIVE
         self.lock_timeout = lock_timeout
+        #: Read-only transactions write no WAL records, stage nothing and
+        #: raise :class:`~repro.errors.ReadOnlyTransactionError` on DML.
+        self.read_only = read_only
+        #: MVCC mode: when set, every read resolves the newest version
+        #: ``<=`` this LSN from the version chains — zero LockManager
+        #: calls on the whole read path (``None`` = read-committed).
+        self.snapshot_lsn = snapshot_lsn
+        #: 2PL-reader mode (the pre-MVCC baseline, kept for comparison
+        #: benchmarks): reads take SHARED row locks held to the end, so
+        #: scans block behind writers and vice versa.
+        self.locking_reads = locking_reads
         #: (table_name, rowid) in staging order — commit applies in order.
         self._ops: list[tuple[str, int]] = []
         self._ops_seen: set[tuple[str, int]] = set()
@@ -92,16 +117,27 @@ class Transaction:
         self.batched_ops = 0
         self._lock = threading.RLock()
         self._metrics = db.txn_metrics
-        self._span = db.obs.tracer.start("txn", txn=txn_id)
+        if read_only:
+            # Tagged so an exported trace distinguishes a lock-free
+            # snapshot scan from a write transaction at a glance.
+            self._span = db.obs.tracer.start("txn", txn=txn_id,
+                                             read_only=True)
+        else:
+            self._span = db.obs.tracer.start("txn", txn=txn_id)
         self._started = perf_counter()
         self._finished = False
         self._metrics.begun.inc()
         self._metrics.active.inc()
-        try:
-            db.wal.append(walmod.BEGIN, txn_id)
-        except CrashSignal:
-            self._finish("crash")
-            raise
+        if not read_only:
+            # Read-only transactions leave no WAL trace at all: they can
+            # never need recovery, and keeping them off the log keeps
+            # crash-torture schedules byte-identical with or without
+            # concurrent snapshot readers.
+            try:
+                db.wal.append(walmod.BEGIN, txn_id)
+            except CrashSignal:
+                self._finish("crash")
+                raise
 
     # -- context manager ----------------------------------------------------
 
@@ -123,6 +159,13 @@ class Transaction:
                 f"transaction {self.txn_id} is {self.state.value}"
             )
 
+    def _require_writable(self) -> None:
+        self._require_active()
+        if self.read_only:
+            raise ReadOnlyTransactionError(
+                f"transaction {self.txn_id} is read-only"
+            )
+
     @property
     def is_active(self) -> bool:
         return self.state is TxnState.ACTIVE
@@ -137,6 +180,8 @@ class Transaction:
         if self._finished:
             return
         self._finished = True
+        if self.snapshot_lsn is not None:
+            self._db.unpin_snapshot(self.snapshot_lsn)
         metrics = self._metrics
         metrics.active.dec()
         metrics.duration.observe(perf_counter() - self._started)
@@ -163,6 +208,15 @@ class Transaction:
                                timeout=self.lock_timeout)
         self._held_res.add(resource)
 
+    def lock_shared(self, table: str, rowid: int) -> None:
+        """Take a SHARED row lock (2PL-reader baseline mode only)."""
+        resource = ("row", table, rowid)
+        if resource in self._held_res:
+            return
+        self._db.locks.acquire(self.txn_id, resource, SHARED,
+                               timeout=self.lock_timeout)
+        self._held_res.add(resource)
+
     def _lock_key(self, table: str, column: str, value: Any) -> None:
         """Serialise claims on a unique key value across transactions."""
         if value is None:
@@ -183,7 +237,7 @@ class Transaction:
         the lock-manager round-trip across the whole range instead of
         paying it per row.
         """
-        self._require_active()
+        self._require_writable()
         fresh = [("row", table_name, rowid) for rowid in rowids
                  if ("row", table_name, rowid) not in self._held_res]
         if not fresh:
@@ -202,7 +256,7 @@ class Transaction:
 
     def insert(self, table_name: str, values: Mapping[str, Any]) -> int:
         """Insert a row; returns its rowid."""
-        self._require_active()
+        self._require_writable()
         table = self._db.table(table_name)
         try:
             with self._lock:
@@ -225,7 +279,7 @@ class Transaction:
     def update(self, table_name: str, rowid: int,
                updates: Mapping[str, Any]) -> dict:
         """Update a row; returns the new full row mapping."""
-        self._require_active()
+        self._require_writable()
         table = self._db.table(table_name)
         try:
             with self._lock:
@@ -248,7 +302,7 @@ class Transaction:
 
     def delete(self, table_name: str, rowid: int) -> None:
         """Delete a row."""
-        self._require_active()
+        self._require_writable()
         table = self._db.table(table_name)
         try:
             with self._lock:
@@ -263,20 +317,32 @@ class Transaction:
             self._finish("crash")
             raise
 
-    # -- reads (own-writes visible) ------------------------------------------
+    # -- reads (own-writes visible; snapshot txns read their pinned LSN) -----
+
+    def _read_row(self, table, table_name: str, rowid: int) -> tuple | None:
+        """One row under this transaction's visibility mode."""
+        if self.snapshot_lsn is not None:
+            self._metrics.snapshot_reads.inc()
+            return table.snapshot_read(rowid, self.snapshot_lsn)
+        if self.locking_reads:
+            self.lock_shared(table_name, rowid)
+        return table.read(rowid, self.txn_id)
 
     def read(self, table_name: str, rowid: int) -> dict | None:
         """Read one row as visible to this transaction, or ``None``."""
         self._require_active()
         table = self._db.table(table_name)
-        row = table.read(rowid, self.txn_id)
+        row = self._read_row(table, table_name, rowid)
         return None if row is None else table.schema.row_dict(row)
 
     def get(self, table_name: str, rowid: int) -> dict:
         """Like :meth:`read` but raises if the row is absent."""
-        self._require_active()
-        table = self._db.table(table_name)
-        return table.schema.row_dict(table.get(rowid, self.txn_id))
+        row = self.read(table_name, rowid)
+        if row is None:
+            raise RowNotFoundError(
+                f"no row {rowid} in table {table_name!r}"
+            )
+        return row
 
     def get_for_update(self, table_name: str, rowid: int) -> dict:
         """Read a row under its exclusive lock (``SELECT FOR UPDATE``).
@@ -286,7 +352,7 @@ class Transaction:
         no other transaction can change the row between the read and the
         write.  Use this for read-modify-write cycles.
         """
-        self._require_active()
+        self._require_writable()
         table = self._db.table(table_name)
         self._lock_row(table_name, rowid)
         return table.schema.row_dict(table.get(rowid, self.txn_id))
@@ -307,8 +373,19 @@ class Transaction:
         the staged images are applied (a crash here must still surface
         the transaction after recovery — the commit point is the WAL
         append, not the in-memory apply).
+
+        A read-only transaction has nothing to log or apply: commit just
+        settles its lifecycle (and releases its snapshot pin / shared
+        locks).  No crash points fire and no commit event is published,
+        so snapshot readers are invisible to torture schedules and
+        commit triggers alike.
         """
         self._require_active()
+        if self.read_only:
+            self.state = TxnState.COMMITTED
+            self._db.locks.release_all(self.txn_id)
+            self._finish("commit")
+            return []
         started = perf_counter()
         # The txn span is detached; putting it in scope for the commit
         # parents the WAL fsync and the commit fan-out (notification
@@ -318,19 +395,36 @@ class Transaction:
             try:
                 with self._lock:
                     self._db.faults.fire("txn.pre_commit", txn=self.txn_id)
-                    self._db.wal.append(walmod.COMMIT, self.txn_id)
-                    self._db.faults.fire("txn.post_commit", txn=self.txn_id)
-                    changes: list[Change] = []
-                    for table_name, rowid in self._ops:
-                        table = self._db.table(table_name)
-                        kind, row = table.commit_row(self.txn_id, rowid)
-                        if kind == "noop":
-                            continue
-                        row_map = table.schema.row_dict(row) \
-                            if row is not None else None
-                        changes.append(Change(table_name, kind, rowid,
-                                              row_map))
-                    self.state = TxnState.COMMITTED
+                    # Commit-intent window: from just before the COMMIT
+                    # record gets its LSN until every staged image is
+                    # applied, new snapshots must pin *below* this
+                    # commit — otherwise a reader could pin an LSN that
+                    # covers the COMMIT record but see pre-apply tables
+                    # (a torn snapshot).  See Database.visible_lsn().
+                    self._db.register_commit_intent(self.txn_id)
+                    try:
+                        record = self._db.wal.append(walmod.COMMIT,
+                                                     self.txn_id)
+                        self._db.raise_commit_floor(self.txn_id, record.lsn)
+                        self._db.faults.fire("txn.post_commit",
+                                             txn=self.txn_id)
+                        changes: list[Change] = []
+                        for table_name, rowid in self._ops:
+                            table = self._db.table(table_name)
+                            kind, row = table.commit_row(self.txn_id, rowid,
+                                                         record.lsn)
+                            if kind == "noop":
+                                continue
+                            row_map = table.schema.row_dict(row) \
+                                if row is not None else None
+                            changes.append(Change(table_name, kind, rowid,
+                                                  row_map))
+                        self.state = TxnState.COMMITTED
+                    finally:
+                        # Applied (or dead): snapshots may now cover this
+                        # commit.  Cleared before on_commit so triggers
+                        # opening snapshots see the changes firing them.
+                        self._db.clear_commit_intent(self.txn_id)
             except CrashSignal:
                 self._finish("crash")
                 raise
@@ -344,6 +438,11 @@ class Transaction:
     def abort(self) -> None:
         """Roll back every staged change and release locks."""
         self._require_active()
+        if self.read_only:
+            self.state = TxnState.ABORTED
+            self._db.locks.release_all(self.txn_id)
+            self._finish("abort")
+            return
         try:
             with self._lock:
                 for table_name, rowid in reversed(self._ops):

@@ -75,6 +75,10 @@ class TransactionAborted(TransactionError):
     """The transaction was rolled back (explicitly or by the engine)."""
 
 
+class ReadOnlyTransactionError(TransactionError):
+    """A write was attempted through a read-only (snapshot) transaction."""
+
+
 class LockTimeoutError(TransactionError):
     """A lock could not be acquired within the configured timeout."""
 

@@ -150,7 +150,7 @@ class AccessedBy(Condition):
     def matches(self, ctx, doc):
         """User performed the action on the document (within a window)."""
         since = None if self.within is None else ctx.now() - self.within
-        query = ctx.db.query(S.ACCESS_LOG).where(
+        query = ctx.query(S.ACCESS_LOG).where(
             (col("doc") == doc) & (col("user") == self.user)
             & (col("action") == self.action))
         if since is not None:
@@ -178,7 +178,7 @@ class AuthoredBy(Condition):
 
     def matches(self, ctx, doc):
         """User wrote at least ``min_chars`` visible characters."""
-        rows = ctx.db.query(S.CHARS).where(
+        rows = ctx.query(S.CHARS).where(
             (col("doc") == doc) & (col("author") == self.user)).run()
         visible = sum(1 for r in rows if r["ch"] and not r["deleted"])
         return visible >= self.min_chars
@@ -189,14 +189,29 @@ class AuthoredBy(Condition):
 # ---------------------------------------------------------------------------
 
 class FolderContext:
-    """Metadata lookups shared by condition evaluation."""
+    """Metadata lookups shared by condition evaluation.
 
-    def __init__(self, db: Database) -> None:
+    Normally reads committed state directly; :meth:`with_reader` binds a
+    copy to a transaction (a snapshot for full rescans), so every
+    condition a pass evaluates sees one commit point.
+    """
+
+    def __init__(self, db: Database, reader=None) -> None:
         self.db = db
+        self._reader = reader
+
+    def query(self, table_name: str):
+        """Start a query through the bound reader (or the database)."""
+        source = self._reader if self._reader is not None else self.db
+        return source.query(table_name)
+
+    def with_reader(self, txn) -> "FolderContext":
+        """A context whose lookups run inside ``txn``."""
+        return FolderContext(self.db, reader=txn)
 
     def doc_row(self, doc: Oid) -> dict | None:
         """The document's metadata row, or ``None``."""
-        row = self.db.query(S.DOCUMENTS).where(col("doc") == doc).first()
+        row = self.query(S.DOCUMENTS).where(col("doc") == doc).first()
         return None if row is None else dict(row)
 
     def now(self) -> float:
@@ -206,7 +221,7 @@ class FolderContext:
     def all_docs(self) -> list[Oid]:
         """OIDs of every document in the database."""
         return [r["doc"] for r in
-                self.db.query(S.DOCUMENTS).select("doc").run()]
+                self.query(S.DOCUMENTS).select("doc").run()]
 
 
 class DynamicFolder:
@@ -244,13 +259,21 @@ class DynamicFolder:
         return False
 
     def revalidate(self) -> None:
-        """Full rescan (used for time-decay and by the re-query baseline)."""
+        """Full rescan (used for time-decay and by the re-query baseline).
+
+        Runs inside one snapshot transaction: membership of every
+        document is decided against the same commit point, and the scan
+        never contends with typists for locks.
+        """
         self.stats["full_scans"] += 1
-        self._members = {
-            doc for doc in self._ctx.all_docs()
-            if self.condition.matches(self._ctx, doc)
-        }
-        self.stats["evaluations"] += len(self._ctx.all_docs())
+        with self._ctx.db.snapshot() as snap:
+            ctx = self._ctx.with_reader(snap)
+            docs = ctx.all_docs()
+            self._members = {
+                doc for doc in docs
+                if self.condition.matches(ctx, doc)
+            }
+        self.stats["evaluations"] += len(docs)
 
 
 class DynamicFolderManager:

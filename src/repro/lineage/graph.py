@@ -59,30 +59,36 @@ class LineageGraph:
         Nodes are document OID strings (kind="document") and external
         source labels (kind="external"); one edge per copy operation
         carrying ``n_chars``, ``user`` and ``at``.
+
+        The whole construction runs inside one snapshot transaction: the
+        document sweep, the copy-log sweep and every node-label lookup
+        see the same commit point, so a copy operation committed mid-
+        build can never appear as an edge without its endpoint.
         """
         graph = nx.MultiDiGraph()
-        if include_unlinked:
-            for row in self.db.query(S.DOCUMENTS).run():
-                graph.add_node(str(row["doc"]), kind=self.DOCUMENT,
-                               name=row["name"], creator=row["creator"])
-        for op in self.db.query(S.COPYLOG).run():
-            dst = str(op["dst_doc"])
-            if dst not in graph:
-                self._add_doc_node(graph, op["dst_doc"])
-            if op["src_doc"] is not None:
-                src = str(op["src_doc"])
-                if src not in graph:
-                    self._add_doc_node(graph, op["src_doc"])
-            else:
-                src = op["external_source"] or "external"
-                graph.add_node(src, kind=self.EXTERNAL, name=src)
-            graph.add_edge(src, dst, op=str(op["op"]),
-                           n_chars=op["n_chars"], user=op["user"],
-                           at=op["at"])
+        with self.db.snapshot() as snap:
+            if include_unlinked:
+                for row in snap.query(S.DOCUMENTS).run():
+                    graph.add_node(str(row["doc"]), kind=self.DOCUMENT,
+                                   name=row["name"], creator=row["creator"])
+            for op in snap.query(S.COPYLOG).run():
+                dst = str(op["dst_doc"])
+                if dst not in graph:
+                    self._add_doc_node(graph, op["dst_doc"], snap)
+                if op["src_doc"] is not None:
+                    src = str(op["src_doc"])
+                    if src not in graph:
+                        self._add_doc_node(graph, op["src_doc"], snap)
+                else:
+                    src = op["external_source"] or "external"
+                    graph.add_node(src, kind=self.EXTERNAL, name=src)
+                graph.add_edge(src, dst, op=str(op["op"]),
+                               n_chars=op["n_chars"], user=op["user"],
+                               at=op["at"])
         return graph
 
-    def _add_doc_node(self, graph: nx.MultiDiGraph, doc: Oid) -> None:
-        row = self.db.query(S.DOCUMENTS).where(col("doc") == doc).first()
+    def _add_doc_node(self, graph: nx.MultiDiGraph, doc: Oid, snap) -> None:
+        row = snap.query(S.DOCUMENTS).where(col("doc") == doc).first()
         name = row["name"] if row is not None else str(doc)
         creator = row["creator"] if row is not None else "?"
         graph.add_node(str(doc), kind=self.DOCUMENT, name=name,
@@ -120,7 +126,8 @@ class LineageGraph:
 
     def copied_fraction(self, doc: Oid) -> float:
         """Fraction of the document's visible characters that were pasted."""
-        rows = self.db.query(S.CHARS).where(col("doc") == doc).run()
+        with self.db.snapshot() as snap:
+            rows = snap.query(S.CHARS).where(col("doc") == doc).run()
         visible = [r for r in rows if r["ch"] and not r["deleted"]]
         if not visible:
             return 0.0
@@ -132,18 +139,25 @@ class LineageGraph:
     # Character-level ancestry
     # ------------------------------------------------------------------
 
-    def char_ancestry(self, char_oid: Oid) -> list[AncestryStep]:
+    def char_ancestry(self, char_oid: Oid,
+                      txn=None) -> list[AncestryStep]:
         """The provenance chain of one character, oldest last.
 
         Walks ``copy_src`` links through paste generations (a paste of a
         paste of a paste ...).  The first entry is the character itself.
+        One query per hop, so the whole walk runs inside one snapshot
+        transaction (or the caller's ``txn``): a paste committed between
+        two hops cannot splice a half-written generation into the chain.
         """
+        if txn is None:
+            with self.db.snapshot() as snap:
+                return self.char_ancestry(char_oid, txn=snap)
         steps: list[AncestryStep] = []
         current: Oid | None = char_oid
         seen: set[Oid] = set()
         while current is not None and current not in seen:
             seen.add(current)
-            __, row = C.char_row(self.db, current)
+            __, row = C.char_row(self.db, current, txn)
             steps.append(AncestryStep(
                 char=current, doc=row["doc"], author=row["author"],
                 created_at=row["created_at"],
@@ -151,22 +165,25 @@ class LineageGraph:
             current = row["copy_src"]
         return steps
 
-    def origin_of(self, char_oid: Oid) -> AncestryStep:
+    def origin_of(self, char_oid: Oid, txn=None) -> AncestryStep:
         """The ultimate origin of a character (end of the ancestry chain)."""
-        return self.char_ancestry(char_oid)[-1]
+        return self.char_ancestry(char_oid, txn=txn)[-1]
 
     def range_origins(self, doc: Oid, char_oids: list[Oid]) -> dict:
         """Group a character range by originating document.
 
         Returns ``origin_doc_str -> count`` with ``"(typed here)"`` for
-        characters born in ``doc`` itself.
+        characters born in ``doc`` itself.  One snapshot covers every
+        ancestry walk in the range — N characters used to mean N
+        independent read-committed walks.
         """
         counts: dict[str, int] = {}
-        for oid in char_oids:
-            origin = self.origin_of(oid)
-            if origin.doc == doc and origin.char == oid:
-                key = "(typed here)"
-            else:
-                key = str(origin.doc)
-            counts[key] = counts.get(key, 0) + 1
+        with self.db.snapshot() as snap:
+            for oid in char_oids:
+                origin = self.origin_of(oid, txn=snap)
+                if origin.doc == doc and origin.char == oid:
+                    key = "(typed here)"
+                else:
+                    key = str(origin.doc)
+                counts[key] = counts.get(key, 0) + 1
         return counts

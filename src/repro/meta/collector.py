@@ -78,9 +78,16 @@ class MetadataCollector:
     # Character-level metadata
     # ------------------------------------------------------------------
 
-    def author_contributions(self, doc: Oid) -> dict[str, dict[str, int]]:
-        """Per author: characters written, still visible, and deleted."""
-        rows = self.db.query(S.CHARS).where(col("doc") == doc).run()
+    def author_contributions(self, doc: Oid,
+                             txn=None) -> dict[str, dict[str, int]]:
+        """Per author: characters written, still visible, and deleted.
+
+        ``txn`` (here and below) optionally binds the reads to an open
+        transaction — callers assembling multi-query records pass a
+        snapshot so every query observes one commit point.
+        """
+        reader = txn if txn is not None else self.db
+        rows = reader.query(S.CHARS).where(col("doc") == doc).run()
         out: dict[str, dict[str, int]] = {}
         for row in rows:
             if not row["ch"]:
@@ -94,14 +101,15 @@ class MetadataCollector:
                 entry["visible"] += 1
         return out
 
-    def char_provenance(self, doc: Oid) -> dict[str, int]:
+    def char_provenance(self, doc: Oid, txn=None) -> dict[str, int]:
         """How the document's visible characters came to be.
 
         Returns counts: ``typed``, ``pasted_internal``, ``pasted_external``.
         """
-        rows = self.db.query(S.CHARS).where(col("doc") == doc).run()
+        reader = txn if txn is not None else self.db
+        rows = reader.query(S.CHARS).where(col("doc") == doc).run()
         ops = {r["op"]: r for r in
-               self.db.query(S.COPYLOG).where(col("dst_doc") == doc).run()}
+               reader.query(S.COPYLOG).where(col("dst_doc") == doc).run()}
         counts = {"typed": 0, "pasted_internal": 0, "pasted_external": 0}
         for row in rows:
             if not row["ch"] or row["deleted"]:
@@ -120,17 +128,21 @@ class MetadataCollector:
     # Access metadata
     # ------------------------------------------------------------------
 
-    def readers_of(self, doc: Oid, *, since: float | None = None) -> set[str]:
+    def readers_of(self, doc: Oid, *, since: float | None = None,
+                   txn=None) -> set[str]:
         """Users who opened the document (optionally only since a time)."""
-        query = self.db.query(S.ACCESS_LOG).where(
+        reader = txn if txn is not None else self.db
+        query = reader.query(S.ACCESS_LOG).where(
             (col("doc") == doc) & (col("action") == "read"))
         if since is not None:
             query = query.where(col("at") >= since)
         return {r["user"] for r in query.run()}
 
-    def writers_of(self, doc: Oid, *, since: float | None = None) -> set[str]:
+    def writers_of(self, doc: Oid, *, since: float | None = None,
+                   txn=None) -> set[str]:
         """Users who edited the document (optionally since a time)."""
-        query = self.db.query(S.ACCESS_LOG).where(
+        reader = txn if txn is not None else self.db
+        query = reader.query(S.ACCESS_LOG).where(
             (col("doc") == doc) & (col("action") == "write"))
         if since is not None:
             query = query.where(col("at") >= since)
@@ -182,19 +194,29 @@ class MetadataCollector:
     # The consolidated profile
     # ------------------------------------------------------------------
 
-    def document_profile(self, doc: Oid) -> dict:
-        """The full document-level metadata record of §2."""
-        meta_row = self.db.query(S.DOCUMENTS).where(col("doc") == doc).first()
+    def document_profile(self, doc: Oid, txn=None) -> dict:
+        """The full document-level metadata record of §2.
+
+        Without an explicit ``txn`` the whole profile is assembled inside
+        one snapshot transaction: around ten queries feed it, and a
+        commit landing between any two of them must not produce a record
+        no actual database state ever matched (size from one state,
+        contributions from another).
+        """
+        if txn is None:
+            with self.db.snapshot() as snap:
+                return self.document_profile(doc, txn=snap)
+        meta_row = txn.query(S.DOCUMENTS).where(col("doc") == doc).first()
         if meta_row is None:
             from ..errors import UnknownDocumentError
             raise UnknownDocumentError(f"no document {doc}")
-        contributions = self.author_contributions(doc)
-        copies_in = self.db.query(S.COPYLOG).where(
+        contributions = self.author_contributions(doc, txn=txn)
+        copies_in = txn.query(S.COPYLOG).where(
             col("dst_doc") == doc).count()
-        copies_out = self.db.query(S.COPYLOG).where(
+        copies_out = txn.query(S.COPYLOG).where(
             col("src_doc") == doc).count()
-        notes = self.db.query(S.NOTES).where(col("doc") == doc).count()
-        versions = self.db.query(S.VERSIONS).where(col("doc") == doc).count()
+        notes = txn.query(S.NOTES).where(col("doc") == doc).count()
+        versions = txn.query(S.VERSIONS).where(col("doc") == doc).count()
         return {
             "doc": doc,
             "name": meta_row["name"],
@@ -208,11 +230,11 @@ class MetadataCollector:
             "props": dict(meta_row["props"] or {}),
             "authors": sorted(contributions),
             "contributions": contributions,
-            "readers": sorted(self.readers_of(doc)),
+            "readers": sorted(self.readers_of(doc, txn=txn)),
             "copies_in": copies_in,
             "copies_out": copies_out,
             "notes": notes,
             "versions": versions,
-            "provenance": self.char_provenance(doc),
+            "provenance": self.char_provenance(doc, txn=txn),
             "edit_counters": self.edit_counters(doc),
         }

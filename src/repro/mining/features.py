@@ -60,21 +60,31 @@ class FeatureExtractor:
         self.db = db
         S.install_text_schema(db)
 
-    def document_text(self, doc: Oid) -> str:
+    def document_text(self, doc: Oid, txn=None) -> str:
         """Reconstruct a document's visible text from its chain."""
-        row = self.db.query(S.DOCUMENTS).where(col("doc") == doc).first()
+        reader = txn if txn is not None else self.db
+        row = reader.query(S.DOCUMENTS).where(col("doc") == doc).first()
         if row is None or row["begin_char"] is None:
             return ""
-        return C.chain_text(self.db, doc, row["begin_char"])
+        return C.chain_text(self.db, doc, row["begin_char"], txn=txn)
 
-    def extract(self, doc: Oid) -> DocumentFeatures:
-        """Features (metadata + tokens) for one document."""
-        row = self.db.query(S.DOCUMENTS).where(col("doc") == doc).first()
+    def extract(self, doc: Oid, txn=None) -> DocumentFeatures:
+        """Features (metadata + tokens) for one document.
+
+        Without an explicit ``txn``, the document row, the chain walk and
+        the author sweep all run inside one snapshot transaction — a
+        commit landing between the text reconstruction and the CHARS scan
+        cannot yield a token bag and an author set from different states.
+        """
+        if txn is None:
+            with self.db.snapshot() as snap:
+                return self.extract(doc, txn=snap)
+        row = txn.query(S.DOCUMENTS).where(col("doc") == doc).first()
         if row is None:
             from ..errors import UnknownDocumentError
             raise UnknownDocumentError(f"no document {doc}")
-        text = self.document_text(doc)
-        char_rows = self.db.query(S.CHARS).where(col("doc") == doc).run()
+        text = self.document_text(doc, txn=txn)
+        char_rows = txn.query(S.CHARS).where(col("doc") == doc).run()
         authors = {r["author"] for r in char_rows if r["ch"]}
         return DocumentFeatures(
             doc=doc,
@@ -89,7 +99,12 @@ class FeatureExtractor:
         )
 
     def extract_all(self) -> list[DocumentFeatures]:
-        """Features for every document, in creation order."""
-        rows = sorted(self.db.query(S.DOCUMENTS).run(),
-                      key=lambda r: r["created_at"])
-        return [self.extract(r["doc"]) for r in rows]
+        """Features for every document, in creation order.
+
+        One snapshot covers the whole corpus sweep, so the features of
+        document N and document 1 describe the same database state.
+        """
+        with self.db.snapshot() as snap:
+            rows = sorted(snap.query(S.DOCUMENTS).run(),
+                          key=lambda r: r["created_at"])
+            return [self.extract(r["doc"], txn=snap) for r in rows]

@@ -26,6 +26,16 @@ METRIC_CATALOGUE: dict[str, tuple[str, str]] = {
     "txn.batched_ops": ("histogram",
                         "editing operations coalesced into one batched "
                         "transaction (Database.batch)"),
+    "txn.snapshot_reads": ("counter",
+                           "version-chain reads by snapshot (read-only) "
+                           "transactions — point reads and query "
+                           "executions; always lock-free"),
+    "txn.versions_live": ("gauge",
+                          "superseded row versions retained for open "
+                          "snapshots (version-chain entries)"),
+    "txn.version_gc_truncated": ("counter",
+                                 "row versions dropped by version-chain "
+                                 "GC below the snapshot watermark"),
     # -- write-ahead log (repro/db/wal.py) ----------------------------------
     "wal.appends": ("counter", "WAL records appended"),
     "wal.append_seconds": ("histogram", "WAL append latency"),

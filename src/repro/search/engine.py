@@ -68,30 +68,38 @@ class SearchEngine:
             query = parse_query(query)
         self.index.ensure_fresh()
 
-        if query.terms or query.phrases:
-            candidates = self.index.matching_docs(query.all_terms)
-            for phrase in query.phrases:
-                candidates &= self.index.phrase_docs(phrase)
-            self._m_index_hits.inc(len(candidates))
-        else:
-            candidates = {
-                r["doc"] for r in
-                self.db.query(S.DOCUMENTS).select("doc").run()
-            }
-        # Build *light* profiles: the document row plus only the derived
-        # metadata the filters and the ranking actually consult.  (The
-        # full consolidated profile scans every character row of a
-        # document — far too expensive per search candidate.)
-        filter_fields = {f[0] for f in query.filters}
-        need_readers = "reader" in filter_fields or ranking == "most_read"
-        need_authors = bool({"author", "writer"} & filter_fields)
-        profiles = []
-        for doc in candidates:
-            profile = self._light_profile(doc, need_readers=need_readers,
-                                          need_authors=need_authors)
-            if profile is not None and \
-                    self._passes_filters(profile, query.filters):
-                profiles.append(profile)
+        # Candidate selection and profile building run inside one
+        # snapshot transaction: the scan over N candidate documents is a
+        # long read-only pass, and a typist committing halfway through
+        # must neither stall it (no locks) nor make profile fields
+        # disagree across candidates (one commit point for all queries).
+        with self.db.snapshot() as snap:
+            if query.terms or query.phrases:
+                candidates = self.index.matching_docs(query.all_terms)
+                for phrase in query.phrases:
+                    candidates &= self.index.phrase_docs(phrase)
+                self._m_index_hits.inc(len(candidates))
+            else:
+                candidates = {
+                    r["doc"] for r in
+                    snap.query(S.DOCUMENTS).select("doc").run()
+                }
+            # Build *light* profiles: the document row plus only the
+            # derived metadata the filters and the ranking actually
+            # consult.  (The full consolidated profile scans every
+            # character row of a document — far too expensive per search
+            # candidate.)
+            filter_fields = {f[0] for f in query.filters}
+            need_readers = "reader" in filter_fields or ranking == "most_read"
+            need_authors = bool({"author", "writer"} & filter_fields)
+            profiles = []
+            for doc in candidates:
+                profile = self._light_profile(
+                    doc, need_readers=need_readers,
+                    need_authors=need_authors, txn=snap)
+                if profile is not None and \
+                        self._passes_filters(profile, query.filters):
+                    profiles.append(profile)
         relevance = relevance_scores(
             self.index, query.all_terms, {p["doc"] for p in profiles})
         ordered = self.ranker.sort(profiles, ranking, relevance=relevance)
@@ -108,21 +116,23 @@ class SearchEngine:
         return results
 
     def _light_profile(self, doc: Oid, *, need_readers: bool,
-                       need_authors: bool) -> dict | None:
+                       need_authors: bool, txn=None) -> dict | None:
         """Document-row metadata, with derived fields only on demand.
 
         Callers who want the complete creation-process record should use
         :meth:`~repro.meta.collector.MetadataCollector.document_profile`.
         """
-        row = self.db.query(S.DOCUMENTS).where(col("doc") == doc).first()
+        reader = txn if txn is not None else self.db
+        row = reader.query(S.DOCUMENTS).where(col("doc") == doc).first()
         if row is None:
             return None
         profile = dict(row)
         profile["props"] = dict(row["props"] or {})
         if need_readers:
-            profile["readers"] = sorted(self.meta.readers_of(doc))
+            profile["readers"] = sorted(self.meta.readers_of(doc, txn=txn))
         if need_authors:
-            profile["authors"] = sorted(self.meta.author_contributions(doc))
+            profile["authors"] = sorted(
+                self.meta.author_contributions(doc, txn=txn))
         return profile
 
     def _passes_filters(self, profile: dict, filters: list) -> bool:
@@ -183,10 +193,11 @@ class SearchEngine:
         """
         self._m_structure.inc()
         needle = term.lower()
-        rows = self.db.query(S.STRUCTURE).run()
-        names = {
-            r["doc"]: r["name"] for r in self.db.query(S.DOCUMENTS).run()
-        }
+        with self.db.snapshot() as snap:
+            rows = snap.query(S.STRUCTURE).run()
+            names = {
+                r["doc"]: r["name"] for r in snap.query(S.DOCUMENTS).run()
+            }
         hits = []
         for row in rows:
             if kind is not None and row["kind"] != kind:

@@ -207,9 +207,17 @@ class DocumentHandle:
     # ------------------------------------------------------------------
 
     def refresh(self) -> None:
-        """Rebuild the order cache from the database chain (full scan)."""
+        """Rebuild the order cache from the database chain (full scan).
+
+        The traversal issues one read per character, so the whole walk
+        runs inside a snapshot transaction: a writer committing
+        mid-rebuild can neither stall the scan (no locks) nor tear the
+        chain out from under it (every hop sees the same commit point).
+        """
         self._m_full_scans.inc()
-        self._cache.rebuild(C.traverse(self.db, self.doc, self.begin_char))
+        with self.db.snapshot() as snap:
+            self._cache.rebuild(
+                C.traverse(self.db, self.doc, self.begin_char, txn=snap))
 
     def close(self) -> None:
         """Detach from commit notifications."""

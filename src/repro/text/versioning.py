@@ -51,9 +51,10 @@ class VersionManager:
         })
         return version
 
-    def get(self, version: Oid) -> dict:
+    def get(self, version: Oid, txn=None) -> dict:
         """Fetch a version row by OID (raises if absent)."""
-        row = (self.db.query(S.VERSIONS)
+        reader = txn if txn is not None else self.db
+        row = (reader.query(S.VERSIONS)
                .where(col("version") == version).first())
         if row is None:
             raise TextError(f"no version {version}")
@@ -76,14 +77,20 @@ class VersionManager:
         """The document text as of the tagged version."""
         return self.get(version)["text"]
 
-    def live_oids(self, version: Oid) -> list[Oid]:
+    def live_oids(self, version: Oid, txn=None) -> list[Oid]:
         """The character OIDs that were live at the version."""
-        return [Oid.parse(s) for s in self.get(version)["char_oids"]]
+        return [Oid.parse(s) for s in self.get(version, txn)["char_oids"]]
 
     def diff(self, a: Oid, b: Oid) -> VersionDiff:
-        """Character-OID diff: what ``b`` added/removed relative to ``a``."""
-        oids_a = self.live_oids(a)
-        oids_b = self.live_oids(b)
+        """Character-OID diff: what ``b`` added/removed relative to ``a``.
+
+        Both version rows are read under one snapshot, so a concurrent
+        re-tag cannot make the diff compare a stale ``a`` against a
+        fresher ``b``.
+        """
+        with self.db.snapshot() as snap:
+            oids_a = self.live_oids(a, txn=snap)
+            oids_b = self.live_oids(b, txn=snap)
         set_a, set_b = set(oids_a), set(oids_b)
         added = tuple(oid for oid in oids_b if oid not in set_a)
         removed = tuple(oid for oid in oids_a if oid not in set_b)

@@ -59,6 +59,68 @@ class TestFeatures:
         features = FeatureExtractor(db).extract_all()
         assert [f.name for f in features] == ["first", "second"]
 
+    def test_extract_consistent_when_commit_lands_mid_scan(
+            self, db, store, monkeypatch):
+        """Regression: a commit between extract's queries must not tear.
+
+        Feature extraction reads the document row, reconstructs the text
+        from one CHARS sweep, then sweeps CHARS again for the author
+        set.  A writer committing between the two sweeps used to produce
+        a record no database state ever matched — the token bag from
+        before the commit, the author set from after.  The test wires an
+        interloper edit to fire right after the first CHARS sweep and
+        checks both halves describe one commit point.
+        """
+        from repro.db import col
+        from repro.db.query import Query
+        from repro.text import chars as C
+        from repro.text import dbschema as S
+
+        handle = store.create("d", "ana", text="alpha beta")
+        state = {
+            "armed": False, "fired": False,
+            "interloper": lambda: handle.insert_text(
+                0, "mallory ", "mallory"),
+        }
+        real_run = Query.run
+
+        def run_with_interloper(query):
+            rows = real_run(query)
+            if (state["armed"] and not state["fired"]
+                    and query._table_name == S.CHARS):
+                state["fired"] = True
+                state["interloper"]()
+            return rows
+
+        monkeypatch.setattr(Query, "run", run_with_interloper)
+
+        # The failure mode, reproduced with the read-committed sequence
+        # the extractor used before it pinned a snapshot: the text comes
+        # from before the interloper's commit, the author set from after.
+        state["armed"], state["fired"] = True, False
+        row = db.query(S.DOCUMENTS).where(col("doc") == handle.doc).first()
+        torn_text = C.chain_text(db, handle.doc, row["begin_char"])
+        torn_authors = {r["author"]
+                       for r in db.query(S.CHARS)
+                       .where(col("doc") == handle.doc).run() if r["ch"]}
+        assert state["fired"]
+        assert "mallory" in torn_authors and "mallory" not in torn_text, \
+            "the read-committed sequence no longer tears; update the test"
+
+        # The extractor itself must not tear: same interleaving against a
+        # fresh document, but the snapshot pins one commit point for
+        # every query — the interloper's commit lands entirely after it.
+        handle2 = store.create("d2", "ana", text="gamma delta")
+        state["interloper"] = lambda: handle2.insert_text(
+            0, "intruder ", "intruder")
+        state["armed"], state["fired"] = True, False
+        features = FeatureExtractor(db).extract(handle2.doc)
+        assert state["fired"], "the interloper never ran — hook broke"
+        assert features.n_authors == 1, (
+            f"torn features: author sweep saw the mid-extract commit the "
+            f"text sweep missed ({features.n_authors} authors)")
+        assert "intruder" not in features.tokens
+
     def test_deleted_text_not_extracted(self, db, store):
         h = store.create("d", "ana", text="visible removed")
         h.delete_range(8, 7, "ana")

@@ -1,0 +1,290 @@
+"""Property-based tests (hypothesis) for MVCC snapshot isolation.
+
+The contract pinned down here:
+
+* a snapshot transaction's view is *frozen* at ``begin``: whatever
+  writers commit afterwards — updates, deletes, re-inserts, whole
+  transactions aborted halfway — every later read through the snapshot
+  returns exactly the committed state that existed when it was opened;
+* a snapshot never sees *uncommitted* staging, even from a write
+  transaction that was already open when the snapshot was pinned;
+* version-chain GC may run at any point and must be invisible to every
+  open snapshot (the watermark protects pinned LSNs);
+* the whole read path is lock-free: the model machine asserts the
+  ``lock.acquired`` counter never moves while snapshot reads run.
+
+The stateful machine drives random interleavings of one write
+transaction, a pool of up to four open snapshots, direct autocommit
+writes and GC sweeps, against dict models frozen per snapshot.
+
+The nightly CI arm re-runs this file at a larger examples budget
+(``MVCC_PROPERTY_PROFILE=nightly``); the default budget keeps it tier-1
+cheap.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.db import Database, col, column
+from repro.errors import ReadOnlyTransactionError
+
+#: Examples/steps scale for the nightly arm without a separate file.
+_NIGHTLY = os.environ.get("MVCC_PROPERTY_PROFILE") == "nightly"
+MAX_EXAMPLES = 300 if _NIGHTLY else 40
+STEP_COUNT = 60 if _NIGHTLY else 30
+
+
+def _fresh_db() -> Database:
+    db = Database("mvcc-prop")
+    db.create_table(
+        "t", [column("v", "int"), column("tag", "str", nullable=True)]
+    )
+    return db
+
+
+def _snapshot_view(db: Database, txn) -> dict[int, dict]:
+    return {r.rowid: dict(r) for r in txn.query("t").run()}
+
+
+# ---------------------------------------------------------------------------
+# Directed properties
+# ---------------------------------------------------------------------------
+
+values = st.integers(min_value=-5, max_value=5)
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["insert", "update", "delete"]),
+                          values),
+                min_size=1, max_size=20))
+def test_snapshot_view_frozen_under_any_write_sequence(ops):
+    """Any committed write sequence after the pin is invisible to it."""
+    db = _fresh_db()
+    rowids = [db.insert("t", {"v": v, "tag": None}) for v in range(3)]
+    snap = db.begin(read_only=True)
+    frozen = _snapshot_view(db, snap)
+    for kind, v in ops:
+        if kind == "insert":
+            rowids.append(db.insert("t", {"v": v, "tag": "late"}))
+        elif kind == "update" and rowids:
+            db.update("t", rowids[v % len(rowids)], {"v": v})
+        elif kind == "delete" and rowids:
+            rowid = rowids.pop(v % len(rowids))
+            if db.table("t").read(rowid) is not None:
+                db.delete("t", rowid)
+    assert _snapshot_view(db, snap) == frozen
+    snap.commit()
+    db.close()
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(st.lists(values, min_size=1, max_size=10), values)
+def test_gc_invisible_to_open_snapshots(updates, probe):
+    """A GC sweep between reads never changes what a snapshot sees."""
+    db = _fresh_db()
+    rowid = db.insert("t", {"v": 0, "tag": None})
+    snap = db.begin(read_only=True)
+    frozen = _snapshot_view(db, snap)
+    for v in updates:
+        db.update("t", rowid, {"v": v})
+    db.gc_versions()
+    assert _snapshot_view(db, snap) == frozen
+    assert snap.get("t", rowid)["v"] == 0
+    snap.commit()
+    # With the pin released the chain is garbage; GC may now drop it all.
+    db.gc_versions()
+    assert db.live_versions() == 0
+    db.close()
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(values)
+def test_snapshot_rejects_writes(v):
+    db = _fresh_db()
+    rowid = db.insert("t", {"v": 0, "tag": None})
+    with db.snapshot() as snap:
+        for attempt in (
+            lambda: snap.insert("t", {"v": v, "tag": None}),
+            lambda: snap.update("t", rowid, {"v": v}),
+            lambda: snap.delete("t", rowid),
+        ):
+            try:
+                attempt()
+            except ReadOnlyTransactionError:
+                pass
+            else:
+                raise AssertionError("snapshot accepted a write")
+    db.close()
+
+
+# ---------------------------------------------------------------------------
+# The stateful machine
+# ---------------------------------------------------------------------------
+
+
+class SnapshotIsolationMachine(RuleBasedStateMachine):
+    """Random writer/snapshot interleavings vs per-snapshot frozen models.
+
+    The committed dict model plays the same role as in
+    :mod:`tests.test_db_property`; on top of it, every open snapshot
+    carries the copy of that model taken when it was pinned, and the
+    invariants re-read each snapshot after every step.
+    """
+
+    rowids = Bundle("rowids")
+
+    @initialize()
+    def setup(self):
+        self.db = _fresh_db()
+        self.committed: dict[int, dict] = {}
+        self.staged: dict[int, dict | None] = {}
+        self.txn = None
+        #: snapshot txn -> the committed model frozen at its begin.
+        self.snapshots: dict = {}
+        self._lock_counter = self.db.obs.registry.counter("lock.acquired")
+
+    def teardown(self):
+        for snap in self.snapshots:
+            snap.abort()
+        if self.txn is not None:
+            self.txn.abort()
+        self.db.close()
+
+    # -- write transaction control ------------------------------------------
+
+    @rule()
+    def begin(self):
+        if self.txn is None:
+            self.txn = self.db.begin()
+            self.staged = {}
+
+    @rule()
+    def commit(self):
+        if self.txn is not None:
+            self.txn.commit()
+            for rowid, row in self.staged.items():
+                if row is None:
+                    self.committed.pop(rowid, None)
+                else:
+                    self.committed[rowid] = row
+            self.staged = {}
+            self.txn = None
+
+    @rule()
+    def abort(self):
+        if self.txn is not None:
+            self.txn.abort()
+            self.staged = {}
+            self.txn = None
+
+    # -- snapshot control ---------------------------------------------------
+
+    @rule()
+    def open_snapshot(self):
+        if len(self.snapshots) < 4:
+            snap = self.db.begin(read_only=True)
+            # Frozen view = committed state only: staging of the open
+            # write transaction must be invisible however the snapshot
+            # interleaves with it.
+            self.snapshots[snap] = dict(self.committed)
+
+    @rule()
+    def close_oldest_snapshot(self):
+        if self.snapshots:
+            snap = next(iter(self.snapshots))
+            del self.snapshots[snap]
+            snap.commit()
+
+    @rule()
+    def gc(self):
+        self.db.gc_versions()
+
+    # -- DML ----------------------------------------------------------------
+
+    @rule(target=rowids, v=st.integers(-5, 5),
+          tag=st.sampled_from(["a", "b", None]))
+    def insert(self, v, tag):
+        values = {"v": v, "tag": tag}
+        if self.txn is None:
+            rowid = self.db.insert("t", values)
+            self.committed[rowid] = values
+        else:
+            rowid = self.txn.insert("t", values)
+            self.staged[rowid] = values
+        return rowid
+
+    @rule(rowid=rowids, v=st.integers(-5, 5))
+    def update(self, rowid, v):
+        live = self._visible()
+        if rowid not in live:
+            return
+        new_row = dict(live[rowid], v=v)
+        if self.txn is None:
+            self.db.update("t", rowid, {"v": v})
+            self.committed[rowid] = new_row
+        else:
+            self.txn.update("t", rowid, {"v": v})
+            self.staged[rowid] = new_row
+
+    @rule(rowid=rowids)
+    def delete(self, rowid):
+        live = self._visible()
+        if rowid not in live:
+            return
+        if self.txn is None:
+            self.db.delete("t", rowid)
+            del self.committed[rowid]
+        else:
+            self.txn.delete("t", rowid)
+            self.staged[rowid] = None
+
+    def _visible(self) -> dict[int, dict]:
+        view = dict(self.committed)
+        for rowid, row in self.staged.items():
+            if row is None:
+                view.pop(rowid, None)
+            else:
+                view[rowid] = row
+        return view
+
+    # -- invariants ---------------------------------------------------------
+
+    @invariant()
+    def snapshots_stay_frozen_and_lock_free(self):
+        before = self._lock_counter.value
+        for snap, frozen in self.snapshots.items():
+            assert _snapshot_view(self.db, snap) == frozen
+            # Point reads agree with the scan (index/scan path parity).
+            for rowid, row in frozen.items():
+                assert snap.get("t", rowid) == row
+            filtered = snap.query("t").where(col("v") > 0).count()
+            assert filtered == sum(
+                1 for r in frozen.values() if r["v"] > 0)
+        assert self._lock_counter.value == before, \
+            "snapshot reads acquired locks"
+
+    @invariant()
+    def committed_state_matches_model(self):
+        rows = {r.rowid: dict(r) for r in self.db.query("t").run()}
+        assert rows == self.committed
+
+    @invariant()
+    def version_gauge_never_negative(self):
+        assert self.db.live_versions() >= 0
+
+
+TestSnapshotIsolation = SnapshotIsolationMachine.TestCase
+TestSnapshotIsolation.settings = settings(
+    max_examples=MAX_EXAMPLES, stateful_step_count=STEP_COUNT, deadline=None
+)

@@ -39,6 +39,8 @@ SMOKE_NODES = (
     "benchmarks/bench_editing_transactions.py::test_keystroke_tendax[500]",
     "benchmarks/bench_editing_transactions.py::test_group_commit_multiwriter",
     "benchmarks/bench_editing_transactions.py"
+    "::test_snapshot_scan_interference",
+    "benchmarks/bench_editing_transactions.py"
     "::test_cache_remote_splice_chunked[256000]",
     "benchmarks/bench_editing_transactions.py"
     "::test_cache_remote_splice_flat[256000]",
@@ -60,6 +62,9 @@ TREND_NODES = {
         "c1_keystroke_500",
     "benchmarks/bench_editing_transactions.py::test_group_commit_multiwriter":
         "group_commit_multiwriter",
+    "benchmarks/bench_editing_transactions.py"
+    "::test_snapshot_scan_interference":
+        "c1_snapshot_scan_interference",
     "benchmarks/bench_editing_transactions.py"
     "::test_cache_remote_splice_chunked[256000]":
         "c1_cache_splice_chunked_256k",

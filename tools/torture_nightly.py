@@ -3,7 +3,10 @@
 
 Runs the deterministic fault-injection and crash-torture suites at an
 elevated schedule count (``--torture-schedules 200`` vs. the tier-1
-default of 25), then the newsroom soak test over several master seeds.
+default of 25), the MVCC snapshot-isolation property suite at its
+nightly Hypothesis budget (``MVCC_PROPERTY_PROFILE=nightly``: 300
+examples / 60 stateful steps vs. the tier-1 40 / 30), then the newsroom
+soak test over several master seeds.
 Every torture test is parameterised by its seed, and every
 :class:`~repro.faults.plan.FaultPlan` is derived deterministically from
 that seed — so a failing *seed* is a complete reproduction.
@@ -39,15 +42,24 @@ TORTURE_PATHS = (
 
 SOAK_PATH = "tests/test_soak_newsroom.py"
 
+#: Hypothesis suites that scale via ``MVCC_PROPERTY_PROFILE=nightly``
+#: (300 examples / 60 stateful steps vs. the tier-1 budget of 40 / 30).
+#: Failures are reproducible from the printed falsifying example, not a
+#: seed, so these get their own junit report instead of seed extraction.
+PROPERTY_PATHS = ("tests/test_mvcc_property.py",)
+
 #: ``test_name[17]`` or ``test_name[17-foo]`` — the leading int param of
 #: a torture node is its crash seed (see tests/conftest.py).
 _SEED_IN_ID = re.compile(r"\[(\d+)")
 
 
-def _pytest(args: list[str], junit: str) -> int:
+def _pytest(args: list[str], junit: str,
+            extra_env: dict[str, str] | None = None) -> int:
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(REPO, "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    if extra_env:
+        env.update(extra_env)
     cmd = [sys.executable, "-m", "pytest", "-q",
            f"--junitxml={junit}", *args]
     print("+", " ".join(cmd), flush=True)
@@ -101,6 +113,19 @@ def main(argv: list[str] | None = None) -> int:
             torture_junit,
             f"--torture-schedules {args.schedules}")
 
+    property_junit = os.path.join(REPO, "property_report.xml")
+    rc = _pytest(list(PROPERTY_PATHS), property_junit,
+                 extra_env={"MVCC_PROPERTY_PROFILE": "nightly"})
+    if rc:
+        status = 1
+        for failure in _failures_from_junit(property_junit, ""):
+            failure["seed"] = None
+            failure["repro"] = (
+                f"MVCC_PROPERTY_PROFILE=nightly PYTHONPATH=src "
+                f"python -m pytest {' '.join(PROPERTY_PATHS)} "
+                f"-k '{failure['nodeid'].rsplit('::', 1)[-1]}'")
+            failures.append(failure)
+
     for soak_seed in [int(s) for s in args.soak_seeds.split(",") if s]:
         soak_junit = os.path.join(REPO, f"soak_report_{soak_seed}.xml")
         rc = _pytest([SOAK_PATH, "--soak-seed", str(soak_seed)], soak_junit)
@@ -126,7 +151,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{len(failures)} failing node(s); seeds written to {out}",
               file=sys.stderr)
     else:
-        print(f"torture x{args.schedules} + soak: all green")
+        print(f"torture x{args.schedules} + property(nightly) + soak: "
+              f"all green")
     return status
 
 
