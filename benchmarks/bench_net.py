@@ -1,0 +1,126 @@
+"""D7 — The wire: editors in separate processes over TCP (§1, §3).
+
+The paper's editors reach the database over a LAN; ``repro.net`` is
+that hop over real loopback sockets.  Three measurements:
+
+* **connect storm** — N clients handshake and open the shared document
+  at once (the start of a LAN-party);
+* **fan-out latency** — one keystroke typed over the wire until every
+  remote replica has spliced it (the socket analogue of
+  ``collab.replication_seconds``);
+* **durable keystroke throughput** — sustained typing over the wire
+  against a file-backed WAL, every ACK carrying the durable LSN.
+
+All benches run the server on its own thread (``ServerThread``) with
+real TCP clients, so the numbers include framing, syscalls and the
+event loop — the honest cost of leaving the process.
+"""
+
+from __future__ import annotations
+
+from time import monotonic
+
+import pytest
+
+from repro.collab import CollaborationServer
+from repro.net import NetworkClient, ServerThread
+
+SETTLE_SECONDS = 10.0
+STORM_SIZES = [8]
+FANOUT_SIZES = [2, 4]
+THROUGHPUT_KEYS = 50
+
+
+def _server(n_users: int, wal_path: str | None = None):
+    collab = CollaborationServer(wal_path=wal_path)
+    for i in range(n_users):
+        collab.register_user(f"user{i}")
+    return collab
+
+
+@pytest.mark.parametrize("n_clients", STORM_SIZES)
+def test_connect_storm(benchmark, n_clients):
+    """N clients handshake and open one document simultaneously."""
+    collab = _server(n_clients)
+    host = collab.connect("user0")
+    doc = host.create_document("party", text="lan ").doc
+    with ServerThread(collab) as thread:
+
+        def storm():
+            clients = [NetworkClient("127.0.0.1", thread.port, f"user{i}")
+                       for i in range(n_clients)]
+            try:
+                for client in clients:
+                    client.session().open(doc)
+                return [c.mirrors[doc].text() for c in clients]
+            finally:
+                for client in clients:
+                    client.close()
+
+        benchmark.group = "D7 connect storm (handshake + open)"
+        benchmark.extra_info["clients"] = n_clients
+        texts = benchmark.pedantic(storm, rounds=5, iterations=1)
+    assert set(texts) == {"lan "}
+
+
+@pytest.mark.parametrize("n_replicas", FANOUT_SIZES)
+def test_fanout_latency(benchmark, n_replicas):
+    """One wire keystroke until every remote replica has applied it."""
+    collab = _server(n_replicas + 1)
+    with ServerThread(collab) as thread:
+        writer = NetworkClient("127.0.0.1", thread.port, "user0")
+        session = writer.session()
+        doc = session.create_document("fanout", text="").doc
+        replicas = [NetworkClient("127.0.0.1", thread.port, f"user{i+1}")
+                    for i in range(n_replicas)]
+        mirrors = [r.session().open(doc) for r in replicas]
+        try:
+            state = {"length": 0}
+
+            def keystroke():
+                state["length"] += 1
+                session.insert(doc, state["length"] - 1, "x")
+                deadline = monotonic() + SETTLE_SECONDS
+                while any(m.length() < state["length"] for m in mirrors):
+                    assert monotonic() < deadline, "fan-out stalled"
+                    for replica in replicas:
+                        replica.poll(timeout=0.001)
+
+            benchmark.group = "D7 fan-out latency (keystroke to all replicas)"
+            benchmark.extra_info["replicas"] = n_replicas
+            benchmark.pedantic(keystroke, rounds=30, iterations=1)
+            for mirror in mirrors:
+                assert mirror.text() == "x" * state["length"]
+                assert mirror.check_integrity() == []
+        finally:
+            writer.close()
+            for replica in replicas:
+                replica.close()
+
+
+def test_durable_keystroke_throughput(benchmark, tmp_path):
+    """Sustained wire typing with every ACK durably acknowledged."""
+    collab = _server(1, wal_path=str(tmp_path / "net.wal"))
+    with ServerThread(collab) as thread:
+        client = NetworkClient("127.0.0.1", thread.port, "user0")
+        session = client.session()
+        handle = session.create_document("typing").doc
+        state = {"anchor": session.handle(handle).begin_char}
+        try:
+
+            def burst():
+                anchor = state["anchor"]
+                for __ in range(THROUGHPUT_KEYS):
+                    anchor = session.insert_after(handle, anchor, "k")[0]
+                state["anchor"] = anchor
+
+            benchmark.group = "D7 durable keystroke throughput (wire)"
+            benchmark.extra_info["keys_per_round"] = THROUGHPUT_KEYS
+            benchmark.pedantic(burst, rounds=5, iterations=1)
+            # Every keystroke's ACK proved durability: the WAL fsynced.
+            assert collab.db.wal.durable_lsn > 0
+            stats = client.server_stats()
+            benchmark.extra_info["durable_lsn"] = collab.db.wal.durable_lsn
+            benchmark.extra_info["net_ops"] = stats["net"]["ops"]
+        finally:
+            client.close()

@@ -13,7 +13,11 @@ code:
 * ``trace`` — run a traced two-editor scenario and inspect the causal
   keystroke→remote-visibility traces (ASCII tree, JSONL or Chrome
   trace-event output);
-* ``top`` — hottest metrics and slowest traces of a traced workload.
+* ``top`` — hottest metrics and slowest traces of a traced workload;
+* ``serve`` — run the out-of-process collaboration server on a TCP
+  port (prints ``LISTENING <port>`` once bound, for scripts);
+* ``connect`` — connect to a running server, type into a named
+  document and print what the replica sees.
 """
 
 from __future__ import annotations
@@ -218,6 +222,90 @@ def _cmd_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .collab import CollaborationServer
+    from .net import CollabNetServer
+
+    faults = None
+    if args.net_seed is not None:
+        from .faults import FaultInjector, FaultPlan
+        faults = FaultInjector(FaultPlan.net_only(args.net_seed))
+    collab = CollaborationServer(node=args.node, wal_path=args.wal)
+    net = CollabNetServer(collab, host=args.host, port=args.port,
+                          token=args.token, faults=faults)
+
+    async def run() -> None:
+        import contextlib
+        import signal
+
+        await net.start()
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(sig, stopping.set)
+        # Scripts (net_smoke, the load harness) wait for this line to
+        # learn the ephemeral port, so it must hit stdout unbuffered.
+        print(f"LISTENING {net.port}", flush=True)
+        serving = asyncio.create_task(net.serve_forever())
+        waiter = asyncio.create_task(stopping.wait())
+        try:
+            await asyncio.wait({serving, waiter},
+                               return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            serving.cancel()
+            waiter.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await serving
+            await net.stop()
+        print("STOPPED", flush=True)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_connect(args: argparse.Namespace) -> int:
+    from .errors import UnknownDocumentError
+    from .net import NetworkClient
+
+    client = NetworkClient(args.host, args.port, args.user,
+                           token=args.token, register=True)
+    try:
+        session = client.session()
+        try:
+            handle = session.open_named(args.doc)
+        except UnknownDocumentError:
+            handle = session.create_document(args.doc)
+            print(f"created document {args.doc!r}")
+        if args.type:
+            session.insert(handle.doc, handle.length(), args.type)
+            print(f"typed {len(args.type)} chars")
+        if args.watch:
+            from time import time as now
+            deadline = now() + args.watch
+            while now() < deadline:
+                for note in client.poll(timeout=0.1):
+                    print(f"notify seq={note.rep_seq} "
+                          f"changes={note.n_changes} "
+                          f"from={note.origin_user} "
+                          f"latency={note.latency * 1000:.1f}ms")
+        print(f"document     : {args.doc}")
+        print(f"length       : {handle.length()} chars")
+        print(f"authors      : {', '.join(sorted(handle.authors()))}")
+        print(f"ping rtt     : {client.ping() * 1000:.2f} ms")
+        print(f"resyncs      : {sum(m.resyncs for m in client.mirrors.values())}")
+        print("---")
+        print(handle.text())
+        return 0
+    finally:
+        client.close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -284,6 +372,35 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("file")
     load.add_argument("--user", default="importer")
     load.set_defaults(fn=_cmd_load)
+
+    serve = sub.add_parser(
+        "serve", help="run the collaboration server on a TCP port")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="0 picks an ephemeral port (printed on stdout)")
+    serve.add_argument("--node", default="tendax")
+    serve.add_argument("--token", default=None,
+                       help="require this shared secret in HELLO")
+    serve.add_argument("--wal", default=None,
+                       help="mirror the WAL to this file for durability")
+    serve.add_argument("--net-seed", type=int, default=None,
+                       help="inject a seeded socket fault plan "
+                            "(drop/delay/reorder on change frames)")
+    serve.set_defaults(fn=_cmd_serve)
+
+    connect = sub.add_parser(
+        "connect", help="connect to a running server and edit a document")
+    connect.add_argument("--host", default="127.0.0.1")
+    connect.add_argument("--port", type=int, required=True)
+    connect.add_argument("--user", default="guest")
+    connect.add_argument("--token", default=None)
+    connect.add_argument("--doc", default="scratch",
+                         help="document name to open (created if missing)")
+    connect.add_argument("--type", default=None, metavar="TEXT",
+                         help="append TEXT to the document")
+    connect.add_argument("--watch", type=float, default=0.0,
+                         help="poll for remote changes this many seconds")
+    connect.set_defaults(fn=_cmd_connect)
     return parser
 
 

@@ -36,10 +36,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class DeliveryBus:
     """Routes notifications to session inboxes, with injectable faults.
 
-    The backlog and its counters are guarded by a lock: sessions may
-    commit from multiple threads, and a racy ``list.append`` against a
-    concurrent :meth:`drain` could drop a held notification — which
-    would break the convergence property the torture suite asserts.
+    The backlog *list* is guarded by a lock: sessions may commit from
+    multiple threads, and a racy ``list.append`` against a concurrent
+    :meth:`drain` could drop a held notification — which would break
+    the convergence property the torture suite asserts.  The counters
+    need no such guard: they live in the (thread-safe) metrics
+    registry, and :attr:`stats` just reads them back out.
     """
 
     def __init__(self, faults: "FaultInjector | None" = None,
@@ -61,7 +63,9 @@ class DeliveryBus:
 
     @property
     def stats(self) -> dict:
-        """Delivery counts in the historical dict shape."""
+        """Delivery counts in the historical dict shape, read from the
+        metrics registry (the registry is the single source of truth;
+        the bus keeps no counters of its own)."""
         return {
             "delivered": self._m_delivered.value,
             "held": self._m_held.value,

@@ -147,6 +147,22 @@ class ClipboardError(CollaborationError):
     """Copy/paste failed (empty clipboard, bad source range...)."""
 
 
+class NetError(CollaborationError):
+    """Network-layer failure: transport loss, handshake or RPC problems."""
+
+
+class ProtocolError(NetError):
+    """A wire frame violated the protocol (malformed, oversized,
+    unknown envelope type, or out-of-contract fields).  Fatal for the
+    connection that produced it — the peer answers with an ERROR
+    envelope and closes."""
+
+
+class BackpressureError(NetError):
+    """A session's bounded send queue overflowed; the server sheds the
+    slow consumer by closing its connection."""
+
+
 # ---------------------------------------------------------------------------
 # Security errors
 # ---------------------------------------------------------------------------

@@ -23,6 +23,7 @@ __all__ = [
     "DeliveryFault",
     "FaultPlan",
     "LockFault",
+    "NetFault",
 ]
 
 #: Every named crash point threaded through the engine.  The strings are
@@ -85,17 +86,42 @@ class DeliveryFault:
 
 
 @dataclass(frozen=True)
+class NetFault:
+    """Misbehave the network layer's outbound change frames.
+
+    The socket-level twin of :class:`DeliveryFault`, consulted by a
+    :class:`~repro.net.server.CollabNetServer` connection's sender for
+    every *faultable* frame (NOTIFY and AWARENESS — the RPC control lane
+    is never faulted, as TCP would not lose acknowledged requests
+    either).  ``p_drop`` loses the frame outright (the mirror heals by
+    anti-entropy resync); ``p_delay`` sleeps up to ``max_delay`` seconds
+    *in band*, i.e. subsequent frames on that connection queue behind
+    the delay like packets behind link latency; ``reorder_window`` > 1
+    buffers that many frames and releases them in a seeded shuffle;
+    ``disconnect_after`` severs the connection after that many faultable
+    frames have been sent (clients are expected to reconnect + resync).
+    """
+
+    p_drop: float = 0.0
+    p_delay: float = 0.0
+    max_delay: float = 0.05
+    reorder_window: int = 0
+    disconnect_after: int | None = None
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A complete, seed-reproducible fault schedule."""
 
     crashes: tuple[CrashSpec, ...] = ()
     lock_faults: tuple[LockFault, ...] = ()
     delivery: DeliveryFault | None = None
+    net: NetFault | None = None
     seed: int | None = None
 
     def is_empty(self) -> bool:
         return (not self.crashes and not self.lock_faults
-                and self.delivery is None)
+                and self.delivery is None and self.net is None)
 
     # -- constructors --------------------------------------------------------
 
@@ -154,5 +180,30 @@ class FaultPlan:
             seed=seed,
         )
 
+    @classmethod
+    def net_only(cls, seed: int, *, p_drop: float | None = None,
+                 reorder: bool | None = None) -> "FaultPlan":
+        """A plan that only perturbs the socket layer (no crashes).
+
+        The drawn plan always delays (link latency); drop and reorder
+        are drawn from the seed unless pinned by the keyword overrides.
+        """
+        rng = random.Random(seed)
+        drawn_drop = rng.uniform(0.05, 0.3)
+        drawn_reorder = rng.random() < 0.7
+        return cls(
+            net=NetFault(
+                p_drop=drawn_drop if p_drop is None else p_drop,
+                p_delay=rng.uniform(0.2, 0.6),
+                max_delay=rng.uniform(0.005, 0.03),
+                reorder_window=rng.randint(2, 4)
+                if (drawn_reorder if reorder is None else reorder) else 0,
+            ),
+            seed=seed,
+        )
+
     def with_delivery(self, fault: DeliveryFault) -> "FaultPlan":
         return replace(self, delivery=fault)
+
+    def with_net(self, fault: NetFault) -> "FaultPlan":
+        return replace(self, net=fault)

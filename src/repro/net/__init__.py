@@ -1,0 +1,77 @@
+"""The network layer: TeNDaX editors on separate machines, for real.
+
+The paper's editors connect to the database over a LAN; until now the
+reproduction modelled that hop as an in-process message bus.  This
+package is the actual wire:
+
+* :mod:`repro.net.protocol` — the length-prefixed JSON envelope
+  protocol (HELLO/WELCOME handshake, OP/ACK RPC with durable-LSN
+  acknowledgement, NOTIFY change fan-out, AWARENESS, PING/PONG, BYE);
+* :mod:`repro.net.server` — :class:`CollabNetServer`, an asyncio TCP
+  server fronting a :class:`~repro.collab.server.CollaborationServer`
+  with per-connection bounded send queues and backpressure;
+* :mod:`repro.net.client` — :class:`NetworkClient`, a blocking-socket
+  transport whose :class:`RemoteSession`/:class:`RemoteHandle` proxies
+  let the existing :class:`~repro.collab.editor.EditorClient` ride the
+  network unchanged;
+* :mod:`repro.net.mirror` — :class:`DocMirror`, the client-side replica
+  of a document's character rows, maintained from NOTIFY deltas with
+  sequence-gap detection and anti-entropy resync.
+
+Socket-level fault injection (seeded latency, reorder, drop and
+disconnect on outbound change frames) rides on the same
+:class:`~repro.faults.plan.FaultPlan` machinery as the in-process
+DeliveryBus — see :class:`~repro.faults.plan.NetFault`.
+"""
+
+from .client import NetNotification, NetworkClient, RemoteHandle, RemoteSession
+from .mirror import DocMirror
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    Ack,
+    Awareness,
+    Bye,
+    Envelope,
+    Error,
+    FrameDecoder,
+    Hello,
+    Notify,
+    Op,
+    Ping,
+    Pong,
+    ProtocolError,
+    Welcome,
+    decode_envelope,
+    encode_frame,
+    error_class,
+)
+from .server import CollabNetServer, ServerThread
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "Ack",
+    "Awareness",
+    "Bye",
+    "CollabNetServer",
+    "DocMirror",
+    "Envelope",
+    "Error",
+    "FrameDecoder",
+    "Hello",
+    "NetNotification",
+    "NetworkClient",
+    "Notify",
+    "Op",
+    "Ping",
+    "Pong",
+    "ProtocolError",
+    "RemoteHandle",
+    "RemoteSession",
+    "ServerThread",
+    "Welcome",
+    "decode_envelope",
+    "encode_frame",
+    "error_class",
+]

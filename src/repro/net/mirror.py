@@ -1,0 +1,235 @@
+"""The client-side document replica: character rows over the wire.
+
+TeNDaX editors keep a cached view of the document that the database
+maintains for them; across a network, that cache becomes a *replica*.
+:class:`DocMirror` holds the full ``tx_chars`` row set of one document
+(sentinels and logically deleted rows included — the chain needs them)
+and applies the per-commit row deltas that ride on NOTIFY envelopes /
+ACK echoes.
+
+Ordering and loss are handled with a per-document replication sequence:
+
+* deltas apply strictly in ``rep_seq`` order;
+* an out-of-order delta (reordered frames) is buffered until the gap
+  fills;
+* a gap that never fills (a dropped frame) is healed by *anti-entropy*:
+  the transport notices the buffer growing — or an echo delta landing
+  out of order — and requests a full ``resync`` snapshot, which
+  replaces the mirror wholesale.
+
+All read APIs mirror :class:`~repro.text.document.DocumentHandle`'s
+(text, positions, anchors, styled runs, integrity) so the editor client
+cannot tell a replica from a live handle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..ids import Oid
+
+__all__ = ["DocMirror"]
+
+
+class DocMirror:
+    """Replica of one document's character rows, delta-maintained."""
+
+    def __init__(self, doc: Oid, begin: Oid, end: Oid, *,
+                 rep_seq: int = 0) -> None:
+        self.doc = doc
+        self.begin = begin
+        self.end = end
+        #: char oid -> full tx_chars row (deleted rows and sentinels too).
+        self.rows: dict[Oid, dict] = {}
+        #: Highest rep_seq applied, contiguously, to ``rows``.
+        self.last_seq = rep_seq
+        #: Out-of-order deltas waiting for their gap to fill.
+        self.pending: dict[int, tuple[dict, ...]] = {}
+        #: Resyncs this mirror has performed (observability for tests).
+        self.resyncs = 0
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "DocMirror":
+        """Build a mirror from a server ``resync``/``open`` snapshot."""
+        mirror = cls(snapshot["doc"], snapshot["begin"], snapshot["end"],
+                     rep_seq=snapshot["rep_seq"])
+        for row in snapshot["rows"]:
+            mirror.rows[row["char"]] = dict(row)
+        return mirror
+
+    def load(self, snapshot: dict) -> None:
+        """Replace the replica's state from a fresh snapshot."""
+        self.rows = {row["char"]: dict(row) for row in snapshot["rows"]}
+        self.begin = snapshot["begin"]
+        self.end = snapshot["end"]
+        seq = snapshot["rep_seq"]
+        self.last_seq = seq
+        self.resyncs += 1
+        # Buffered deltas the snapshot already covers are obsolete; any
+        # newer ones replay on top if they are contiguous.
+        self.pending = {s: rows for s, rows in self.pending.items()
+                        if s > seq}
+        self._drain_pending()
+
+    def apply(self, rep_seq: int, rows: tuple) -> str:
+        """Apply one delta; returns ``applied``/``buffered``/``stale``.
+
+        ``stale`` deltas (already covered by the replica, e.g. replayed
+        after a resync) are dropped.  ``buffered`` means a gap precedes
+        this delta — the caller should consider a resync once the
+        buffer grows past its reorder tolerance.
+        """
+        if rep_seq <= self.last_seq:
+            return "stale"
+        if rep_seq == self.last_seq + 1:
+            self._upsert(rows)
+            self.last_seq = rep_seq
+            self._drain_pending()
+            return "applied"
+        self.pending[rep_seq] = tuple(rows)
+        return "buffered"
+
+    def _drain_pending(self) -> None:
+        while self.last_seq + 1 in self.pending:
+            self.last_seq += 1
+            self._upsert(self.pending.pop(self.last_seq))
+
+    def _upsert(self, rows: tuple) -> None:
+        for row in rows:
+            self.rows[row["char"]] = dict(row)
+
+    @property
+    def gap(self) -> bool:
+        """True when buffered deltas are waiting behind a sequence gap."""
+        return bool(self.pending)
+
+    # ------------------------------------------------------------------
+    # DocumentHandle-compatible reads
+    # ------------------------------------------------------------------
+
+    def _chain(self) -> Iterator[dict]:
+        """Walk every row begin→end in chain order (cycle-guarded)."""
+        seen = 0
+        current: Any = self.begin
+        while current is not None:
+            row = self.rows.get(current)
+            if row is None:
+                return
+            yield row
+            seen += 1
+            if seen > len(self.rows):
+                return  # cycle: integrity check reports it
+            current = row["next"]
+
+    def _visible(self) -> list[dict]:
+        return [row for row in self._chain()
+                if row["ch"] and not row["deleted"]]
+
+    def text(self) -> str:
+        return "".join(row["ch"] for row in self._visible())
+
+    def length(self) -> int:
+        return len(self._visible())
+
+    def char_oids(self) -> list[Oid]:
+        return [row["char"] for row in self._visible()]
+
+    def oid_slice(self, start: int, stop: int) -> list[Oid]:
+        return [row["char"] for row in self._visible()[start:stop]]
+
+    def oid_at(self, pos: int) -> Oid:
+        visible = self._visible()
+        if pos < 0 or pos >= len(visible):
+            raise IndexError(pos)
+        return visible[pos]["char"]
+
+    def position_of(self, oid: Oid) -> int | None:
+        for index, row in enumerate(self._visible()):
+            if row["char"] == oid:
+                return index
+        return None
+
+    def visible_position_after(self, anchor: Oid) -> int:
+        """Position after ``anchor``, sliding left over deleted rows —
+        the same cursor-anchor rule as
+        :meth:`~repro.text.document.DocumentHandle.visible_position_after`.
+        """
+        if anchor == self.begin:
+            return 0
+        positions = {row["char"]: index
+                     for index, row in enumerate(self._visible())}
+        current: Any = anchor
+        hops = 0
+        while current is not None and current != self.begin:
+            index = positions.get(current)
+            if index is not None:
+                return index + 1
+            row = self.rows.get(current)
+            if row is None:
+                return 0
+            current = row["prev"]
+            hops += 1
+            if hops > len(self.rows):
+                return 0
+        return 0
+
+    def text_of(self, oids) -> str:
+        chars = {row["char"]: row["ch"] for row in self._visible()}
+        return "".join(chars[oid] for oid in oids if oid in chars)
+
+    def contains(self, oid: Oid) -> bool:
+        row = self.rows.get(oid)
+        return bool(row and row["ch"] and not row["deleted"])
+
+    def styled_runs(self) -> list[tuple[str, Oid | None]]:
+        runs: list[tuple[str, Oid | None]] = []
+        for row in self._visible():
+            style = row.get("style")
+            if runs and runs[-1][1] == style:
+                runs[-1] = (runs[-1][0] + row["ch"], style)
+            else:
+                runs.append((row["ch"], style))
+        return runs
+
+    def authors(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for row in self._visible():
+            counts[row["author"]] = counts.get(row["author"], 0) + 1
+        return counts
+
+    def check_integrity(self) -> list[str]:
+        """Chain invariants on the replica (empty list = healthy)."""
+        problems: list[str] = []
+        reached = 0
+        previous: Oid | None = None
+        current: Any = self.begin
+        seen: set[Oid] = set()
+        while current is not None:
+            if current in seen:
+                problems.append(f"cycle at {current}")
+                break
+            seen.add(current)
+            row = self.rows.get(current)
+            if row is None:
+                problems.append(f"chain reaches unknown char {current}")
+                break
+            if row["prev"] != previous:
+                problems.append(
+                    f"{current}: prev={row['prev']} expected {previous}")
+            reached += 1
+            previous = current
+            current = row["next"]
+        if previous != self.end:
+            problems.append(f"chain ends at {previous}, not END sentinel")
+        if reached != len(self.rows):
+            problems.append(
+                f"{len(self.rows) - reached} row(s) unreachable from BEGIN")
+        return problems
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"DocMirror({self.doc}, rows={len(self.rows)}, "
+                f"seq={self.last_seq}, pending={len(self.pending)})")

@@ -1,0 +1,759 @@
+"""The asyncio TCP server fronting a :class:`CollaborationServer`.
+
+:class:`CollabNetServer` is the piece that makes the reproduction's LAN
+party real: editor clients on other machines (or just other processes)
+connect over TCP, speak the envelope protocol of :mod:`repro.net.protocol`,
+and drive the *same* :class:`~repro.collab.server.CollaborationServer`
+verbs the in-process sessions use.  Design points:
+
+* **One event loop, one op at a time.**  Editing verbs run synchronously
+  in the loop under an :class:`asyncio.Lock` — the database commit stays
+  the single serialisation point, exactly as in the paper.  A client
+  batch (``batch_begin`` … ``batch_end``) holds the lock for its whole
+  extent because :meth:`~repro.db.engine.Database.batch` is thread-local
+  and every connection shares the loop thread; a client that dies
+  mid-batch has its batch rolled back and the lock released by the
+  connection reaper (no partial transactions, tested in
+  ``tests/test_collab_server.py``).
+* **Bounded send queues.**  Every connection owns an
+  :class:`asyncio.Queue` drained by a sender task; a full queue means a
+  consumer slower than the fan-out, and the server sheds it by aborting
+  the connection (``net.backpressure_closes``).
+* **Replication by sequence.**  Each commit's character-row delta is
+  stamped with a per-document ``rep_seq``.  Remote mirrors apply deltas
+  in order, buffer reordered ones, and heal gaps with a ``resync``
+  snapshot RPC.  The originator's own deltas ride its ACK (``echo``) on
+  the unfaultable control lane, never as a NOTIFY.
+* **Socket-level faults.**  The sender consults the fault injector for
+  every *faultable* frame (NOTIFY/AWARENESS): seeded drop, in-band
+  delay, windowed reorder and forced disconnect — the DeliveryBus fault
+  machinery re-targeted at the wire (see
+  :class:`~repro.faults.plan.NetFault`).
+* **Cross-process traces.**  OP envelopes carry the client's span
+  context; the server's ``net.op`` span resumes that trace, and the
+  ``net.fanout`` context rides outbound NOTIFYs so the remote apply
+  joins the same ``trace_id``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import threading
+from collections import deque
+from dataclasses import replace
+from time import perf_counter, time
+from typing import TYPE_CHECKING, Any
+
+from ..errors import NetError, ProtocolError, TendaxError
+from ..faults.injector import NO_FAULTS
+from ..text import chars as C
+from ..text import dbschema as S
+from .protocol import (
+    PROTOCOL_VERSION,
+    Ack,
+    Awareness,
+    Bye,
+    Envelope,
+    Error,
+    FrameDecoder,
+    Hello,
+    Notify,
+    Op,
+    Ping,
+    Pong,
+    Welcome,
+    encode_frame,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..collab.server import CollaborationServer
+    from ..collab.session import EditingSession
+
+__all__ = ["CollabNetServer", "ServerThread"]
+
+#: Tables that flag a document as changed in NOTIFY metadata (the same
+#: set the in-process server watches; only CHARS rows ride the wire).
+_WATCHED_TABLES = (S.CHARS, S.OBJECTS, S.NOTES, S.STRUCTURE, S.DOCUMENTS)
+
+#: Queue sentinel that tells a sender task to flush and exit.
+_CLOSE = object()
+
+#: How long a reorder window may sit before it is force-flushed.
+_REORDER_FLUSH_SECONDS = 0.02
+
+
+class _Connection:
+    """Server-side state of one authenticated TCP connection."""
+
+    def __init__(self, conn_id: int, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, queue_size: int) -> None:
+        self.id = conn_id
+        self.reader = reader
+        self.writer = writer
+        self.decoder = FrameDecoder()
+        self.inbound: deque[Envelope] = deque()
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
+        self.session: "EditingSession | None" = None
+        #: Open ``db.batch()`` context manager while a client batch runs
+        #: (the connection holds the server op lock for its extent).
+        self.batch = None
+        self.sender_task: asyncio.Task | None = None
+        self.window: list[Envelope] = []
+        self.faultable_sent = 0
+        self.closing = False
+
+
+class CollabNetServer:
+    """TCP front end for one :class:`CollaborationServer`."""
+
+    def __init__(self, collab: "CollaborationServer", *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 token: str | None = None, send_queue: int = 256,
+                 handshake_timeout: float = 10.0, faults=None) -> None:
+        self.collab = collab
+        self.host = host
+        self.port = port
+        self.token = token
+        self.send_queue = send_queue
+        self.handshake_timeout = handshake_timeout
+        self.faults = faults if faults is not None else NO_FAULTS
+        registry = collab.db.obs.registry
+        self._tracer = collab.db.obs.tracer
+        self._m_connections = registry.gauge("net.connections")
+        self._m_connects = registry.counter("net.connects")
+        self._m_frames_in = registry.counter("net.frames_in")
+        self._m_frames_out = registry.counter("net.frames_out")
+        self._m_bytes_in = registry.counter("net.bytes_in")
+        self._m_bytes_out = registry.counter("net.bytes_out")
+        self._m_ops = registry.counter("net.ops")
+        self._m_op_seconds = registry.histogram("net.op_seconds")
+        self._m_notifies = registry.counter("net.notifies")
+        self._m_protocol_errors = registry.counter("net.protocol_errors")
+        self._m_backpressure = registry.counter("net.backpressure_closes")
+        self._m_dropped = registry.counter("net.frames_dropped")
+        self._m_delayed = registry.counter("net.frames_delayed")
+        self._m_resyncs = registry.counter("net.resyncs")
+        self._connections: dict[int, _Connection] = {}
+        self._conn_ids = itertools.count(1)
+        #: doc oid -> replication sequence of the last fanned-out commit.
+        self._rep_seq: dict[Any, int] = {}
+        self._op_lock: asyncio.Lock | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: int | None = None
+        #: Connection whose OP is executing right now (echo/suppression
+        #: attribution inside commit fan-out).
+        self._current_conn: _Connection | None = None
+        self._current_echo: list[dict] | None = None
+        self._commit_sub = None
+        self._handler_tasks: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "CollabNetServer":
+        """Bind and start accepting connections (port 0 = ephemeral)."""
+        self._loop = asyncio.get_running_loop()
+        self._loop_thread = threading.get_ident()
+        self._op_lock = asyncio.Lock()
+        self._server = await asyncio.start_server(
+            self._client_connected, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        # Subscribed *after* the collab server's own commit subscription
+        # (made in its constructor), so in-process handles have already
+        # spliced their caches when the wire fan-out reads state.
+        self._commit_sub = self.collab.db.bus.subscribe(
+            "db.commit", self._on_commit)
+        return self
+
+    async def stop(self) -> None:
+        """Close every connection and stop listening."""
+        if self._commit_sub is not None:
+            self._commit_sub.cancel()
+            self._commit_sub = None
+        for conn in list(self._connections.values()):
+            await self._close_connection(conn, reason="server shutdown")
+        handlers = [t for t in self._handler_tasks if not t.done()]
+        if handlers:
+            await asyncio.wait(handlers, timeout=2.0)
+            for task in handlers:
+                if not task.done():
+                    task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._server.serve_forever()
+
+    def stats(self) -> dict:
+        """Wire-level counters (names match the metric catalogue)."""
+        return {
+            "connections": self._m_connections.value,
+            "connects": self._m_connects.value,
+            "frames_in": self._m_frames_in.value,
+            "frames_out": self._m_frames_out.value,
+            "ops": self._m_ops.value,
+            "notifies": self._m_notifies.value,
+            "protocol_errors": self._m_protocol_errors.value,
+            "backpressure_closes": self._m_backpressure.value,
+            "frames_dropped": self._m_dropped.value,
+            "frames_delayed": self._m_delayed.value,
+            "resyncs": self._m_resyncs.value,
+        }
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _client_connected(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        conn = _Connection(next(self._conn_ids), reader, writer,
+                           self.send_queue)
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+            task.add_done_callback(self._handler_tasks.discard)
+        try:
+            try:
+                hello = await asyncio.wait_for(
+                    self._next_envelope(conn), self.handshake_timeout)
+            except asyncio.TimeoutError:
+                return
+            if hello is None:
+                return
+            if not await self._handshake(conn, hello):
+                return
+            conn.sender_task = asyncio.ensure_future(self._sender(conn))
+            self._connections[conn.id] = conn
+            self._m_connections.inc()
+            self._m_connects.inc()
+            await self._serve(conn)
+        except ProtocolError as exc:
+            self._m_protocol_errors.inc()
+            await self._send_now(conn, Error(code="ProtocolError",
+                                             message=str(exc), fatal=True))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            await self._close_connection(conn)
+
+    async def _handshake(self, conn: _Connection, hello: Envelope) -> bool:
+        if not isinstance(hello, Hello):
+            raise ProtocolError(
+                f"first frame must be HELLO, got {hello.TYPE!r}")
+        if hello.protocol != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol version {hello.protocol} unsupported "
+                f"(server speaks {PROTOCOL_VERSION})")
+        if self.token is not None and hello.token != self.token:
+            await self._send_now(conn, Error(
+                code="AccessDenied", message="bad shared token",
+                fatal=True))
+            return False
+        try:
+            if hello.register:
+                self.collab.register_user(hello.user)
+            conn.session = self.collab.connect(
+                hello.user, editor=hello.editor, os_name=hello.os_name)
+        except TendaxError as exc:
+            await self._send_now(conn, Error(
+                code=type(exc).__name__, message=str(exc), fatal=True))
+            return False
+        await self._send_now(conn, Welcome(session_id=conn.session.id,
+                                           node=self.collab.db.node))
+        return True
+
+    async def _serve(self, conn: _Connection) -> None:
+        while not conn.closing:
+            envelope = await self._next_envelope(conn)
+            if envelope is None:
+                return
+            if isinstance(envelope, Op):
+                await self._handle_op(conn, envelope)
+            elif isinstance(envelope, Awareness):
+                self._handle_awareness(conn, envelope)
+            elif isinstance(envelope, Ping):
+                self._enqueue(conn, Pong(nonce=envelope.nonce,
+                                         at=envelope.at))
+            elif isinstance(envelope, Bye):
+                return
+            else:
+                raise ProtocolError(
+                    f"unexpected {envelope.TYPE!r} envelope from client")
+
+    async def _next_envelope(self, conn: _Connection) -> Envelope | None:
+        """The next decoded envelope, or ``None`` on EOF."""
+        while not conn.inbound:
+            data = await conn.reader.read(65536)
+            if not data:
+                return None
+            self._m_bytes_in.inc(len(data))
+            for envelope in conn.decoder.feed(data):
+                conn.inbound.append(envelope)
+                self._m_frames_in.inc()
+        return conn.inbound.popleft()
+
+    async def _close_connection(self, conn: _Connection,
+                                *, reason: str = "") -> None:
+        if conn.closing:
+            return
+        conn.closing = True
+        self._release_batch(conn)
+        if self._connections.pop(conn.id, None) is not None:
+            self._m_connections.dec()
+        if conn.sender_task is not None:
+            with contextlib.suppress(asyncio.QueueFull):
+                conn.queue.put_nowait(_CLOSE)
+            with contextlib.suppress(Exception):
+                await asyncio.wait_for(conn.sender_task, 1.0)
+            if not conn.sender_task.done():
+                conn.sender_task.cancel()
+        if conn.session is not None and conn.session.connected:
+            conn.session.disconnect()
+        with contextlib.suppress(Exception):
+            conn.writer.close()
+
+    def _release_batch(self, conn: _Connection) -> None:
+        """Roll back a batch left open by a dead client; free the lock.
+
+        The reaper half of the disconnect-mid-batch guarantee: a client
+        killed between ``batch_begin`` and ``batch_end`` leaves no
+        partial transaction and cannot wedge the server op lock.
+        """
+        if conn.batch is None:
+            return
+        batch, conn.batch = conn.batch, None
+        exc = NetError("client disconnected mid-batch")
+        with contextlib.suppress(BaseException):
+            batch.__exit__(type(exc), exc, None)
+        self._unlock()
+
+    def _unlock(self) -> None:
+        if self._op_lock is not None and self._op_lock.locked():
+            self._op_lock.release()
+
+    # ------------------------------------------------------------------
+    # Outbound path (sender task, faults, backpressure)
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, conn: _Connection, envelope: Envelope) -> None:
+        """Queue a frame for the sender; shed the consumer if full."""
+        if conn.closing:
+            return
+        try:
+            conn.queue.put_nowait(envelope)
+        except asyncio.QueueFull:
+            self._m_backpressure.inc()
+            self._shed(conn)
+
+    def _shed(self, conn: _Connection) -> None:
+        """Abort a connection from synchronous context; the reader's EOF
+        then drives the full cleanup path."""
+        conn.closing = True
+        transport = conn.writer.transport
+        if transport is not None:
+            with contextlib.suppress(Exception):
+                transport.abort()
+
+    async def _send_now(self, conn: _Connection, envelope: Envelope) -> None:
+        """Write one frame directly (handshake/fatal paths only)."""
+        with contextlib.suppress(ConnectionError, RuntimeError):
+            self._write(conn, envelope)
+            await conn.writer.drain()
+
+    def _write(self, conn: _Connection, envelope: Envelope) -> None:
+        if isinstance(envelope, Notify):
+            envelope = replace(envelope, sent_at=time())
+        frame = encode_frame(envelope)
+        conn.writer.write(frame)
+        self._m_frames_out.inc()
+        self._m_bytes_out.inc(len(frame))
+
+    async def _sender(self, conn: _Connection) -> None:
+        """Drain the send queue, applying socket faults to change frames."""
+        try:
+            while True:
+                if conn.window:
+                    try:
+                        envelope = await asyncio.wait_for(
+                            conn.queue.get(), _REORDER_FLUSH_SECONDS)
+                    except asyncio.TimeoutError:
+                        await self._flush_window(conn)
+                        continue
+                else:
+                    envelope = await conn.queue.get()
+                if envelope is _CLOSE:
+                    await self._flush_window(conn)
+                    return
+                if isinstance(envelope, (Notify, Awareness)):
+                    await self._send_faultable(conn, envelope)
+                else:
+                    self._write(conn, envelope)
+                    await conn.writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass
+        except asyncio.CancelledError:  # pragma: no cover - teardown
+            raise
+
+    async def _send_faultable(self, conn: _Connection,
+                              envelope: Envelope) -> None:
+        action, delay = self.faults.net_frame_action()
+        if action == "drop":
+            self._m_dropped.inc()
+            return
+        if action == "delay":
+            self._m_delayed.inc()
+            # In-band: later frames on this connection queue behind the
+            # delay, like packets behind link latency.
+            await asyncio.sleep(delay)
+        window = self.faults.net_reorder_window()
+        if window > 1:
+            conn.window.append(envelope)
+            if len(conn.window) >= window:
+                await self._flush_window(conn)
+            return
+        await self._deliver_faultable(conn, envelope)
+
+    async def _flush_window(self, conn: _Connection) -> None:
+        pending, conn.window = conn.window, []
+        for index in self.faults.net_reorder_order(len(pending)):
+            await self._deliver_faultable(conn, pending[index])
+
+    async def _deliver_faultable(self, conn: _Connection,
+                                 envelope: Envelope) -> None:
+        self._write(conn, envelope)
+        await conn.writer.drain()
+        conn.faultable_sent += 1
+        limit = self.faults.net_disconnect_after()
+        if limit is not None and conn.faultable_sent >= limit:
+            self._shed(conn)
+
+    # ------------------------------------------------------------------
+    # RPC handling
+    # ------------------------------------------------------------------
+
+    async def _handle_op(self, conn: _Connection, op: Op) -> None:
+        started = perf_counter()
+        self._m_ops.inc()
+        # Resume the client's trace across the process boundary: the
+        # OP envelope carries the originating span context, so this
+        # server-side span (and the collab.op/txn spans under it) share
+        # the keystroke's trace_id.
+        with self._tracer.span("net.op", parent_ctx=op.trace_ctx,
+                               verb=op.verb, session=conn.session.id,
+                               conn=conn.id):
+            in_batch = conn.batch is not None
+            if not in_batch:
+                await self._op_lock.acquire()
+            keep_lock = False
+            try:
+                result, echo = self._execute(conn, op)
+            except TendaxError as exc:
+                self._enqueue(conn, Error(code=type(exc).__name__,
+                                          message=str(exc),
+                                          op_seq=op.op_seq))
+                return
+            else:
+                keep_lock = conn.batch is not None
+                self._enqueue(conn, Ack(
+                    op_seq=op.op_seq, result=result,
+                    lsn=self.collab.db.wal.durable_lsn, echo=tuple(echo)))
+            finally:
+                if not keep_lock and (not in_batch or conn.batch is None):
+                    self._unlock()
+                self._m_op_seconds.observe(perf_counter() - started)
+
+    def _execute(self, conn: _Connection, op: Op) -> tuple[Any, list]:
+        """Run one verb; returns ``(result, echo_deltas)``."""
+        self._current_conn = conn
+        self._current_echo = []
+        try:
+            result = self._dispatch(conn, op.verb, op.args)
+            return result, self._current_echo
+        finally:
+            self._current_conn = None
+            self._current_echo = None
+
+    def _dispatch(self, conn: _Connection, verb: str, args: dict) -> Any:
+        session = conn.session
+        if verb == "insert":
+            return session.insert(args["doc"], args["pos"], args["text"],
+                                  style=args.get("style"))
+        if verb == "insert_after":
+            return session.insert_after(args["doc"], args["anchor"],
+                                        args["text"],
+                                        style=args.get("style"))
+        if verb == "delete":
+            return session.delete(args["doc"], args["pos"], args["count"])
+        if verb == "delete_chars":
+            return session.delete_chars(args["doc"], list(args["oids"]))
+        if verb == "apply_style":
+            return session.apply_style(args["doc"], args["pos"],
+                                       args["count"], args.get("style"))
+        if verb == "style_chars":
+            return session.style_chars(args["doc"], list(args["oids"]),
+                                       args.get("style"))
+        if verb == "create_document":
+            handle = session.create_document(
+                args["name"], text=args.get("text", ""),
+                props=args.get("props"))
+            return self._doc_snapshot(conn, handle.doc)
+        if verb == "open":
+            session.open(args["doc"])
+            return self._doc_snapshot(conn, args["doc"])
+        if verb == "resolve_document":
+            rows = self.collab.documents.find_by_name(args["name"])
+            return {"docs": [row["doc"] for row in rows]}
+        if verb == "close":
+            return session.close(args["doc"])
+        if verb == "resync":
+            self._m_resyncs.inc()
+            return self._doc_snapshot(conn, args["doc"])
+        if verb == "set_cursor":
+            return session.set_cursor(args["doc"], args["pos"],
+                                      tuple(args.get("selection", ())))
+        if verb == "copy":
+            return session.copy(args["doc"], args["pos"], args["count"])
+        if verb == "copy_external":
+            return session.copy_external(args["text"], args["source"])
+        if verb == "paste":
+            return session.paste(args["doc"], args["pos"])
+        if verb == "add_note":
+            return session.add_note(args["doc"], args["pos"], args["body"])
+        if verb == "resolve_note":
+            return session.resolve_note(args["doc"], args["note"])
+        if verb in ("undo", "redo", "undo_global", "redo_global"):
+            record = getattr(session, verb)(args["doc"])
+            return {"kind": record.kind, "oids": list(record.oids)}
+        if verb == "register_user":
+            return self.collab.register_user(
+                args["user"], display=args.get("display", ""),
+                roles=tuple(args.get("roles", ())))
+        if verb == "batch_begin":
+            if conn.batch is not None:
+                raise NetError("batch already open on this connection")
+            batch = self.collab.db.batch()
+            batch.__enter__()
+            conn.batch = batch
+            return None
+        if verb == "batch_end":
+            if conn.batch is None:
+                raise NetError("no batch open on this connection")
+            batch, conn.batch = conn.batch, None
+            batch.__exit__(None, None, None)
+            return None
+        if verb == "batch_abort":
+            if conn.batch is None:
+                raise NetError("no batch open on this connection")
+            batch, conn.batch = conn.batch, None
+            exc = NetError("batch aborted by client")
+            with contextlib.suppress(BaseException):
+                batch.__exit__(type(exc), exc, None)
+            return None
+        if verb == "stats":
+            return {"server": self.collab.statistics(),
+                    "net": self.stats()}
+        raise NetError(f"unknown verb {verb!r}")
+
+    def _doc_snapshot(self, conn: _Connection, doc) -> dict:
+        """Full character-row snapshot + current rep_seq (open/resync).
+
+        Consistent by construction: snapshots are built inside an OP
+        (under the op lock, on the loop thread), so no commit can land
+        between the row scan and the sequence read.
+        """
+        handle = conn.session.handle(doc)
+        rows = C.doc_char_rows(self.collab.db, doc)
+        return {
+            "doc": doc,
+            "begin": handle.begin_char,
+            "end": handle.end_char,
+            "rep_seq": self._rep_seq.get(doc, 0),
+            "rows": list(rows.values()),
+        }
+
+    # ------------------------------------------------------------------
+    # Awareness
+    # ------------------------------------------------------------------
+
+    def _handle_awareness(self, conn: _Connection,
+                          envelope: Awareness) -> None:
+        session = conn.session
+        doc = envelope.doc
+        if doc not in session.open_documents():
+            return
+        self.collab.awareness.update_cursor(
+            doc, session.id, envelope.anchor, tuple(envelope.selection),
+            self.collab.db.now())
+        broadcast = Awareness(doc=doc, anchor=envelope.anchor,
+                              selection=tuple(envelope.selection),
+                              user=session.user, session_id=session.id)
+        for other in self._connections.values():
+            if other.id == conn.id or other.session is None:
+                continue
+            if doc in other.session.open_documents():
+                self._enqueue(other, broadcast)
+
+    # ------------------------------------------------------------------
+    # Commit fan-out
+    # ------------------------------------------------------------------
+
+    def _on_commit(self, event) -> None:
+        deltas = self._collect(event["changes"])
+        if not deltas:
+            return
+        if self._loop is None:
+            return
+        if threading.get_ident() == self._loop_thread:
+            self._fanout(deltas, self._current_conn)
+        else:
+            # A commit from outside the event loop (an in-process
+            # session sharing the collab server): hand the prepared
+            # deltas to the loop; no originating connection to suppress.
+            self._loop.call_soon_threadsafe(self._fanout, deltas, None)
+
+    def _collect(self, changes) -> list[dict]:
+        """Per-document deltas of one commit (rep_seq already bumped)."""
+        by_doc: dict[Any, dict] = {}
+        for change in changes:
+            if change.table not in _WATCHED_TABLES or change.row is None:
+                continue
+            doc = change.row.get("doc")
+            if doc is None:
+                continue
+            entry = by_doc.setdefault(
+                doc, {"tables": set(), "count": 0, "rows": []})
+            entry["tables"].add(change.table)
+            entry["count"] += 1
+            if change.table == S.CHARS:
+                entry["rows"].append(dict(change.row))
+        deltas = []
+        for doc, entry in by_doc.items():
+            seq = self._rep_seq.get(doc, 0) + 1
+            self._rep_seq[doc] = seq
+            deltas.append({
+                "doc": doc,
+                "rep_seq": seq,
+                "rows": tuple(entry["rows"]),
+                "tables": tuple(sorted(entry["tables"])),
+                "n_changes": entry["count"],
+            })
+        return deltas
+
+    def _fanout(self, deltas: list[dict],
+                origin: _Connection | None) -> None:
+        # The fan-out span parents under whatever is open on this thread
+        # (net.op -> collab.op -> txn during an RPC), so its context —
+        # carried on every NOTIFY — extends the keystroke's trace to the
+        # remote appliers.
+        with self._tracer.span("net.fanout", docs=len(deltas)) as span:
+            ctx = span.ctx
+            now = self.collab.db.now()
+            origin_session = origin.session if origin is not None else None
+            # The wire replaces the inbox for net sessions: drop whatever
+            # the in-process DeliveryBus parked there so long-lived
+            # connections don't leak undrained Notifications.
+            for conn in self._connections.values():
+                if conn.session is not None:
+                    conn.session.inbox.clear()
+            for delta in deltas:
+                if origin is not None and self._current_echo is not None:
+                    self._current_echo.append({
+                        "doc": delta["doc"],
+                        "rep_seq": delta["rep_seq"],
+                        "rows": delta["rows"],
+                    })
+                notify = Notify(
+                    doc=delta["doc"],
+                    rep_seq=delta["rep_seq"],
+                    rows=delta["rows"],
+                    tables=delta["tables"],
+                    n_changes=delta["n_changes"],
+                    origin_session=origin_session.id
+                    if origin_session else None,
+                    origin_user=origin_session.user
+                    if origin_session else None,
+                    at=now,
+                    trace_id=ctx[0] if ctx else None,
+                    parent_span=ctx[1] if ctx else None,
+                )
+                for conn in list(self._connections.values()):
+                    if conn.session is None or conn.closing:
+                        continue
+                    if origin is not None and conn.id == origin.id:
+                        continue  # the originator gets the echo instead
+                    if delta["doc"] in conn.session.open_documents():
+                        self._m_notifies.inc()
+                        self._enqueue(conn, notify)
+
+
+class ServerThread:
+    """Run a :class:`CollabNetServer` on a background event loop.
+
+    The in-process twin of ``repro serve`` for tests and benchmarks:
+    the calling thread gets a live TCP endpoint (:attr:`port`) while the
+    server spins in its own thread.  Use as a context manager.
+    """
+
+    def __init__(self, collab: "CollaborationServer", **kwargs) -> None:
+        self.server = CollabNetServer(collab, **kwargs)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run,
+                                        name="collab-net-server",
+                                        daemon=True)
+        self._thread.start()
+        if not self._ready.wait(10.0):
+            raise NetError("network server failed to start in time")
+        if self._startup_error is not None:
+            raise NetError(
+                f"network server failed to start: {self._startup_error}")
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # startup failed: surface it
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self.server.stop())
+            self._loop.close()
+
+    def stop(self) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(10.0)
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -96,6 +96,35 @@ METRIC_CATALOGUE: dict[str, tuple[str, str]] = {
         "histogram",
         "time held notifications spent in the delivery-bus backlog "
         "before drain released them"),
+    # -- network server (repro/net/server.py) -------------------------------
+    "net.connections": ("gauge", "TCP connections currently authenticated"),
+    "net.connects": ("counter", "handshakes accepted since server start"),
+    "net.frames_in": ("counter", "wire frames received from clients"),
+    "net.frames_out": ("counter", "wire frames written to clients"),
+    "net.bytes_in": ("counter", "payload bytes received from clients"),
+    "net.bytes_out": ("counter", "payload bytes written to clients"),
+    "net.ops": ("counter", "RPC operations served (OP envelopes)"),
+    "net.op_seconds": ("histogram",
+                       "server-side OP service time (decode to ACK "
+                       "enqueue, durable LSN included)"),
+    "net.notifies": ("counter",
+                     "NOTIFY envelopes enqueued for fan-out (before any "
+                     "socket fault)"),
+    "net.protocol_errors": ("counter",
+                            "connections closed for wire-protocol "
+                            "violations"),
+    "net.backpressure_closes": ("counter",
+                                "slow consumers shed by send-queue "
+                                "overflow"),
+    "net.frames_dropped": ("counter",
+                           "faultable frames lost to the injected net "
+                           "fault plan"),
+    "net.frames_delayed": ("counter",
+                           "faultable frames delayed in band by the "
+                           "injected net fault plan"),
+    "net.resyncs": ("counter",
+                    "anti-entropy snapshot fetches served (client mirror "
+                    "detected a sequence gap)"),
     # -- search (repro/search/engine.py) ------------------------------------
     "search.queries": ("counter", "content/metadata searches run"),
     "search.query_seconds": ("histogram", "end-to-end search latency"),

@@ -481,3 +481,95 @@ class TestStatisticsThreadSafety:
         session.disconnect()
         assert server.db.metrics_snapshot()["collab.sessions"]["value"] \
             == len(server.sessions())
+
+
+class TestHeldDeliveryMetrics:
+    """Regression: ``collab.held_seconds`` must be observed exactly once
+    per held notification — at the drain that releases it — and never
+    for notifications that were delivered immediately."""
+
+    def test_drain_observes_held_seconds_once_per_notification(self):
+        from repro.faults import DeliveryFault, FaultInjector, FaultPlan
+
+        plan = FaultPlan(delivery=DeliveryFault(p_hold=1.0, reorder=True),
+                         seed=11)
+        server = CollaborationServer(node="held",
+                                     faults=FaultInjector(plan))
+        for user in ("ana", "ben"):
+            server.register_user(user)
+        ana = server.connect("ana")
+        ben = server.connect("ben")
+        handle = ana.create_document("held", text="seed ")
+        ben.open(handle.doc)
+        for i in range(5):
+            ana.insert(handle.doc, i, "x")
+        held = server.delivery.stats["held"]
+        assert held == 5
+        assert server.db.metrics_snapshot()[
+            "collab.held_seconds"]["count"] == 0
+        assert server.delivery.drain() == held
+        snapshot = server.db.metrics_snapshot()
+        assert snapshot["collab.held_seconds"]["count"] == held
+        # Draining an empty backlog must not fabricate observations.
+        assert server.delivery.drain() == 0
+        assert server.db.metrics_snapshot()[
+            "collab.held_seconds"]["count"] == held
+
+    def test_immediate_delivery_never_counts_as_held(self, server, doc):
+        ana = server.connect("ana")
+        ben = server.connect("ben")
+        ana.open(doc)
+        ben.open(doc)
+        ana.insert(doc, 0, "x")
+        snapshot = server.db.metrics_snapshot()
+        assert snapshot["collab.held_seconds"]["count"] == 0
+        assert snapshot["collab.replication_seconds"]["count"] >= 1
+
+
+class TestDisconnectMidBatchOverTheWire:
+    """A wire client killed between ``batch_begin`` and ``batch_end``
+    must leave no trace: the reaper rolls the partial batch back and
+    releases the op lock so surviving clients keep full service."""
+
+    def test_dead_client_batch_rolls_back_and_frees_the_lock(self):
+        from time import monotonic
+
+        from repro.net import NetworkClient, ServerThread
+
+        collab = CollaborationServer()
+        for user in ("ana", "ben"):
+            collab.register_user(user)
+        with ServerThread(collab) as thread:
+            ana = NetworkClient("127.0.0.1", thread.port, "ana")
+            ben = NetworkClient("127.0.0.1", thread.port, "ben")
+            try:
+                s_ana = ana.session()
+                doc = s_ana.create_document("doc", text="keep").doc
+                h_ben = ben.session().open(doc)
+                dead_id = ana.session_id
+                aborts_before = collab.db.stats["aborts"]
+
+                # Open a batch, write into it, then die without a
+                # batch_end or a BYE — just a severed socket.
+                ana._rpc("batch_begin", {})
+                anchor = s_ana.handle(doc).begin_char
+                s_ana.insert_after(doc, anchor, "!")
+                ana._sock.close()
+                ana._sock = None
+
+                deadline = monotonic() + 10.0
+                while any(s.id == dead_id for s in collab.sessions()):
+                    assert monotonic() < deadline, "session never reaped"
+                # The reaper aborted the partial batch: nothing of the
+                # uncommitted insert survives on the server...
+                assert collab.db.stats["aborts"] > aborts_before
+                judge = collab.connect("ben")
+                assert judge.open(doc).text() == "keep"
+                # ...and the op lock is free: the survivor can edit.
+                s_ben = ben.session()
+                s_ben.insert(doc, 4, "ers")
+                ben.sync(doc)
+                assert h_ben.text() == "keepers"
+            finally:
+                ana.close()
+                ben.close()

@@ -1,0 +1,338 @@
+"""Property tests for the wire protocol + a frame fuzzer vs a live server.
+
+Two layers:
+
+* **pure** — hypothesis round-trips every envelope type through
+  ``encode_frame`` → ``FrameDecoder`` under arbitrary fragmentation,
+  and checks the strict-decode contract (missing fields, unknown
+  types, hostile length headers all raise ProtocolError);
+* **live** — malformed, truncated and randomly fuzzed byte streams
+  against a real :class:`~repro.net.ServerThread` socket: every attack
+  must end in a clean fatal ERROR and/or a close — never a crash, a
+  hang, or a wedged server (a well-behaved client must still get
+  service afterwards).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collab import CollaborationServer
+from repro.errors import ProtocolError
+from repro.ids import Oid
+from repro.net import (
+    Ack,
+    Awareness,
+    Bye,
+    Error,
+    FrameDecoder,
+    Hello,
+    NetworkClient,
+    Notify,
+    Op,
+    Ping,
+    Pong,
+    ServerThread,
+    Welcome,
+    decode_envelope,
+    encode_frame,
+)
+from repro.net.protocol import ENVELOPE_TYPES, MAX_FRAME_BYTES
+
+# ---------------------------------------------------------------------------
+# Strategies: values that survive the JSON + tagging round trip
+# ---------------------------------------------------------------------------
+
+oids = st.builds(
+    Oid,
+    st.text(st.characters(codec="ascii", min_codepoint=97,
+                          max_codepoint=122), min_size=1, max_size=6),
+    st.integers(min_value=0, max_value=10 ** 9),
+)
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10 ** 12), max_value=10 ** 12),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+    oids,
+    st.binary(max_size=16),
+)
+
+#: Keys that must not make a dict look like an Oid/bytes tag.
+keys = st.text(st.characters(codec="ascii", min_codepoint=97,
+                             max_codepoint=122), min_size=1, max_size=8)
+
+jsonish = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(keys, children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+row_dicts = st.dictionaries(keys, scalars, max_size=6)
+
+echo_deltas = st.builds(
+    lambda doc, seq, rows: {"doc": doc, "rep_seq": seq, "rows": rows},
+    oids, st.integers(min_value=0, max_value=10 ** 6),
+    st.lists(row_dicts, max_size=3).map(tuple),
+)
+
+envelopes = st.one_of(
+    st.builds(Hello, user=st.text(min_size=1, max_size=12),
+              token=st.none() | st.text(max_size=8),
+              editor=st.text(max_size=8), os_name=st.text(max_size=8),
+              register=st.booleans()),
+    st.builds(Welcome, session_id=st.integers(0, 10 ** 6),
+              node=st.text(max_size=8)),
+    st.builds(Op, op_seq=st.integers(0, 10 ** 9),
+              verb=st.text(min_size=1, max_size=16),
+              args=st.dictionaries(keys, jsonish, max_size=4),
+              trace_id=st.none() | st.integers(0, 10 ** 9),
+              parent_span=st.none() | st.integers(0, 10 ** 9)),
+    st.builds(Ack, op_seq=st.integers(0, 10 ** 9), result=jsonish,
+              lsn=st.integers(0, 10 ** 9),
+              echo=st.lists(echo_deltas, max_size=3).map(tuple)),
+    st.builds(Error, code=st.text(min_size=1, max_size=20),
+              message=st.text(max_size=40),
+              op_seq=st.none() | st.integers(0, 10 ** 9),
+              fatal=st.booleans()),
+    st.builds(Notify, doc=oids, rep_seq=st.integers(0, 10 ** 9),
+              rows=st.lists(row_dicts, max_size=4).map(tuple),
+              tables=st.lists(st.text(min_size=1, max_size=10),
+                              max_size=3).map(tuple),
+              n_changes=st.integers(0, 10 ** 4),
+              origin_session=st.none() | st.integers(0, 10 ** 6),
+              origin_user=st.none() | st.text(max_size=10),
+              at=st.floats(0, 2e9), sent_at=st.floats(0, 2e9),
+              trace_id=st.none() | st.integers(0, 10 ** 9),
+              parent_span=st.none() | st.integers(0, 10 ** 9)),
+    st.builds(Awareness, doc=oids, anchor=st.none() | oids,
+              selection=st.lists(oids, max_size=4).map(tuple),
+              user=st.text(max_size=10),
+              session_id=st.integers(0, 10 ** 6)),
+    st.builds(Ping, nonce=st.integers(0, 10 ** 9), at=st.floats(0, 2e9)),
+    st.builds(Pong, nonce=st.integers(0, 10 ** 9), at=st.floats(0, 2e9)),
+    st.builds(Bye, reason=st.text(max_size=20)),
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=300)
+    @given(envelopes)
+    def test_every_envelope_round_trips(self, envelope):
+        decoder = FrameDecoder()
+        out = list(decoder.feed(encode_frame(envelope)))
+        assert out == [envelope]
+        assert decoder.pending_bytes == 0
+
+    @settings(max_examples=100)
+    @given(st.lists(envelopes, min_size=1, max_size=6),
+           st.integers(min_value=1, max_value=7))
+    def test_fragmentation_is_invisible(self, batch, chunk):
+        """Frames survive arriving a few bytes at a time, coalesced."""
+        stream = b"".join(encode_frame(e) for e in batch)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(0, len(stream), chunk):
+            out.extend(decoder.feed(stream[i:i + chunk]))
+        assert out == batch
+        assert decoder.pending_bytes == 0
+
+    def test_envelope_registry_is_total(self):
+        """Every concrete envelope class decodes via the registry."""
+        assert set(ENVELOPE_TYPES) == {
+            "hello", "welcome", "op", "ack", "error", "notify",
+            "awareness", "ping", "pong", "bye"}
+
+
+class TestStrictDecode:
+    @pytest.mark.parametrize("payload", [
+        b"not json at all",
+        b"[1,2,3]",
+        b'"just a string"',
+        b"{}",
+        b'{"t": "no-such-type"}',
+        b'{"t": 42}',
+        b'{"t": "op"}',                       # missing op_seq + verb
+        b'{"t": "op", "op_seq": 1}',          # missing verb
+        b'{"t": "op", "op_seq": 1, "verb": ""}',
+        b'{"t": "op", "op_seq": "x", "verb": "insert"}',
+        b'{"t": "hello", "user": ""}',
+        b'{"t": "hello", "user": 7}',
+        b'{"t": "ack", "op_seq": 1, "lsn": "x"}',
+        b'{"t": "notify", "doc": null, "rep_seq": "x"}',
+        b'{"t": "error", "code": ""}',
+        b'\xff\xfe garbage bytes',
+    ])
+    def test_bad_payload_raises(self, payload):
+        decoder = FrameDecoder()
+        frame = struct.pack("!I", len(payload)) + payload
+        with pytest.raises(ProtocolError):
+            list(decoder.feed(frame))
+
+    def test_zero_length_frame(self):
+        with pytest.raises(ProtocolError, match="zero-length"):
+            list(FrameDecoder().feed(struct.pack("!I", 0)))
+
+    def test_hostile_length_header(self):
+        """A 4 GiB declared length must fail before buffering anything."""
+        with pytest.raises(ProtocolError, match="exceeds"):
+            list(FrameDecoder().feed(struct.pack("!I", 0xFFFFFFFF)))
+
+    def test_oversized_encode_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame(Op(op_seq=1, verb="insert",
+                            args={"text": "x" * (MAX_FRAME_BYTES + 1)}))
+
+    def test_partial_frame_never_yields(self):
+        frame = encode_frame(Ping(nonce=7))
+        decoder = FrameDecoder()
+        assert list(decoder.feed(frame[:-1])) == []
+        assert decoder.pending_bytes == len(frame) - 1
+
+    def test_unknown_error_code_falls_back(self):
+        from repro.errors import AccessDenied, NetError
+        from repro.net import error_class
+        assert error_class("AccessDenied") is AccessDenied
+        assert error_class("NoSuchErrorClass") is NetError
+        assert error_class("Oid") is NetError  # not a TendaxError
+
+    def test_decode_envelope_rejects_non_dict(self):
+        with pytest.raises(ProtocolError):
+            decode_envelope([1, 2, 3])
+
+
+# ---------------------------------------------------------------------------
+# Live-socket fuzzing
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def net_server():
+    collab = CollaborationServer()
+    collab.register_user("ana")
+    with ServerThread(collab) as server:
+        yield server
+
+
+def _attack(server, blob: bytes, timeout: float = 5.0):
+    """Send ``blob`` raw; return the envelopes the server answered with.
+
+    The contract under attack: the server may answer (typically one
+    fatal ERROR) but must always close the connection — a hang here
+    fails the test via the socket timeout.
+    """
+    sock = socket.create_connection(("127.0.0.1", server.port),
+                                    timeout=timeout)
+    decoder = FrameDecoder()
+    received = []
+    try:
+        sock.sendall(blob)
+        sock.shutdown(socket.SHUT_WR)
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                return received
+            received.extend(decoder.feed(data))
+    finally:
+        sock.close()
+
+
+def _frame(payload: bytes) -> bytes:
+    return struct.pack("!I", len(payload)) + payload
+
+
+class TestLiveFuzz:
+    @pytest.mark.parametrize("blob", [
+        b"GET / HTTP/1.1\r\n\r\n",
+        _frame(b"not json"),
+        _frame(b"{}"),
+        _frame(b'{"t": "no-such-type"}'),
+        _frame(b'{"t": "hello", "user": ""}'),
+        struct.pack("!I", 0),
+        struct.pack("!I", 0xFFFFFFFF) + b"x" * 64,
+        encode_frame(Op(op_seq=1, verb="insert")),   # op before hello
+        encode_frame(Ack(op_seq=1)),                 # server-only frame
+        encode_frame(Ping()),                        # ping before hello
+    ], ids=["http", "notjson", "empty-obj", "unknown-type", "bad-hello",
+            "zero-len", "hostile-len", "op-first", "ack-first",
+            "ping-first"])
+    def test_malformed_first_frame_closes_cleanly(self, net_server, blob):
+        received = _attack(net_server, blob)
+        # Either a fatal ERROR envelope or an immediate close; never a
+        # crash (the module-scoped server keeps serving later tests).
+        for envelope in received:
+            assert isinstance(envelope, Error)
+            assert envelope.fatal
+
+    def test_truncated_frame_then_close_reaps_connection(self, net_server):
+        frame = encode_frame(Hello(user="ana"))
+        _attack(net_server, frame[:len(frame) // 2])
+        client = NetworkClient("127.0.0.1", net_server.port, "ana")
+        try:
+            assert client.ping() < 5.0
+        finally:
+            client.close()
+
+    def test_random_fuzz_never_wedges_the_server(self, net_server):
+        rng = random.Random(1131)
+        for _ in range(60):
+            size = rng.randrange(1, 200)
+            blob = bytes(rng.randrange(256) for _ in range(size))
+            _attack(net_server, blob)
+        for _ in range(20):
+            # Structure-aware fuzz: valid header, mutated JSON payload.
+            base = bytearray(json.dumps(
+                {"t": rng.choice(list(ENVELOPE_TYPES)),
+                 "user": "ana", "op_seq": 1}).encode())
+            for _ in range(rng.randrange(1, 6)):
+                base[rng.randrange(len(base))] = rng.randrange(256)
+            _attack(net_server, _frame(bytes(base)))
+        client = NetworkClient("127.0.0.1", net_server.port, "ana")
+        try:
+            assert client.ping() < 5.0
+            stats = client.server_stats()
+            assert stats["net"]["protocol_errors"] > 0
+        finally:
+            client.close()
+
+    def test_malformed_after_handshake_is_fatal_for_that_conn_only(
+            self, net_server):
+        victim = socket.create_connection(
+            ("127.0.0.1", net_server.port), timeout=5.0)
+        bystander = NetworkClient("127.0.0.1", net_server.port, "ana")
+        try:
+            victim.sendall(encode_frame(Hello(user="ana")))
+            decoder = FrameDecoder()
+            welcomed = False
+            while not welcomed:
+                data = victim.recv(65536)
+                assert data, "server closed during a valid handshake"
+                for envelope in decoder.feed(data):
+                    assert isinstance(envelope, Welcome)
+                    welcomed = True
+            victim.sendall(_frame(b"post-handshake garbage"))
+            saw_fatal, closed = False, False
+            while not closed:
+                data = victim.recv(65536)
+                if not data:
+                    closed = True
+                    break
+                for envelope in decoder.feed(data):
+                    if isinstance(envelope, Error) and envelope.fatal:
+                        saw_fatal = True
+            assert saw_fatal or closed
+            assert bystander.ping() < 5.0  # unaffected neighbour
+        finally:
+            victim.close()
+            bystander.close()

@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""Network smoke check: real server process, real client processes.
+
+CI's guard on the out-of-process collaboration path.  Two legs:
+
+* **clean** — a ``repro serve`` subprocess plus two typist client
+  processes interleaving edits on one shared document over loopback
+  TCP.  Fails on divergent replicas, notification p99 >= 1 s, or an
+  unclean server shutdown (SIGTERM must exit 0 after ``STOPPED``).
+* **faulted** — same topology with a seeded socket fault plan
+  (``--net-seed``: dropped / delayed / reordered change frames).
+  Replicas must still converge — dropped NOTIFYs heal through
+  anti-entropy resync — and the server must still shut down cleanly.
+
+The typists are *this script* re-invoked with ``--role typist``: one
+OS process per editor, the paper's actual topology, no shared memory.
+
+Usage::
+
+    PYTHONPATH=src python tools/net_smoke.py
+    python tools/net_smoke.py --rounds 40 --net-seed 7331
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from time import monotonic, time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+#: Acceptance bar: keystroke-to-remote-replica visibility, worst case.
+P99_BUDGET_SECONDS = 1.0
+
+
+# ----------------------------------------------------------------------
+# Typist child process
+# ----------------------------------------------------------------------
+
+def run_typist(args: argparse.Namespace) -> int:
+    """Type ``--rounds`` tokens into the shared doc, settle, report."""
+    from repro.net import NetworkClient
+
+    client = NetworkClient("127.0.0.1", args.port, args.user, register=True)
+    try:
+        session = client.session()
+        handle = session.open_named(args.doc)
+        doc = handle.doc
+        latencies: list[float] = []
+        for _ in range(args.rounds):
+            session.insert(doc, handle.length(), args.token)
+            latencies.extend(n.latency for n in client.poll(timeout=0.0))
+        # Settle: drain until the replica holds every typist's keystrokes,
+        # healing dropped frames through periodic anti-entropy resyncs.
+        deadline = monotonic() + args.settle
+        last_sync = monotonic()
+        while handle.length() < args.expect_length:
+            if monotonic() > deadline:
+                break
+            latencies.extend(n.latency for n in client.poll(timeout=0.05))
+            if monotonic() - last_sync > 0.5:
+                client.sync(doc)
+                last_sync = monotonic()
+        latencies.extend(n.latency for n in client.poll(timeout=0.0))
+        result = {
+            "user": args.user,
+            "text": handle.text(),
+            "length": handle.length(),
+            "authors": sorted(handle.authors()),
+            "chain_intact": not handle.check_integrity(),
+            "latencies": latencies,
+            "resyncs": sum(m.resyncs for m in client.mirrors.values()),
+            "ping": client.ping(),
+        }
+        with open(args.out, "w", encoding="utf-8") as out:
+            json.dump(result, out)
+        return 0 if result["length"] == args.expect_length else 2
+    finally:
+        client.close()
+
+
+# ----------------------------------------------------------------------
+# Orchestrating parent
+# ----------------------------------------------------------------------
+
+def _percentile(values: list[float], q: float) -> float:
+    ranked = sorted(values)
+    return ranked[min(len(ranked) - 1, int(q * len(ranked)))]
+
+
+def run_leg(label: str, *, rounds: int, settle: float,
+            net_seed: int | None, timeout: float) -> list[str]:
+    from repro.net import NetworkClient
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    serve_cmd = [sys.executable, "-m", "repro", "serve"]
+    if net_seed is not None:
+        serve_cmd += ["--net-seed", str(net_seed)]
+    problems: list[str] = []
+    doc_name = f"smoke-{label}"
+    typists = (("ana", "a"), ("ben", "b"))
+    expect = rounds * sum(len(token) for _, token in typists)
+
+    server = subprocess.Popen(serve_cmd, stdout=subprocess.PIPE,
+                              stderr=subprocess.PIPE, text=True, env=env)
+    outs = []
+    children = []
+    try:
+        line = server.stdout.readline().strip()
+        if not line.startswith("LISTENING "):
+            return [f"{label}: server never bound (got {line!r})"]
+        port = int(line.split()[1])
+
+        # Rendezvous: create the shared document once, before any typist
+        # races another into creating a same-named duplicate.
+        setup = NetworkClient("127.0.0.1", port, "smoke", register=True)
+        try:
+            setup.session().create_document(doc_name)
+        finally:
+            setup.close()
+
+        for user, token in typists:
+            fd, out_path = tempfile.mkstemp(suffix=".json")
+            os.close(fd)
+            outs.append(out_path)
+            children.append(subprocess.Popen(
+                [sys.executable, os.path.abspath(__file__),
+                 "--role", "typist", "--port", str(port),
+                 "--user", user, "--token-text", token,
+                 "--doc", doc_name, "--rounds", str(rounds),
+                 "--settle", str(settle),
+                 "--expect-length", str(expect), "--out", out_path],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                text=True, env=env))
+
+        started = monotonic()
+        results = []
+        for (user, _), child, out_path in zip(typists, children, outs):
+            budget = max(1.0, timeout - (monotonic() - started))
+            try:
+                _, err = child.communicate(timeout=budget)
+            except subprocess.TimeoutExpired:
+                child.kill()
+                _, err = child.communicate()
+                problems.append(f"{label}: typist {user} hung")
+                continue
+            if child.returncode != 0:
+                tail = err.strip().splitlines()[-1] if err.strip() else ""
+                problems.append(f"{label}: typist {user} exited "
+                                f"{child.returncode} ({tail})")
+            try:
+                with open(out_path, "r", encoding="utf-8") as handle:
+                    results.append(json.load(handle))
+            except (OSError, ValueError):
+                problems.append(f"{label}: typist {user} wrote no result")
+
+        if len(results) == len(typists):
+            texts = {r["text"] for r in results}
+            if len(texts) != 1:
+                problems.append(
+                    f"{label}: replicas diverged: "
+                    f"{[r['text'][:40] for r in results]}")
+            else:
+                text = results[0]["text"]
+                if len(text) != expect:
+                    problems.append(f"{label}: converged text has "
+                                    f"{len(text)} chars, expected {expect}")
+                for user, token in typists:
+                    if text.count(token) < rounds:
+                        problems.append(f"{label}: lost keystrokes from "
+                                        f"{user}")
+            for r in results:
+                if not r["chain_intact"]:
+                    problems.append(f"{label}: {r['user']}'s replica "
+                                    f"chain is broken")
+            latencies = [lat for r in results for lat in r["latencies"]]
+            if latencies:
+                p99 = _percentile(latencies, 0.99)
+                if p99 >= P99_BUDGET_SECONDS:
+                    problems.append(f"{label}: notify p99 {p99:.3f}s "
+                                    f">= {P99_BUDGET_SECONDS}s")
+                print(f"{label}: {len(latencies)} notifies, "
+                      f"p50 {_percentile(latencies, 0.5) * 1000:.1f} ms, "
+                      f"p99 {p99 * 1000:.1f} ms")
+            resyncs = sum(r["resyncs"] for r in results)
+            print(f"{label}: converged at {expect} chars, "
+                  f"{resyncs} client resync(s), "
+                  f"ping {min(r['ping'] for r in results) * 1000:.2f} ms")
+            if net_seed is None and resyncs:
+                problems.append(f"{label}: resync on the clean leg — the "
+                                f"delta path dropped frames")
+    finally:
+        server.terminate()
+        try:
+            out, err = server.communicate(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            out, err = server.communicate()
+            problems.append(f"{label}: server ignored SIGTERM")
+        else:
+            if server.returncode != 0 or "STOPPED" not in out:
+                tail = err.strip().splitlines()[-1] if err.strip() else ""
+                problems.append(f"{label}: unclean server shutdown "
+                                f"(rc={server.returncode}, {tail})")
+        for child in children:
+            if child.poll() is None:
+                child.kill()
+        for out_path in outs:
+            try:
+                os.unlink(out_path)
+            except OSError:
+                pass
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--role", choices=("orchestrate", "typist"),
+                        default="orchestrate")
+    parser.add_argument("--rounds", type=int, default=25,
+                        help="keystroke tokens per typist")
+    parser.add_argument("--settle", type=float, default=10.0,
+                        help="max seconds a typist waits for convergence")
+    parser.add_argument("--net-seed", type=int, default=20061131,
+                        help="seed for the faulted leg's socket plan")
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="per-leg wall-clock budget")
+    # typist-role plumbing
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--user", default="typist")
+    parser.add_argument("--token-text", dest="token", default="x")
+    parser.add_argument("--doc", default="smoke")
+    parser.add_argument("--expect-length", type=int, default=0)
+    parser.add_argument("--out", default=None)
+    args = parser.parse_args(argv)
+
+    if args.role == "typist":
+        return run_typist(args)
+
+    problems = run_leg("clean", rounds=args.rounds, settle=args.settle,
+                       net_seed=None, timeout=args.timeout)
+    problems += run_leg(f"faulted(seed={args.net_seed})",
+                        rounds=args.rounds, settle=args.settle,
+                        net_seed=args.net_seed, timeout=args.timeout)
+    for problem in problems:
+        print(f"net smoke FAILED: {problem}", file=sys.stderr)
+    if not problems:
+        print("net smoke OK")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

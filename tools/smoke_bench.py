@@ -54,6 +54,8 @@ SMOKE_NODES = (
     "benchmarks/bench_lineage.py::test_build_lineage_graph[10]",
     "benchmarks/bench_visual_mining.py::test_feature_extraction",
     "benchmarks/bench_search.py::test_indexed_content_search[50]",
+    "benchmarks/bench_net.py::test_connect_storm[8]",
+    "benchmarks/bench_net.py::test_fanout_latency[2]",
 )
 
 #: Headline nodes whose medians are tracked in BENCH_trend.json.
@@ -73,6 +75,10 @@ TREND_NODES = {
         "c1_cache_splice_flat_256k",
     "benchmarks/bench_collaborative_editing.py::test_replication_visibility[2]":
         "c3_replication_visibility_2",
+    "benchmarks/bench_net.py::test_connect_storm[8]":
+        "d7_connect_storm_8",
+    "benchmarks/bench_net.py::test_fanout_latency[2]":
+        "d7_fanout_latency_2",
 }
 
 TREND_PATH = os.path.join(REPO, "BENCH_trend.json")
