@@ -9,7 +9,10 @@ that hop over real loopback sockets.  Three measurements:
   remote replica has spliced it (the socket analogue of
   ``collab.replication_seconds``);
 * **durable keystroke throughput** — sustained typing over the wire
-  against a file-backed WAL, every ACK carrying the durable LSN.
+  against a file-backed WAL, every ACK carrying the durable LSN;
+* **stats scrape** — a full STATS round-trip (connect + telemetry
+  snapshot + parse) with N labelled series live, while an editor keeps
+  typing — the cost a monitoring poller imposes on a busy server.
 
 All benches run the server on its own thread (``ServerThread``) with
 real TCP clients, so the numbers include framing, syscalls and the
@@ -29,6 +32,7 @@ SETTLE_SECONDS = 10.0
 STORM_SIZES = [8]
 FANOUT_SIZES = [2, 4]
 THROUGHPUT_KEYS = 50
+SCRAPE_SERIES = [32]
 
 
 def _server(n_users: int, wal_path: str | None = None):
@@ -124,3 +128,50 @@ def test_durable_keystroke_throughput(benchmark, tmp_path):
             benchmark.extra_info["net_ops"] = stats["net"]["ops"]
         finally:
             client.close()
+
+
+@pytest.mark.parametrize("n_series", SCRAPE_SERIES)
+def test_stats_scrape(benchmark, n_series):
+    """STATS round-trip with N labelled series live under typing load."""
+    from repro.net import scrape
+
+    collab = _server(1)
+    registry = collab.db.obs.registry
+    # Pre-populate N labelled series beyond what the workload creates,
+    # so the scraped snapshot carries a realistic dimensioned payload.
+    family = registry.family("collab.notifications", "counter")
+    for i in range(n_series):
+        family.labels(doc=f"tendax.doc:{i}").inc()
+    with ServerThread(collab, telemetry_interval=0.0) as thread:
+        client = NetworkClient("127.0.0.1", thread.port, "user0")
+        session = client.session()
+        handle = session.create_document("scrape").doc
+        state = {"anchor": session.handle(handle).begin_char}
+        telemetry = thread.server.telemetry
+        try:
+
+            def typing_load():
+                # A burst of wire keystrokes + one sample between
+                # scrapes: the poller never sees an idle server.
+                anchor = state["anchor"]
+                for __ in range(5):
+                    anchor = session.insert_after(handle, anchor, "k")[0]
+                state["anchor"] = anchor
+                telemetry.sample()
+                return (), {}
+
+            def one_scrape():
+                return scrape("127.0.0.1", thread.port, kind="stats")
+
+            benchmark.group = "D7 stats scrape (round-trip under load)"
+            benchmark.extra_info["series"] = n_series
+            payload = benchmark.pedantic(one_scrape, setup=typing_load,
+                                         rounds=10, iterations=1)
+        finally:
+            client.close()
+    snapshot = payload["telemetry"]
+    labelled = [name for name in snapshot["series"] if "{" in name]
+    assert len(labelled) >= n_series, "scrape lost the labelled series"
+    assert payload["metrics"], "scrape returned no metrics"
+    # Ride the time-series snapshot into BENCH_obs.json (v2 block).
+    benchmark.extra_info["telemetry"] = snapshot

@@ -47,11 +47,17 @@ def _bench_obs(request):
         return
     compact = compact_snapshot(merged)
     benchmark.extra_info["obs"] = compact
-    _OBS_ENTRIES.append({
+    entry = {
         "name": request.node.name,
         "group": benchmark.group,
         "metrics": compact,
-    })
+    }
+    # A bench may attach a TelemetryStore.snapshot() (the D7 scrape
+    # bench does); it rides into BENCH_obs.json as the v2 block.
+    telemetry = benchmark.extra_info.pop("telemetry", None)
+    if isinstance(telemetry, dict):
+        entry["telemetry"] = telemetry
+    _OBS_ENTRIES.append(entry)
 
 
 def pytest_sessionfinish(session, exitstatus):

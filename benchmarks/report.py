@@ -26,7 +26,13 @@ from collections import defaultdict
 
 #: Schema identifier stamped into every BENCH_obs.json.  Bump only with
 #: a corresponding validator + docs update.
-SCHEMA_ID = "tendax.bench-obs.v1"
+SCHEMA_ID = "tendax.bench-obs.v2"
+
+#: Previous schema, still readable: v1 payloads had no labelled metric
+#: names and no per-bench ``telemetry`` time-series block.
+SCHEMA_V1 = "tendax.bench-obs.v1"
+
+ACCEPTED_SCHEMAS = (SCHEMA_ID, SCHEMA_V1)
 
 
 def _fmt_seconds(value: float) -> str:
@@ -100,9 +106,10 @@ def validate_obs_payload(payload, *, require_core: bool = False
     errors: list[str] = []
     if not isinstance(payload, dict):
         return [f"payload must be an object, got {type(payload).__name__}"]
-    if payload.get("schema") != SCHEMA_ID:
+    if payload.get("schema") not in ACCEPTED_SCHEMAS:
         errors.append(
-            f"schema is {payload.get('schema')!r}, expected {SCHEMA_ID!r}")
+            f"schema is {payload.get('schema')!r}, expected one of "
+            f"{ACCEPTED_SCHEMAS!r}")
     benches = payload.get("benchmarks")
     if not isinstance(benches, list):
         errors.append("'benchmarks' must be a list")
@@ -140,10 +147,45 @@ def validate_obs_payload(payload, *, require_core: bool = False
                 errors.append(
                     f"{where}.metrics[{name!r}] has unknown type {kind!r}")
         seen_names.update(metrics)
+        errors.extend(_validate_telemetry(entry.get("telemetry"), where))
     if require_core:
         for name in missing_required(seen_names):
             errors.append(f"required metric {name!r} missing from all "
                           "benchmarks (name regression?)")
+    return errors
+
+
+def _validate_telemetry(telemetry, where: str) -> list[str]:
+    """Check an entry's optional v2 ``telemetry`` time-series block."""
+    from repro.obs import TELEMETRY_SCHEMA, unknown_names
+
+    if telemetry is None:
+        return []
+    prefix = f"{where}.telemetry"
+    if not isinstance(telemetry, dict):
+        return [f"{prefix} must be an object"]
+    errors: list[str] = []
+    if telemetry.get("schema") != TELEMETRY_SCHEMA:
+        errors.append(f"{prefix}.schema is {telemetry.get('schema')!r}, "
+                      f"expected {TELEMETRY_SCHEMA!r}")
+    series = telemetry.get("series")
+    if not isinstance(series, dict):
+        errors.append(f"{prefix}.series must be an object")
+        series = {}
+    windows = telemetry.get("windows")
+    if not isinstance(windows, dict):
+        errors.append(f"{prefix}.windows must be an object")
+        windows = {}
+    for alien in unknown_names(set(series) | set(windows)):
+        errors.append(f"{prefix}: metric {alien!r} not in the catalogue")
+    for name, per_window in windows.items():
+        if not isinstance(per_window, dict):
+            errors.append(f"{prefix}.windows[{name!r}] must be an object")
+            continue
+        for label, agg in per_window.items():
+            if not isinstance(agg, dict) or "kind" not in agg:
+                errors.append(f"{prefix}.windows[{name!r}][{label!r}] "
+                              "needs a 'kind'")
     return errors
 
 

@@ -17,7 +17,14 @@ code:
 * ``serve`` — run the out-of-process collaboration server on a TCP
   port (prints ``LISTENING <port>`` once bound, for scripts);
 * ``connect`` — connect to a running server, type into a named
-  document and print what the replica sees.
+  document and print what the replica sees;
+* ``dash`` — scrape STATS + HEALTH from a running server and render
+  a one-screen dashboard (health verdict + windowed trend table).
+
+``top --watch``, ``connect --watch`` and ``dash --watch`` pace their
+refresh loops through :data:`WATCH_CLOCK` (a :class:`~repro.clock.Clock`)
+so tests can swap in a :class:`~repro.clock.SimulatedClock` and drive
+the loops deterministically.
 """
 
 from __future__ import annotations
@@ -26,6 +33,24 @@ import argparse
 import statistics
 import sys
 from typing import Sequence
+
+from .clock import Clock, SystemClock
+
+#: Clock behind every ``--watch`` loop.  Production leaves the default
+#: SystemClock in place; tests swap in a SimulatedClock so watch loops
+#: terminate without real sleeping.
+WATCH_CLOCK: Clock = SystemClock()
+
+
+def _watch_sleep(seconds: float) -> None:
+    """Sleep on WATCH_CLOCK: advance a simulated clock, else real sleep."""
+    advance = getattr(WATCH_CLOCK, "advance", None)
+    if advance is not None:
+        advance(seconds)
+        return
+    import time
+
+    time.sleep(seconds)
 
 
 def _cmd_lan_party(args: argparse.Namespace) -> int:
@@ -82,11 +107,48 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_hostport(spec: str) -> tuple[str, int]:
+    """``HOST:PORT`` (or bare ``PORT``) -> (host, port)."""
+    host, sep, port = spec.rpartition(":")
+    if not sep:
+        host, port = "127.0.0.1", spec
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise SystemExit(f"bad --remote address {spec!r}: want HOST:PORT")
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     import json
 
     from .obs import render_snapshot
     from .workload import build_knowledge_base
+
+    if args.remote is not None:
+        from .obs import render_trends
+        from .net import scrape
+
+        host, port = _parse_hostport(args.remote)
+        fmt = "prom" if args.format == "prom" else "json"
+        payload = scrape(host, port, kind="stats", fmt=fmt,
+                         token=args.token)
+        if args.format == "prom":
+            sys.stdout.write(payload)
+        elif args.format == "json" or args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(f"node          : {payload.get('node')}")
+            server_stats = payload.get("server", {})
+            for key in sorted(server_stats):
+                print(f"{key:<14}: {server_stats[key]}")
+            print("\nengine metrics:")
+            print(render_snapshot(payload.get("metrics", {})))
+            telemetry = payload.get("telemetry") or {}
+            windows = telemetry.get("windows")
+            if windows:
+                print("\ntrends:")
+                print(render_trends(windows))
+        return 0
 
     kb = build_knowledge_base(n_docs=args.docs, seed=args.seed)
     db = kb.server.db
@@ -108,8 +170,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_traced_workload(args: argparse.Namespace):
-    """Run the traced duet (with optional held delivery) for trace/top."""
+def _run_traced_workload(args: argparse.Namespace, server=None):
+    """Run the traced duet (with optional held delivery) for trace/top.
+
+    ``server`` re-runs the workload against an existing server so
+    ``top --watch`` accumulates history in one registry across
+    refreshes instead of starting from zero each frame.
+    """
     import os
     import tempfile
 
@@ -120,6 +187,9 @@ def _run_traced_workload(args: argparse.Namespace):
         from .faults import FaultInjector, FaultPlan
         faults = FaultInjector(FaultPlan.delivery_only(args.hold_seed))
     slow = args.slow_ms / 1000.0 if args.slow_ms is not None else None
+    if server is not None:
+        return run_traced_duet(text=args.text, faults=faults,
+                               slow_threshold=slow, server=server)
     # A real WAL file makes the fsync leg show up in every trace.
     fd, wal_path = tempfile.mkstemp(suffix=".wal")
     os.close(fd)
@@ -162,16 +232,28 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
-    from .obs import render_top
+    from .obs import TelemetryStore, render_top, render_trends
 
     refreshes = max(1, args.watch)
+    server = None
+    telemetry = None
     for round_no in range(refreshes):
-        server, buffer = _run_traced_workload(args)
+        server, buffer = _run_traced_workload(args, server=server)
+        if telemetry is None:
+            telemetry = TelemetryStore(server.db.obs.registry,
+                                       server.db.clock, interval=0.0)
+        telemetry.sample()
         view = render_top(server.db.metrics_snapshot(), buffer.traces(),
                           limit=args.limit)
         if refreshes > 1:
             print(f"-- refresh {round_no + 1}/{refreshes} --")
         print(view)
+        if refreshes > 1:
+            print("\ntrends:")
+            print(render_trends(telemetry.snapshot()["windows"],
+                                limit=args.limit))
+        if round_no + 1 < refreshes:
+            _watch_sleep(args.interval)
     return 0
 
 
@@ -234,7 +316,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         faults = FaultInjector(FaultPlan.net_only(args.net_seed))
     collab = CollaborationServer(node=args.node, wal_path=args.wal)
     net = CollabNetServer(collab, host=args.host, port=args.port,
-                          token=args.token, faults=faults)
+                          token=args.token, faults=faults,
+                          telemetry_interval=args.telemetry_interval)
 
     async def run() -> None:
         import contextlib
@@ -286,9 +369,8 @@ def _cmd_connect(args: argparse.Namespace) -> int:
             session.insert(handle.doc, handle.length(), args.type)
             print(f"typed {len(args.type)} chars")
         if args.watch:
-            from time import time as now
-            deadline = now() + args.watch
-            while now() < deadline:
+            deadline = WATCH_CLOCK.now() + args.watch
+            while WATCH_CLOCK.now() < deadline:
                 for note in client.poll(timeout=0.1):
                     print(f"notify seq={note.rep_seq} "
                           f"changes={note.n_changes} "
@@ -304,6 +386,24 @@ def _cmd_connect(args: argparse.Namespace) -> int:
         return 0
     finally:
         client.close()
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    from .net import scrape
+    from .obs import render_dash
+
+    refreshes = max(1, args.watch)
+    for round_no in range(refreshes):
+        stats = scrape(args.host, args.port, kind="stats",
+                       token=args.token)
+        health = scrape(args.host, args.port, kind="health",
+                        token=args.token)
+        if refreshes > 1:
+            print(f"-- refresh {round_no + 1}/{refreshes} --")
+        print(render_dash(stats, health, limit=args.limit))
+        if round_no + 1 < refreshes:
+            _watch_sleep(args.interval)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -338,6 +438,15 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--seed", type=int, default=2006)
     stats.add_argument("--json", action="store_true",
                        help="emit the raw metrics snapshot as JSON")
+    stats.add_argument("--remote", default=None, metavar="HOST:PORT",
+                       help="scrape a running server instead of "
+                            "generating a local workload")
+    stats.add_argument("--format", choices=("text", "json", "prom"),
+                       default="text",
+                       help="remote output format (prom = Prometheus "
+                            "text exposition)")
+    stats.add_argument("--token", default=None,
+                       help="shared secret for the remote scrape")
     stats.set_defaults(fn=_cmd_stats)
 
     trace = sub.add_parser(
@@ -356,6 +465,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_traced_options(top)
     top.add_argument("--watch", type=int, default=1,
                      help="re-run and re-render this many times")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="seconds between refreshes (paced on the "
+                          "watch clock)")
     top.add_argument("--limit", type=int, default=8,
                      help="rows per section")
     top.set_defaults(fn=_cmd_top)
@@ -386,6 +498,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--net-seed", type=int, default=None,
                        help="inject a seeded socket fault plan "
                             "(drop/delay/reorder on change frames)")
+    serve.add_argument("--telemetry-interval", type=float, default=1.0,
+                       help="seconds between telemetry samples "
+                            "(0 disables the sampler)")
     serve.set_defaults(fn=_cmd_serve)
 
     connect = sub.add_parser(
@@ -401,6 +516,20 @@ def build_parser() -> argparse.ArgumentParser:
     connect.add_argument("--watch", type=float, default=0.0,
                          help="poll for remote changes this many seconds")
     connect.set_defaults(fn=_cmd_connect)
+
+    dash = sub.add_parser(
+        "dash", help="live dashboard scraped from a running server")
+    dash.add_argument("--host", default="127.0.0.1")
+    dash.add_argument("--port", type=int, required=True)
+    dash.add_argument("--token", default=None)
+    dash.add_argument("--watch", type=int, default=1,
+                      help="scrape and re-render this many times")
+    dash.add_argument("--interval", type=float, default=2.0,
+                      help="seconds between refreshes (paced on the "
+                           "watch clock)")
+    dash.add_argument("--limit", type=int, default=12,
+                      help="trend rows to show")
+    dash.set_defaults(fn=_cmd_dash)
     return parser
 
 

@@ -62,6 +62,11 @@ class CollaborationServer:
         self._m_op_seconds = registry.histogram("collab.op_seconds")
         self._m_notifications = registry.counter("collab.notifications")
         self._m_sessions = registry.gauge("collab.sessions")
+        # Dimensioned families: op latency by verb, fan-out by document.
+        self._f_op_seconds = registry.family("collab.op_seconds",
+                                             "histogram")
+        self._f_notifications = registry.family("collab.notifications",
+                                                "counter")
         #: The "network" between commits and session inboxes.
         self.delivery = DeliveryBus(self.faults, registry=registry,
                                     tracer=self._tracer)
@@ -152,7 +157,7 @@ class CollaborationServer:
 
     def sessions_on(self, doc) -> list[EditingSession]:
         """Sessions that have ``doc`` open."""
-        return [s for s in self._sessions.values()
+        return [s for s in list(self._sessions.values())
                 if doc in s.open_documents()]
 
     # ------------------------------------------------------------------
@@ -207,7 +212,10 @@ class CollaborationServer:
             try:
                 yield
             finally:
-                self._m_op_seconds.observe(perf_counter() - started)
+                elapsed = perf_counter() - started
+                self._m_op_seconds.observe(elapsed)
+                if verb:
+                    self._f_op_seconds.labels(verb=verb).observe(elapsed)
                 self._operating_session = previous
                 self._operating_started = previous_started
 
@@ -252,12 +260,17 @@ class CollaborationServer:
                     parent_span=ctx[1] if ctx else None,
                     origin_started=origin_started,
                 )
-                for session in self._sessions.values():
+                doc_notifications = self._f_notifications.labels(
+                    doc=doc)
+                # Snapshot: connect()/disconnect() may run on another
+                # thread while a commit fans out.
+                for session in list(self._sessions.values()):
                     if doc in session.open_documents():
                         if origin is not None and session.id == origin.id:
                             continue
                         self.delivery.send(session, notification)
                         self._m_notifications.inc()
+                        doc_notifications.inc()
 
     # ------------------------------------------------------------------
     # Teardown

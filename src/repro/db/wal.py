@@ -175,6 +175,9 @@ class WriteAheadLog:
         self._m_bytes = reg.counter("wal.appended_bytes")
         self._m_fsyncs = reg.counter("wal.fsyncs")
         self._m_fsync_seconds = reg.histogram("wal.fsync_seconds")
+        self._f_group_size = reg.family("wal.group_commit_size",
+                                        "histogram",
+                                        buckets=COUNT_BUCKETS)
         self._m_group_size = reg.histogram("wal.group_commit_size",
                                            buckets=COUNT_BUCKETS)
         self._m_sync_wait = reg.histogram("wal.sync_wait_seconds")
@@ -252,6 +255,7 @@ class WriteAheadLog:
             self._m_fsyncs.inc()
             self._m_fsync_seconds.observe(perf_counter() - fsync_started)
             self._m_group_size.observe(group)
+            self._f_group_size.labels(role="solo").observe(group)
 
     def _sync_to(self, lsn: int, type_: str, txn_id: int) -> None:
         """Block until ``lsn`` is durable (group-commit barrier).
@@ -345,6 +349,7 @@ class WriteAheadLog:
                 self._m_fsyncs.inc()
                 self._m_fsync_seconds.observe(perf_counter() - fsync_started)
                 self._m_group_size.observe(group)
+                self._f_group_size.labels(role="leader").observe(group)
         except BaseException:
             with cond:
                 self._leader_busy = False

@@ -24,7 +24,8 @@ disconnect on outbound change frames) rides on the same
 DeliveryBus — see :class:`~repro.faults.plan.NetFault`.
 """
 
-from .client import NetNotification, NetworkClient, RemoteHandle, RemoteSession
+from .client import (NetNotification, NetworkClient, RemoteHandle,
+                     RemoteSession, scrape)
 from .mirror import DocMirror
 from .protocol import (
     MAX_FRAME_BYTES,
@@ -35,12 +36,16 @@ from .protocol import (
     Envelope,
     Error,
     FrameDecoder,
+    Health,
+    HealthReply,
     Hello,
     Notify,
     Op,
     Ping,
     Pong,
     ProtocolError,
+    Stats,
+    StatsReply,
     Welcome,
     decode_envelope,
     encode_frame,
@@ -59,6 +64,8 @@ __all__ = [
     "Envelope",
     "Error",
     "FrameDecoder",
+    "Health",
+    "HealthReply",
     "Hello",
     "NetNotification",
     "NetworkClient",
@@ -70,8 +77,11 @@ __all__ = [
     "RemoteHandle",
     "RemoteSession",
     "ServerThread",
+    "Stats",
+    "StatsReply",
     "Welcome",
     "decode_envelope",
     "encode_frame",
     "error_class",
+    "scrape",
 ]

@@ -47,18 +47,59 @@ from .protocol import (
     Bye,
     Error,
     FrameDecoder,
+    Health,
+    HealthReply,
     Hello,
     Notify,
     Op,
     Ping,
     Pong,
+    Stats,
+    StatsReply,
     Welcome,
     encode_frame,
     error_class,
 )
 
 __all__ = ["NetNotification", "NetworkClient", "RemoteHandle",
-           "RemoteSession"]
+           "RemoteSession", "scrape"]
+
+
+def scrape(host: str, port: int, *, kind: str = "stats",
+           fmt: str = "json", series: bool = True,
+           token: str | None = None, timeout: float = 5.0):
+    """One-shot STATS/HEALTH scrape — no HELLO, no editor session.
+
+    The monitoring path ``repro stats --remote`` and ``repro dash`` ride
+    on: opens a TCP connection, sends a single :class:`Stats` (``kind=
+    "stats"``, honouring ``fmt``/``series``) or :class:`Health` request
+    as the first frame, and returns the reply payload — the structured
+    stats dict, the Prometheus text, or the health-verdict dict.
+    """
+    if kind == "stats":
+        request = Stats(format=fmt, series=series, token=token)
+    elif kind == "health":
+        request = Health(token=token)
+    else:
+        raise ValueError(f"scrape kind must be stats|health, not {kind!r}")
+    decoder = FrameDecoder()
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(encode_frame(request))
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                raise NetError("scrape connection closed without a reply")
+            for envelope in decoder.feed(data):
+                if isinstance(envelope, StatsReply):
+                    return envelope.payload
+                if isinstance(envelope, HealthReply):
+                    return {"status": envelope.status,
+                            "checks": list(envelope.checks),
+                            "at": envelope.at}
+                if isinstance(envelope, Error):
+                    raise error_class(envelope.code)(envelope.message)
+                raise NetError(
+                    f"unexpected {envelope.TYPE!r} scrape reply")
 
 #: Buffered out-of-order deltas beyond which the client stops waiting
 #: for the gap to fill and schedules an anti-entropy resync.
@@ -376,6 +417,10 @@ class NetworkClient:
 
     def server_stats(self) -> dict:
         return self._rpc("stats", {})
+
+    def server_health(self) -> dict:
+        """The server's windowed health verdict (authenticated lane)."""
+        return self._rpc("health", {})
 
     def session(self) -> "RemoteSession":
         """The session facade an :class:`EditorClient` binds to."""

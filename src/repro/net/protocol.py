@@ -33,6 +33,16 @@ Envelope types
     broadcast).  Fire-and-forget: never acked, faultable like NOTIFY.
 ``PING`` / ``PONG`` / ``BYE``
     Liveness and orderly goodbye.
+``STATS`` / ``STATS_REPLY`` and ``HEALTH`` / ``HEALTH_REPLY``
+    The telemetry scrape lane.  STATS asks for the server's labelled
+    metrics snapshot — ``format="json"`` returns the structured payload
+    (metrics + time-series windows), ``format="prom"`` returns
+    Prometheus text exposition in ``StatsReply.payload``.  HEALTH
+    returns the windowed health verdict (``ok``/``degraded``/
+    ``unhealthy`` plus per-check detail).  Both are accepted **as a
+    connection's first frame** — a monitoring agent scrapes without
+    authenticating as an editor (the shared token, when configured, is
+    still required) — and also mid-session after HELLO.
 
 The protocol is deliberately strict: unknown envelope types, missing or
 mistyped required fields, oversized or malformed frames all raise
@@ -61,12 +71,16 @@ __all__ = [
     "Envelope",
     "Error",
     "FrameDecoder",
+    "Health",
+    "HealthReply",
     "Hello",
     "Notify",
     "Op",
     "Ping",
     "Pong",
     "ProtocolError",
+    "Stats",
+    "StatsReply",
     "Welcome",
     "decode_envelope",
     "encode_frame",
@@ -334,11 +348,79 @@ class Bye(Envelope):
     reason: str = ""
 
 
+#: Exposition formats a STATS request may ask for.
+STATS_FORMATS = ("json", "prom")
+
+
+@dataclass(frozen=True)
+class Stats(Envelope):
+    """Telemetry scrape request (allowed pre-auth as a first frame)."""
+
+    TYPE: ClassVar[str] = "stats"
+
+    format: str = "json"
+    series: bool = True
+    token: str | None = None
+
+    def _validate(self) -> None:
+        _require(self.format in STATS_FORMATS,
+                 f"stats.format must be one of {STATS_FORMATS}")
+
+
+@dataclass(frozen=True)
+class StatsReply(Envelope):
+    """Scrape response: a JSON stats payload or Prometheus text."""
+
+    TYPE: ClassVar[str] = "stats_reply"
+
+    format: str = "json"
+    payload: Any = None
+    at: float = 0.0
+
+    def _validate(self) -> None:
+        _require(self.format in STATS_FORMATS,
+                 f"stats_reply.format must be one of {STATS_FORMATS}")
+        if self.format == "prom":
+            _require(isinstance(self.payload, str),
+                     "stats_reply.payload must be text for format=prom")
+
+
+@dataclass(frozen=True)
+class Health(Envelope):
+    """Health-verdict request (allowed pre-auth as a first frame)."""
+
+    TYPE: ClassVar[str] = "health"
+
+    token: str | None = None
+
+
+@dataclass(frozen=True)
+class HealthReply(Envelope):
+    """The windowed health verdict with per-check detail."""
+
+    TYPE: ClassVar[str] = "health_reply"
+
+    status: str = "ok"
+    checks: tuple = ()
+    at: float = 0.0
+
+    def _validate(self) -> None:
+        _require(self.status in ("ok", "degraded", "unhealthy"),
+                 "health_reply.status must be ok|degraded|unhealthy")
+
+    @classmethod
+    def from_wire(cls, obj: dict) -> "HealthReply":
+        env = super().from_wire(obj)
+        if isinstance(env.checks, list):
+            object.__setattr__(env, "checks", tuple(env.checks))
+        return env  # type: ignore[return-value]
+
+
 #: type string -> envelope class (the decode dispatch table).
 ENVELOPE_TYPES: dict[str, type[Envelope]] = {
     cls.TYPE: cls
     for cls in (Hello, Welcome, Op, Ack, Error, Notify, Awareness,
-                Ping, Pong, Bye)
+                Ping, Pong, Bye, Stats, StatsReply, Health, HealthReply)
 }
 
 

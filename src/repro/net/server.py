@@ -48,6 +48,10 @@ from typing import TYPE_CHECKING, Any
 
 from ..errors import NetError, ProtocolError, TendaxError
 from ..faults.injector import NO_FAULTS
+from ..obs.export import prometheus_text
+from ..obs.health import evaluate_health
+from ..obs.slo import SLOEvaluator
+from ..obs.timeseries import TelemetryStore
 from ..text import chars as C
 from ..text import dbschema as S
 from .protocol import (
@@ -58,11 +62,15 @@ from .protocol import (
     Envelope,
     Error,
     FrameDecoder,
+    Health,
+    HealthReply,
     Hello,
     Notify,
     Op,
     Ping,
     Pong,
+    Stats,
+    StatsReply,
     Welcome,
     encode_frame,
 )
@@ -111,7 +119,8 @@ class CollabNetServer:
     def __init__(self, collab: "CollaborationServer", *,
                  host: str = "127.0.0.1", port: int = 0,
                  token: str | None = None, send_queue: int = 256,
-                 handshake_timeout: float = 10.0, faults=None) -> None:
+                 handshake_timeout: float = 10.0, faults=None,
+                 telemetry_interval: float = 1.0) -> None:
         self.collab = collab
         self.host = host
         self.port = port
@@ -119,8 +128,15 @@ class CollabNetServer:
         self.send_queue = send_queue
         self.handshake_timeout = handshake_timeout
         self.faults = faults if faults is not None else NO_FAULTS
+        self.telemetry_interval = telemetry_interval
         registry = collab.db.obs.registry
         self._tracer = collab.db.obs.tracer
+        #: The live telemetry rings behind STATS/HEALTH and repro dash,
+        #: sampled on the database clock by the sampler task.
+        self.telemetry = TelemetryStore(
+            registry, collab.db.clock,
+            interval=max(telemetry_interval, 0.05))
+        self.slo = SLOEvaluator(self.telemetry)
         self._m_connections = registry.gauge("net.connections")
         self._m_connects = registry.counter("net.connects")
         self._m_frames_in = registry.counter("net.frames_in")
@@ -135,6 +151,12 @@ class CollabNetServer:
         self._m_dropped = registry.counter("net.frames_dropped")
         self._m_delayed = registry.counter("net.frames_delayed")
         self._m_resyncs = registry.counter("net.resyncs")
+        self._m_scrapes = registry.counter("net.scrapes")
+        # Dimensioned families (pre-resolved; .labels() per event).
+        self._f_op_seconds = registry.family("net.op_seconds", "histogram")
+        self._f_notifies = registry.family("net.notifies", "counter")
+        self._f_queue_depth = registry.family("net.send_queue_depth",
+                                              "gauge")
         self._connections: dict[int, _Connection] = {}
         self._conn_ids = itertools.count(1)
         #: doc oid -> replication sequence of the last fanned-out commit.
@@ -149,6 +171,7 @@ class CollabNetServer:
         self._current_echo: list[dict] | None = None
         self._commit_sub = None
         self._handler_tasks: set[asyncio.Task] = set()
+        self._sampler_task: asyncio.Task | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -167,10 +190,24 @@ class CollabNetServer:
         # spliced their caches when the wire fan-out reads state.
         self._commit_sub = self.collab.db.bus.subscribe(
             "db.commit", self._on_commit)
+        if self.telemetry_interval > 0:
+            self._sampler_task = asyncio.ensure_future(self._sample_loop())
         return self
+
+    async def _sample_loop(self) -> None:
+        """Feed the telemetry rings and SLO gauges on a fixed cadence."""
+        while True:
+            await asyncio.sleep(self.telemetry_interval)
+            self.telemetry.sample()
+            self.slo.evaluate()
 
     async def stop(self) -> None:
         """Close every connection and stop listening."""
+        if self._sampler_task is not None:
+            self._sampler_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._sampler_task
+            self._sampler_task = None
         if self._commit_sub is not None:
             self._commit_sub.cancel()
             self._commit_sub = None
@@ -206,7 +243,71 @@ class CollabNetServer:
             "frames_dropped": self._m_dropped.value,
             "frames_delayed": self._m_delayed.value,
             "resyncs": self._m_resyncs.value,
+            "scrapes": self._m_scrapes.value,
         }
+
+    # ------------------------------------------------------------------
+    # Telemetry scrape payloads (STATS / HEALTH)
+    # ------------------------------------------------------------------
+
+    def stats_payload(self, *, series: bool = True) -> dict:
+        """The structured STATS payload (metrics + telemetry windows)."""
+        payload = {
+            "node": self.collab.db.node,
+            "at": self.collab.db.now(),
+            "server": self.collab.statistics(),
+            "net": self.stats(),
+            "metrics": self.collab.db.obs.registry.snapshot(),
+        }
+        if series:
+            payload["telemetry"] = self.telemetry.snapshot()
+        return payload
+
+    def health_payload(self) -> dict:
+        """The HEALTH verdict over the current telemetry windows."""
+        verdict = evaluate_health(
+            self.collab.db.obs.registry.snapshot(), self.telemetry,
+            context={"send_queue_limit": self.send_queue})
+        verdict["at"] = self.collab.db.now()
+        verdict["node"] = self.collab.db.node
+        return verdict
+
+    def _scrape_reply(self, envelope: Envelope) -> Envelope:
+        self._m_scrapes.inc()
+        now = self.collab.db.now()
+        if isinstance(envelope, Stats):
+            if envelope.format == "prom":
+                text = prometheus_text(
+                    self.collab.db.obs.registry.snapshot())
+                return StatsReply(format="prom", payload=text, at=now)
+            return StatsReply(
+                format="json",
+                payload=self.stats_payload(series=envelope.series), at=now)
+        verdict = self.health_payload()
+        return HealthReply(status=verdict["status"],
+                           checks=tuple(verdict["checks"]),
+                           at=verdict["at"])
+
+    async def _serve_scrape(self, conn: _Connection,
+                            envelope: Envelope) -> None:
+        """A monitoring connection: consecutive STATS/HEALTH, no HELLO.
+
+        The shared token (when the server has one) is still checked on
+        every request; an editor session is never created.
+        """
+        while True:
+            if not isinstance(envelope, (Stats, Health)):
+                raise ProtocolError(
+                    f"scrape connection got {envelope.TYPE!r} envelope")
+            if self.token is not None and envelope.token != self.token:
+                await self._send_now(conn, Error(
+                    code="AccessDenied", message="bad shared token",
+                    fatal=True))
+                return
+            await self._send_now(conn, self._scrape_reply(envelope))
+            envelope = await self._next_envelope(conn)
+            if envelope is None or isinstance(envelope, Bye):
+                return
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -227,6 +328,9 @@ class CollabNetServer:
             except asyncio.TimeoutError:
                 return
             if hello is None:
+                return
+            if isinstance(hello, (Stats, Health)):
+                await self._serve_scrape(conn, hello)
                 return
             if not await self._handshake(conn, hello):
                 return
@@ -282,6 +386,9 @@ class CollabNetServer:
             elif isinstance(envelope, Ping):
                 self._enqueue(conn, Pong(nonce=envelope.nonce,
                                          at=envelope.at))
+            elif isinstance(envelope, (Stats, Health)):
+                # Mid-session scrape: the HELLO already authenticated.
+                self._enqueue(conn, self._scrape_reply(envelope))
             elif isinstance(envelope, Bye):
                 return
             else:
@@ -308,6 +415,7 @@ class CollabNetServer:
         self._release_batch(conn)
         if self._connections.pop(conn.id, None) is not None:
             self._m_connections.dec()
+            self._f_queue_depth.labels(conn=conn.id).set(0)
         if conn.sender_task is not None:
             with contextlib.suppress(asyncio.QueueFull):
                 conn.queue.put_nowait(_CLOSE)
@@ -352,6 +460,8 @@ class CollabNetServer:
         except asyncio.QueueFull:
             self._m_backpressure.inc()
             self._shed(conn)
+        else:
+            self._f_queue_depth.labels(conn=conn.id).set(conn.queue.qsize())
 
     def _shed(self, conn: _Connection) -> None:
         """Abort a connection from synchronous context; the reader's EOF
@@ -468,7 +578,9 @@ class CollabNetServer:
             finally:
                 if not keep_lock and (not in_batch or conn.batch is None):
                     self._unlock()
-                self._m_op_seconds.observe(perf_counter() - started)
+                elapsed = perf_counter() - started
+                self._m_op_seconds.observe(elapsed)
+                self._f_op_seconds.labels(verb=op.verb).observe(elapsed)
 
     def _execute(self, conn: _Connection, op: Op) -> tuple[Any, list]:
         """Run one verb; returns ``(result, echo_deltas)``."""
@@ -560,6 +672,8 @@ class CollabNetServer:
         if verb == "stats":
             return {"server": self.collab.statistics(),
                     "net": self.stats()}
+        if verb == "health":
+            return self.health_payload()
         raise NetError(f"unknown verb {verb!r}")
 
     def _doc_snapshot(self, conn: _Connection, doc) -> dict:
@@ -664,6 +778,7 @@ class CollabNetServer:
                 if conn.session is not None:
                     conn.session.inbox.clear()
             for delta in deltas:
+                doc_notifies = self._f_notifies.labels(doc=delta["doc"])
                 if origin is not None and self._current_echo is not None:
                     self._current_echo.append({
                         "doc": delta["doc"],
@@ -691,6 +806,7 @@ class CollabNetServer:
                         continue  # the originator gets the echo instead
                     if delta["doc"] in conn.session.open_documents():
                         self._m_notifies.inc()
+                        doc_notifies.inc()
                         self._enqueue(conn, notify)
 
 

@@ -30,10 +30,18 @@ import threading
 from typing import Callable, Iterator
 
 from .catalogue import (
+    LABELLED_FAMILIES,
     METRIC_CATALOGUE,
     REQUIRED_METRICS,
     missing_required,
     unknown_names,
+)
+from .labels import (
+    DEFAULT_MAX_SERIES,
+    LABEL_EVICTIONS,
+    MetricFamily,
+    labelled_name,
+    split_labelled,
 )
 from .metrics import (
     COUNT_BUCKETS,
@@ -51,30 +59,61 @@ from .export import (
     Trace,
     TraceBuffer,
     chrome_trace,
+    prometheus_text,
     render_top,
     render_trace,
     span_to_dict,
     spans_to_jsonl,
     validate_chrome_trace,
 )
-from .render import describe, render_snapshot
+from .health import (
+    DEFAULT_THRESHOLDS,
+    HealthThresholds,
+    evaluate_health,
+)
+from .render import (
+    describe,
+    render_dash,
+    render_health,
+    render_snapshot,
+    render_trends,
+)
+from .slo import DEFAULT_SLOS, SLOEvaluator, SLOSpec
+from .timeseries import (
+    DEFAULT_WINDOWS,
+    TELEMETRY_SCHEMA,
+    TelemetryStore,
+    window_label,
+)
 from .tracing import NULL_SPAN, NULL_TRACER, Span, Tracer
 
 __all__ = [
     "COUNT_BUCKETS",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_MAX_SERIES",
+    "DEFAULT_SLOS",
+    "DEFAULT_THRESHOLDS",
+    "DEFAULT_WINDOWS",
+    "LABELLED_FAMILIES",
+    "LABEL_EVICTIONS",
     "METRIC_CATALOGUE",
     "NULL_REGISTRY",
     "NULL_SPAN",
     "NULL_TRACER",
     "Counter",
     "Gauge",
+    "HealthThresholds",
     "Histogram",
+    "MetricFamily",
     "MetricsRegistry",
     "NullRegistry",
     "Observability",
     "REQUIRED_METRICS",
+    "SLOEvaluator",
+    "SLOSpec",
     "Span",
+    "TELEMETRY_SCHEMA",
+    "TelemetryStore",
     "Trace",
     "TraceBuffer",
     "Tracer",
@@ -82,15 +121,23 @@ __all__ = [
     "collecting",
     "compact_snapshot",
     "describe",
+    "evaluate_health",
+    "labelled_name",
     "merge_snapshots",
     "missing_required",
+    "prometheus_text",
+    "render_dash",
+    "render_health",
     "render_snapshot",
     "render_top",
     "render_trace",
+    "render_trends",
     "span_to_dict",
     "spans_to_jsonl",
+    "split_labelled",
     "unknown_names",
     "validate_chrome_trace",
+    "window_label",
 ]
 
 

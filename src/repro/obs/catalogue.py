@@ -9,6 +9,8 @@ check.  ``docs/OBSERVABILITY.md`` is the human-readable mirror.
 
 from __future__ import annotations
 
+from .labels import split_labelled
+
 #: name -> (kind, description).  Kind is "counter" | "gauge" | "histogram".
 METRIC_CATALOGUE: dict[str, tuple[str, str]] = {
     # -- transactions (repro/db/transaction.py) -----------------------------
@@ -125,6 +127,11 @@ METRIC_CATALOGUE: dict[str, tuple[str, str]] = {
     "net.resyncs": ("counter",
                     "anti-entropy snapshot fetches served (client mirror "
                     "detected a sequence gap)"),
+    "net.send_queue_depth": ("gauge",
+                             "per-connection send-queue depth at last "
+                             "enqueue (labelled by conn)"),
+    "net.scrapes": ("counter",
+                    "STATS/HEALTH telemetry scrapes served over the wire"),
     # -- search (repro/search/engine.py) ------------------------------------
     "search.queries": ("counter", "content/metadata searches run"),
     "search.query_seconds": ("histogram", "end-to-end search latency"),
@@ -138,6 +145,37 @@ METRIC_CATALOGUE: dict[str, tuple[str, str]] = {
     "trace.slow_ops": ("counter",
                        "traces whose end-to-end extent exceeded the "
                        "slow-op threshold"),
+    # -- observability self-metrics (repro/obs/labels.py, slo.py) -----------
+    "obs.label_evictions": ("counter",
+                            "labelled series evicted by a family's LRU "
+                            "cardinality cap"),
+    "obs.samples": ("counter",
+                    "registry samples taken into the telemetry rings"),
+    "slo.burn_rate": ("gauge",
+                      "error-budget burn rate per SLO spec and window "
+                      "(labelled by slo, window)"),
+    "slo.error_rate": ("gauge",
+                       "bad-event fraction per SLO over its slow window "
+                       "(labelled by slo)"),
+    "slo.breached": ("gauge",
+                     "1 when both burn windows exceed the spec threshold "
+                     "(labelled by slo)"),
+}
+
+#: Families that may fan out into labelled children, with the label keys
+#: each is allowed to carry.  A labelled series whose base name is not
+#: listed here — or that uses a key outside its allowance — is rejected
+#: by :func:`unknown_names` just like an uncatalogued plain name.
+LABELLED_FAMILIES: dict[str, tuple[str, ...]] = {
+    "collab.op_seconds": ("verb",),
+    "collab.notifications": ("doc",),
+    "net.op_seconds": ("verb",),
+    "net.notifies": ("doc",),
+    "net.send_queue_depth": ("conn",),
+    "wal.group_commit_size": ("role",),
+    "slo.burn_rate": ("slo", "window"),
+    "slo.error_rate": ("slo",),
+    "slo.breached": ("slo",),
 }
 
 #: Core names every instrumented engine run must produce; the smoke
@@ -158,8 +196,22 @@ REQUIRED_METRICS: frozenset[str] = frozenset({
 
 
 def unknown_names(names) -> list[str]:
-    """Names not in the catalogue (a regression or a missing entry)."""
-    return sorted(set(names) - set(METRIC_CATALOGUE))
+    """Names not in the catalogue (a regression or a missing entry).
+
+    Labelled series validate against their base family: the base must be
+    catalogued *and* listed in :data:`LABELLED_FAMILIES`, and every label
+    key must be in the family's allowance.
+    """
+    bad = set()
+    for name in set(names):
+        base, labels = split_labelled(name)
+        if base not in METRIC_CATALOGUE:
+            bad.add(name)
+        elif labels is not None:
+            allowed = LABELLED_FAMILIES.get(base)
+            if allowed is None or set(labels) - set(allowed):
+                bad.add(name)
+    return sorted(bad)
 
 
 def missing_required(names) -> list[str]:

@@ -405,3 +405,68 @@ def render_top(snapshot: Mapping[str, dict],
                 f"{len(trace):>2} spans  {label}"
                 + (f"  {detail}" if detail else ""))
     return "\n".join(lines)
+
+
+def _prom_escape(value: str) -> str:
+    return (value.replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _prom_labels(labels: Mapping[str, str] | None, extra: str = "") -> str:
+    parts = [f'{k}="{_prom_escape(v)}"' for k, v in (labels or {}).items()]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(snapshot: Mapping[str, dict], *,
+                    prefix: str = "tendax_") -> str:
+    """Registry snapshot as Prometheus text exposition (version 0.0.4).
+
+    Metric names swap ``.`` for ``_`` under a ``tendax_`` prefix;
+    labelled children of one family render as label sets on a single
+    ``# TYPE``'d metric.  Histograms expose cumulative ``_bucket{le=}``
+    series (including ``+Inf``) plus ``_sum`` and ``_count``, matching
+    the native Prometheus histogram contract.
+    """
+    from .catalogue import METRIC_CATALOGUE
+    from .labels import split_labelled
+
+    families: "OrderedDict[str, list]" = OrderedDict()
+    for name in sorted(snapshot):
+        base, labels = split_labelled(name)
+        families.setdefault(base, []).append((labels, snapshot[name]))
+    lines: list[str] = []
+    for base, series in families.items():
+        prom = prefix + base.replace(".", "_").replace("-", "_")
+        kind = series[0][1].get("type", "untyped")
+        desc = METRIC_CATALOGUE.get(base, (None, None))[1]
+        if desc:
+            lines.append(f"# HELP {prom} {_prom_escape(desc)}")
+        lines.append(f"# TYPE {prom} {kind}")
+        for labels, entry in series:
+            body = _prom_labels(labels)
+            if entry.get("type") in ("counter", "gauge"):
+                value = _prom_number(entry.get("value", 0))
+                lines.append(f"{prom}{body} {value}")
+                continue
+            cumulative = 0
+            for bound, n in entry.get("buckets", []):
+                cumulative += n
+                le = 'le="%s"' % _prom_number(float(bound))
+                lines.append(f"{prom}_bucket{_prom_labels(labels, le)}"
+                             f" {cumulative}")
+            cumulative += entry.get("overflow", 0)
+            inf = 'le="+Inf"'
+            lines.append(f"{prom}_bucket{_prom_labels(labels, inf)}"
+                         f" {cumulative}")
+            total = _prom_number(float(entry.get("sum", 0.0)))
+            lines.append(f"{prom}_sum{body} {total}")
+            lines.append(f"{prom}_count{body} {entry.get('count', 0)}")
+    return "\n".join(lines) + "\n"
+
+
+def _prom_number(value) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)

@@ -248,19 +248,35 @@ def _bucket_quantile(q: float, bounds: tuple[float, ...],
             fraction = (rank - cumulative) / n
             return lo + (hi - lo) * fraction
         cumulative += n
-    # Rank fell into the overflow bucket: best estimate is the observed
-    # maximum (the true quantile lies in (last_bound, max]).
-    return hi_obs
+    # Rank fell into the overflow bucket (last_bound, +inf), clamped by
+    # the observed extremes to (max(last_bound, min), max].  Interpolate
+    # by remaining rank just like a finite bucket, so q=0.0 on
+    # overflow-only data does not collapse to the maximum; q=1.0 still
+    # returns exactly the observed max.
+    lo = max(bounds[-1], lo_obs)
+    hi = hi_obs
+    if overflow <= 0 or hi <= lo:
+        return hi
+    fraction = (rank - cumulative) / overflow
+    return lo + (hi - lo) * fraction
 
 
 class MetricsRegistry:
-    """Named metrics, created on first use, snapshotted as plain dicts."""
+    """Named metrics, created on first use, snapshotted as plain dicts.
+
+    Passing ``labels={...}`` to :meth:`counter`/:meth:`gauge`/
+    :meth:`histogram` routes through a :class:`~repro.obs.labels.MetricFamily`
+    and returns the per-label-set child instead of the base metric; hot
+    paths should pre-resolve the family via :meth:`family` once and call
+    ``fam.labels(...)`` per event.
+    """
 
     #: Real registries record; the null registry overrides this.
     enabled = True
 
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._families: dict[str, object] = {}
         self._lock = threading.Lock()
 
     def _get(self, name: str, cls, *args):
@@ -276,16 +292,50 @@ class MetricsRegistry:
                 )
             return metric
 
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str, *, labels: Mapping | None = None) -> Counter:
+        if labels is not None:
+            return self.family(name, "counter").labels(**dict(labels))
         return self._get(name, Counter)
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str, *, labels: Mapping | None = None) -> Gauge:
+        if labels is not None:
+            return self.family(name, "gauge").labels(**dict(labels))
         return self._get(name, Gauge)
 
     def histogram(self, name: str,
                   buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
-                  ) -> Histogram:
+                  *, labels: Mapping | None = None) -> Histogram:
+        if labels is not None:
+            return self.family(
+                name, "histogram", buckets=buckets).labels(**dict(labels))
         return self._get(name, Histogram, buckets)
+
+    def family(self, name: str, kind: str, *, buckets=None,
+               max_series: int | None = None):
+        """The labelled :class:`~repro.obs.labels.MetricFamily` for ``name``."""
+        from .labels import DEFAULT_MAX_SERIES, LABEL_EVICTIONS, MetricFamily
+        evictions = self._get(LABEL_EVICTIONS, Counter)
+        with self._lock:
+            fam = self._families.get(name)
+            if fam is None:
+                fam = MetricFamily(
+                    self, name, kind, buckets=buckets,
+                    max_series=max_series or DEFAULT_MAX_SERIES,
+                    evictions=evictions)
+                self._families[name] = fam
+            elif fam.kind != kind:
+                raise TypeError(
+                    f"family {name!r} already registered as {fam.kind}, "
+                    f"not {kind}")
+            return fam
+
+    def _register_series(self, name: str, metric) -> None:
+        with self._lock:
+            self._metrics[name] = metric
+
+    def _unregister_series(self, name: str) -> None:
+        with self._lock:
+            self._metrics.pop(name, None)
 
     def names(self) -> list[str]:
         with self._lock:
@@ -389,15 +439,22 @@ class NullRegistry:
     _gauge = _NullGauge()
     _histogram = _NullHistogram()
 
-    def counter(self, name: str) -> _NullCounter:
+    def counter(self, name: str, *, labels=None) -> _NullCounter:
         return self._counter
 
-    def gauge(self, name: str) -> _NullGauge:
+    def gauge(self, name: str, *, labels=None) -> _NullGauge:
         return self._gauge
 
-    def histogram(self, name: str, buckets=DEFAULT_LATENCY_BUCKETS
-                  ) -> _NullHistogram:
+    def histogram(self, name: str, buckets=DEFAULT_LATENCY_BUCKETS,
+                  *, labels=None) -> _NullHistogram:
         return self._histogram
+
+    def family(self, name: str, kind: str, *, buckets=None,
+               max_series=None):
+        from .labels import _NullFamily
+        child = {"counter": self._counter, "gauge": self._gauge,
+                 "histogram": self._histogram}[kind]
+        return _NullFamily(child)
 
     def names(self) -> list[str]:
         return []

@@ -67,5 +67,82 @@ def render_snapshot(snapshot: Mapping[str, dict]) -> str:
 
 def describe(name: str) -> str:
     """One-line description of a catalogued metric name."""
-    kind, text = METRIC_CATALOGUE.get(name, ("?", "(uncatalogued)"))
+    from .labels import split_labelled
+
+    base, __ = split_labelled(name)
+    kind, text = METRIC_CATALOGUE.get(base, ("?", "(uncatalogued)"))
     return f"{name} ({kind}): {text}"
+
+
+def render_health(health: Mapping) -> str:
+    """The HEALTH verdict as a status line plus one line per check."""
+    lines = [f"health: {health.get('status', '?').upper()}"]
+    for check in health.get("checks", []):
+        marker = {"ok": " ", "degraded": "!", "unhealthy": "X"}.get(
+            check.get("status"), "?")
+        lines.append(f"  [{marker}] {check.get('check', '?'):<18} "
+                     f"{check.get('detail', '')}")
+    return "\n".join(lines)
+
+
+def render_trends(windows: Mapping[str, Mapping], *,
+                  limit: int = 12) -> str:
+    """Windowed aggregates as one row per metric (10s / 1m / 5m columns).
+
+    ``windows`` is ``TelemetryStore.snapshot()["windows"]``: metric name
+    -> window label -> aggregate dict.  Histograms show rate + p99 per
+    window; counters show rate; gauges show the in-window mean.
+    """
+    if not windows:
+        return "(no telemetry sampled)"
+
+    def cell(agg: Mapping | None, fmt) -> str:
+        if not agg:
+            return "-"
+        kind = agg.get("kind")
+        if kind == "counter":
+            rate = agg.get("rate")
+            return f"{rate:,.1f}/s" if rate is not None else "-"
+        if kind == "gauge":
+            return _fmt_value(agg.get("mean"))
+        rate = agg.get("rate")
+        left = f"{rate:,.1f}/s" if rate is not None else "-"
+        return f"{left} p99={fmt(agg.get('p99'))}"
+
+    labels: list[str] = []
+    for aggs in windows.values():
+        for label in aggs:
+            if label not in labels:
+                labels.append(label)
+    names = sorted(windows)[:limit]
+    width = max(len(n) for n in names)
+    head = "  " + "metric".ljust(width) + "".join(
+        f"  {label:>22}" for label in labels)
+    lines = [head]
+    for name in names:
+        aggs = windows[name]
+        fmt = _fmt_seconds if "_seconds" in name else _fmt_value
+        row = "  " + name.ljust(width) + "".join(
+            f"  {cell(aggs.get(label), fmt):>22}" for label in labels)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_dash(stats: Mapping, health: Mapping | None = None, *,
+                limit: int = 12) -> str:
+    """The ``repro dash`` frame: health verdict + windowed trend table."""
+    lines = []
+    node = stats.get("node")
+    at = stats.get("at")
+    header = "== repro dash =="
+    if node is not None:
+        header += f"  node={node}"
+    if at is not None:
+        header += f"  at={at:.3f}"
+    lines.append(header)
+    if health is not None:
+        lines.append(render_health(health))
+    telemetry = stats.get("telemetry") or {}
+    lines.append("")
+    lines.append(render_trends(telemetry.get("windows", {}), limit=limit))
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Declarative SLOs with multi-window burn-rate evaluation.
+
+An :class:`SLOSpec` states an objective over one latency histogram —
+"99% of durable keystrokes fsync within 65ms" — and the
+:class:`SLOEvaluator` measures it over the telemetry rings using the
+standard multi-window burn-rate method: the *bad-event fraction* in a
+trailing window, divided by the error budget (``1 - target``), is the
+**burn rate** — 1.0 means the budget is being spent exactly at the
+sustainable pace, higher means it runs out early.  A spec *breaches*
+when **both** its fast and slow windows burn above ``burn_threshold``:
+the slow window proves the problem is real, the fast window proves it is
+still happening.
+
+Results are exported as labelled ``slo.*`` gauges
+(``slo.burn_rate{slo=...,window=fast}``, ``slo.breached{slo=...}``) so
+scrapes and dashboards see them like any other metric, and
+``tools/smoke_bench.py`` gates CI on a deterministic synthetic scenario.
+
+Objectives should sit on a histogram bucket bound (the default latency
+buckets are ``1e-6 * 2**i``), making the good/bad split exact; off-bound
+objectives are rounded down to the nearest bound by construction of the
+cumulative bucket sum, i.e. evaluated conservatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+#: ~65ms / ~33ms: DEFAULT_LATENCY_BUCKETS bounds (1e-6 * 2**16, 2**15).
+_KEYSTROKE_BOUND = 1e-6 * 2 ** 16
+_REPLICATION_BOUND = 1e-6 * 2 ** 15
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One latency objective over a histogram metric."""
+
+    name: str                    # gauge label value, e.g. "durable_keystroke"
+    metric: str                  # histogram to evaluate, e.g. "wal.fsync_seconds"
+    objective: float             # good means value <= objective (seconds)
+    target: float = 0.99         # required good fraction
+    fast_window: float = 60.0    # seconds
+    slow_window: float = 300.0   # seconds
+    burn_threshold: float = 2.0  # both windows above this => breach
+
+    @property
+    def budget(self) -> float:
+        return 1.0 - self.target
+
+
+#: Shipped objectives: the paper's two headline latencies.
+DEFAULT_SLOS: tuple[SLOSpec, ...] = (
+    SLOSpec("durable_keystroke", "wal.fsync_seconds",
+            objective=_KEYSTROKE_BOUND),
+    SLOSpec("replication_visibility", "collab.replication_seconds",
+            objective=_REPLICATION_BOUND),
+)
+
+
+class SLOEvaluator:
+    """Evaluates specs over a :class:`~repro.obs.timeseries.TelemetryStore`
+    and mirrors the results into labelled ``slo.*`` gauges."""
+
+    def __init__(self, store, specs: Iterable[SLOSpec] = DEFAULT_SLOS, *,
+                 registry=None) -> None:
+        self.store = store
+        self.specs = tuple(specs)
+        registry = registry if registry is not None else store.registry
+        self._burn = registry.family("slo.burn_rate", "gauge")
+        self._error = registry.family("slo.error_rate", "gauge")
+        self._breached = registry.family("slo.breached", "gauge")
+
+    def evaluate(self, *, now: float | None = None) -> list[dict]:
+        """One result dict per spec; gauges updated as a side effect."""
+        results = []
+        for spec in self.specs:
+            fast = self._window_burn(spec, spec.fast_window, now)
+            slow = self._window_burn(spec, spec.slow_window, now)
+            breached = bool(
+                fast is not None and slow is not None
+                and fast["burn"] > spec.burn_threshold
+                and slow["burn"] > spec.burn_threshold)
+            self._burn.labels(slo=spec.name, window="fast").set(
+                fast["burn"] if fast else 0.0)
+            self._burn.labels(slo=spec.name, window="slow").set(
+                slow["burn"] if slow else 0.0)
+            self._error.labels(slo=spec.name).set(
+                slow["error_rate"] if slow else 0.0)
+            self._breached.labels(slo=spec.name).set(1.0 if breached else 0.0)
+            results.append({
+                "slo": spec.name,
+                "metric": spec.metric,
+                "objective": spec.objective,
+                "target": spec.target,
+                "burn_threshold": spec.burn_threshold,
+                "fast": fast,
+                "slow": slow,
+                "breached": breached,
+            })
+        return results
+
+    def _window_burn(self, spec: SLOSpec, window: float,
+                     now: float | None) -> dict | None:
+        delta = self.store.histogram_delta(spec.metric, window, now=now)
+        if delta is None or not delta["count"]:
+            return None
+        good = sum(n for bound, n in delta["buckets"].items()
+                   if bound <= spec.objective)
+        bad = max(0, delta["count"] - good)
+        error_rate = bad / delta["count"]
+        return {
+            "window": window,
+            "count": delta["count"],
+            "bad": bad,
+            "error_rate": error_rate,
+            "burn": error_rate / spec.budget if spec.budget > 0 else 0.0,
+        }

@@ -148,6 +148,67 @@ class TestObsSchema:
         assert any("txn.begun" in e for e in errors)
 
 
+class TestObsSchemaV2:
+    """v2 additions: labelled metric names and the per-bench telemetry
+    time-series block; v1 payloads must stay readable."""
+
+    def test_v1_payload_still_validates(self):
+        payload = sample_obs_payload()
+        payload["schema"] = "tendax.bench-obs.v1"
+        assert validate_obs_payload(payload) == []
+
+    def test_labelled_metric_names_accepted(self):
+        payload = sample_obs_payload()
+        payload["benchmarks"][0]["metrics"][
+            "collab.notifications{doc=tendax.doc:1}"] = {
+                "type": "counter", "value": 3}
+        assert validate_obs_payload(payload) == []
+
+    def test_labelled_name_with_bad_key_rejected(self):
+        payload = sample_obs_payload()
+        payload["benchmarks"][0]["metrics"][
+            "collab.notifications{host=web1}"] = {
+                "type": "counter", "value": 3}
+        errors = validate_obs_payload(payload)
+        assert any("catalogue" in e for e in errors)
+
+    def _telemetry(self) -> dict:
+        from repro.clock import SimulatedClock
+        from repro.obs import MetricsRegistry, TelemetryStore
+
+        registry = MetricsRegistry()
+        clock = SimulatedClock(start=1_000.0, tick=0.0)
+        store = TelemetryStore(registry, clock, interval=1.0)
+        counter = registry.counter("net.ops")
+        for second in range(15):
+            counter.inc()
+            store.sample(now=1_000.0 + second)
+        return store.snapshot()
+
+    def test_real_telemetry_snapshot_validates(self):
+        payload = sample_obs_payload()
+        payload["benchmarks"][0]["telemetry"] = self._telemetry()
+        assert validate_obs_payload(payload) == []
+
+    @pytest.mark.parametrize("mutate, fragment", [
+        (lambda t: t.__setitem__("schema", "nope"), ".schema"),
+        (lambda t: t.pop("series"), ".series"),
+        (lambda t: t.__setitem__("windows", "x"), ".windows"),
+        (lambda t: t["windows"].__setitem__(
+            "net.ops", {"10s": {"rate": 1.0}}), "needs a 'kind'"),
+        (lambda t: t["series"].__setitem__(
+            "no.such.metric", {"kind": "counter", "points": []}),
+         "catalogue"),
+    ])
+    def test_malformed_telemetry_rejected(self, mutate, fragment):
+        payload = sample_obs_payload()
+        telemetry = self._telemetry()
+        mutate(telemetry)
+        payload["benchmarks"][0]["telemetry"] = telemetry
+        errors = validate_obs_payload(payload)
+        assert any(fragment in e for e in errors), errors
+
+
 class TestPerfTrendGate:
     """The perf-trend gate in ``tools/smoke_bench.py``.
 
@@ -222,3 +283,14 @@ class TestPerfTrendGate:
         with open(smoke.TREND_PATH, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)
         assert set(baseline["medians"]) == set(smoke.TREND_NODES.values())
+
+    def test_slo_gate_clean_passes(self, smoke, capsys):
+        assert smoke.check_slo() == 0
+        out = capsys.readouterr().out
+        assert "[ok]" in out and "BREACH" not in out
+
+    def test_slo_gate_burn_fails(self, smoke, capsys):
+        assert smoke.check_slo(burn=True) == 1
+        captured = capsys.readouterr()
+        assert "[BREACH]" in captured.out
+        assert "SLO breach" in captured.err

@@ -113,6 +113,18 @@ class TestTraceCommand:
         assert "collab.apply" in out
 
 
+@pytest.fixture
+def watch_clock(monkeypatch):
+    """Swap the CLI's watch clock for a simulated one: watch loops pace
+    (and terminate) deterministically, with zero real sleeping."""
+    from repro import cli
+    from repro.clock import SimulatedClock
+
+    clock = SimulatedClock(start=1_000.0, tick=0.25)
+    monkeypatch.setattr(cli, "WATCH_CLOCK", clock)
+    return clock
+
+
 class TestTopCommand:
     def test_one_shot(self):
         code, out = run_cli("top", "--text", "hello")
@@ -121,10 +133,104 @@ class TestTopCommand:
         assert "slowest recent traces" in out
         assert "collab.replication_seconds" in out
 
-    def test_watch_renders_each_refresh(self):
+    def test_watch_renders_each_refresh(self, watch_clock):
         code, out = run_cli("top", "--text", "ab", "--watch", "2")
         assert code == 0
         assert out.count("-- refresh") == 2
+
+    def test_watch_pacing_rides_the_watch_clock(self, watch_clock):
+        start = watch_clock.peek()
+        code, out = run_cli("top", "--text", "ab", "--watch", "3",
+                            "--interval", "30")
+        assert code == 0
+        # Two sleeps of 30 simulated seconds, zero real ones.
+        assert watch_clock.peek() >= start + 60.0
+
+    def test_watch_shows_trend_table(self, watch_clock):
+        code, out = run_cli("top", "--text", "ab", "--watch", "2",
+                            "--interval", "0")
+        assert code == 0
+        assert "trends:" in out
+        assert "10s" in out and "5m" in out
+        # The second refresh reuses the same server, so labelled series
+        # from the first round are still in the registry.
+        assert "collab.op_seconds{verb=InsertText}" in out
+
+
+class TestRemoteCommands:
+    @pytest.fixture
+    def server(self):
+        from repro.collab import CollaborationServer
+        from repro.net import ServerThread
+
+        collab = CollaborationServer()
+        collab.register_user("typist")
+        with ServerThread(collab, telemetry_interval=0.0) as thread:
+            yield thread
+
+    @pytest.fixture
+    def busy_server(self, server):
+        from repro.net import NetworkClient
+
+        client = NetworkClient("127.0.0.1", server.port, "typist")
+        session = client.session()
+        doc = session.create_document("cli").doc
+        for char in "hello":
+            session.insert(doc, 0, char)
+        server.server.telemetry.sample()
+        try:
+            yield server
+        finally:
+            client.close()
+
+    def test_stats_remote_text(self, busy_server):
+        code, out = run_cli("stats", "--remote",
+                            f"127.0.0.1:{busy_server.port}")
+        assert code == 0
+        assert "engine metrics" in out
+        assert "trends:" in out
+        assert "net.ops" in out
+
+    def test_stats_remote_json(self, busy_server):
+        import json
+
+        code, out = run_cli("stats", "--remote",
+                            f"127.0.0.1:{busy_server.port}",
+                            "--format", "json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["metrics"]["net.ops"]["value"] >= 5
+        assert payload["telemetry"]["series"]
+
+    def test_stats_remote_prom(self, busy_server):
+        code, out = run_cli("stats", "--remote",
+                            f"127.0.0.1:{busy_server.port}",
+                            "--format", "prom")
+        assert code == 0
+        assert "# TYPE tendax_net_ops counter" in out
+
+    def test_stats_remote_bad_address(self):
+        with pytest.raises(SystemExit):
+            run_cli("stats", "--remote", "nonsense")
+
+    def test_dash_renders_health_and_trends(self, busy_server,
+                                            watch_clock):
+        code, out = run_cli("dash", "--port", str(busy_server.port),
+                            "--watch", "2", "--interval", "60")
+        assert code == 0
+        assert out.count("== repro dash ==") == 2
+        assert "health: OK" in out
+        assert "-- refresh 2/2 --" in out
+
+    def test_connect_watch_terminates_on_the_clock(self, busy_server,
+                                                   watch_clock):
+        # watch=1.0 simulated seconds tick away in a handful of polls;
+        # with the system clock this would be a real one-second loop.
+        code, out = run_cli("connect", "--port", str(busy_server.port),
+                            "--user", "typist", "--doc", "cli",
+                            "--watch", "1.0")
+        assert code == 0
+        assert "document     : cli" in out
 
 
 class TestDumpLoad:

@@ -33,6 +33,8 @@ from repro.net import (
     Bye,
     Error,
     FrameDecoder,
+    Health,
+    HealthReply,
     Hello,
     NetworkClient,
     Notify,
@@ -40,6 +42,8 @@ from repro.net import (
     Ping,
     Pong,
     ServerThread,
+    Stats,
+    StatsReply,
     Welcome,
     decode_envelope,
     encode_frame,
@@ -124,6 +128,22 @@ envelopes = st.one_of(
     st.builds(Ping, nonce=st.integers(0, 10 ** 9), at=st.floats(0, 2e9)),
     st.builds(Pong, nonce=st.integers(0, 10 ** 9), at=st.floats(0, 2e9)),
     st.builds(Bye, reason=st.text(max_size=20)),
+    st.builds(Stats, format=st.sampled_from(("json", "prom")),
+              series=st.booleans(),
+              token=st.none() | st.text(max_size=8)),
+    st.one_of(
+        st.builds(StatsReply, format=st.just("json"), payload=jsonish,
+                  at=st.floats(0, 2e9)),
+        st.builds(StatsReply, format=st.just("prom"),
+                  payload=st.text(max_size=40), at=st.floats(0, 2e9)),
+    ),
+    st.builds(Health, token=st.none() | st.text(max_size=8)),
+    st.builds(HealthReply,
+              status=st.sampled_from(("ok", "degraded", "unhealthy")),
+              checks=st.lists(
+                  st.dictionaries(keys, scalars, max_size=4),
+                  max_size=3).map(tuple),
+              at=st.floats(0, 2e9)),
 )
 
 
@@ -153,7 +173,8 @@ class TestRoundTrip:
         """Every concrete envelope class decodes via the registry."""
         assert set(ENVELOPE_TYPES) == {
             "hello", "welcome", "op", "ack", "error", "notify",
-            "awareness", "ping", "pong", "bye"}
+            "awareness", "ping", "pong", "bye",
+            "stats", "stats_reply", "health", "health_reply"}
 
 
 class TestStrictDecode:

@@ -1,0 +1,143 @@
+"""Labelled metric families: naming, cardinality bounds, catalogue.
+
+The contract: ``registry.counter(name, labels={...})`` routes through a
+:class:`~repro.obs.labels.MetricFamily` whose children are real metrics
+registered under ``base{k=v,...}`` decorated names (keys sorted, hostile
+characters scrubbed), bounded by an LRU cap whose evictions are counted
+in ``obs.label_evictions`` — so a label-cardinality explosion degrades
+into visible evictions, never unbounded memory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    LABEL_EVICTIONS,
+    LABELLED_FAMILIES,
+    METRIC_CATALOGUE,
+    MetricsRegistry,
+    NullRegistry,
+    labelled_name,
+    split_labelled,
+    unknown_names,
+)
+
+
+class TestNaming:
+    def test_labelled_name_sorts_keys(self):
+        assert labelled_name("m", {"b": "2", "a": "1"}) == "m{a=1,b=2}"
+
+    def test_split_round_trips(self):
+        name = labelled_name("collab.notifications", {"doc": "d:1"})
+        base, labels = split_labelled(name)
+        assert base == "collab.notifications"
+        assert labels == {"doc": "d:1"}
+
+    def test_split_plain_name_returns_none_labels(self):
+        assert split_labelled("txn.begun") == ("txn.begun", None)
+
+    def test_hostile_label_values_are_scrubbed(self):
+        name = labelled_name("m", {"k": 'a{b}=c,"\n'})
+        base, labels = split_labelled(name)
+        assert base == "m"
+        # Forbidden structural characters became underscores, so the
+        # decorated name still parses unambiguously.
+        assert labels == {"k": "a_b__c___"}
+
+
+class TestFamilies:
+    def test_children_are_real_metrics_in_the_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("ops", labels={"verb": "insert"}).inc(3)
+        registry.counter("ops", labels={"verb": "delete"}).inc()
+        snap = registry.snapshot()
+        assert snap["ops{verb=insert}"]["value"] == 3
+        assert snap["ops{verb=delete}"]["value"] == 1
+
+    def test_same_labels_return_same_child(self):
+        registry = MetricsRegistry()
+        a = registry.counter("ops", labels={"verb": "insert"})
+        b = registry.counter("ops", labels={"verb": "insert"})
+        assert a is b
+
+    def test_empty_labels_rejected(self):
+        registry = MetricsRegistry()
+        family = registry.family("ops", "counter")
+        with pytest.raises(ValueError):
+            family.labels()
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.family("ops", "counter")
+        with pytest.raises(TypeError):
+            registry.family("ops", "gauge")
+
+    def test_histogram_children_share_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(1.0, 2.0),
+                                  labels={"verb": "x"})
+        hist.observe(1.5)
+        snap = registry.snapshot()
+        assert snap["lat{verb=x}"]["count"] == 1
+
+
+class TestCardinalityBound:
+    def test_lru_evicts_oldest_series_and_counts_it(self):
+        registry = MetricsRegistry()
+        family = registry.family("ops", "counter", max_series=2)
+        for i in range(5):
+            family.labels(conn=str(i)).inc()
+        snap = registry.snapshot()
+        live = [n for n in snap if n.startswith("ops{")]
+        assert len(live) == 2
+        assert "ops{conn=4}" in live and "ops{conn=3}" in live
+        assert snap[LABEL_EVICTIONS]["value"] == 3
+        assert family.series_count() == 2
+
+    def test_hot_series_survive_the_lru(self):
+        registry = MetricsRegistry()
+        family = registry.family("ops", "counter", max_series=2)
+        hot = family.labels(conn="hot")
+        for i in range(10):
+            family.labels(conn=str(i)).inc()
+            assert family.labels(conn="hot") is hot
+        assert "ops{conn=hot}" in registry.snapshot()
+
+    def test_evicted_series_recreated_fresh(self):
+        registry = MetricsRegistry()
+        family = registry.family("ops", "counter", max_series=1)
+        family.labels(conn="a").inc(7)
+        family.labels(conn="b").inc()      # evicts a
+        assert family.labels(conn="a").value == 0
+
+
+class TestCatalogueValidation:
+    def test_labelled_names_with_allowed_keys_pass(self):
+        names = [labelled_name(base, {key: "v" for key in keys})
+                 for base, keys in LABELLED_FAMILIES.items()]
+        assert unknown_names(names) == []
+
+    def test_disallowed_label_key_rejected(self):
+        name = labelled_name("collab.notifications", {"bogus": "x"})
+        assert unknown_names([name])
+
+    def test_unlabelled_base_rejected(self):
+        # txn.begun is catalogued but not a labelled family.
+        assert unknown_names(["txn.begun{doc=x}"])
+
+    def test_uncatalogued_base_rejected(self):
+        assert unknown_names(["no.such.metric{doc=x}"])
+
+    def test_labelled_families_are_all_catalogued(self):
+        for base in LABELLED_FAMILIES:
+            assert base in METRIC_CATALOGUE
+
+
+class TestNullRegistry:
+    def test_labels_kwarg_is_inert(self):
+        registry = NullRegistry()
+        registry.counter("x", labels={"a": "b"}).inc()
+        family = registry.family("x", "counter")
+        family.labels(a="b").inc()
+        assert registry.snapshot() == {}

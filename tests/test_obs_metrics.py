@@ -283,3 +283,58 @@ class TestMergeAndCompact:
             enabled = Observability()
             Observability(enabled=False)
         assert seen == [enabled]
+
+
+# ---------------------------------------------------------------------------
+# Quantile edge pins (q=0.0, q=1.0, overflow-only streams)
+# ---------------------------------------------------------------------------
+
+class TestQuantileEdgePins:
+    """The audited edge contract, pinned so it cannot regress silently.
+
+    * ``q=1.0`` returns *exactly* the observed maximum — including when
+      the maximum lives in the overflow bucket;
+    * ``q=0.0`` stays inside the first non-empty bucket clamped to the
+      observed minimum (it interpolates, it does not collapse to max);
+    * a stream living entirely in the overflow bucket interpolates
+      between ``max(bounds[-1], min)`` and the observed max instead of
+      answering the maximum for every q.
+    """
+
+    def test_q1_is_exactly_the_observed_max(self):
+        hist = Histogram("h", buckets=BOUNDS)
+        for v in (0.7, 1.5, 3.0):
+            hist.observe(v)
+        assert hist.quantile(1.0) == 3.0
+
+    def test_q1_is_exact_even_from_the_overflow_bucket(self):
+        hist = Histogram("h", buckets=BOUNDS)
+        for v in (0.7, 1.5, 16.0):
+            hist.observe(v)
+        assert hist.quantile(1.0) == 16.0
+
+    def test_q0_stays_in_the_first_bucket_above_the_min(self):
+        hist = Histogram("h", buckets=BOUNDS)
+        for v in (0.7, 1.5, 3.0, 6.0):
+            hist.observe(v)
+        estimate = hist.quantile(0.0)
+        # 0.7 falls in the (0.5, 1.0] bucket: the q=0 estimate must not
+        # leave it, and must never dip below the observed minimum.
+        assert 0.7 <= estimate <= 1.0
+
+    def test_overflow_only_stream_does_not_collapse_to_max(self):
+        hist = Histogram("h", buckets=BOUNDS)
+        values = (9.0, 10.0, 11.0, 16.0)     # all > bounds[-1] == 8.0
+        for v in values:
+            hist.observe(v)
+        estimates = [hist.quantile(q / 4) for q in range(5)]
+        assert all(min(values) <= e <= max(values) for e in estimates)
+        assert all(a <= b for a, b in zip(estimates, estimates[1:]))
+        assert estimates[-1] == 16.0         # q=1.0 exact
+        assert estimates[0] < 16.0           # q=0.0 interpolates down
+
+    def test_single_overflow_observation_is_exact_everywhere(self):
+        hist = Histogram("h", buckets=BOUNDS)
+        hist.observe(11.0)
+        for q in (0.0, 0.5, 1.0):
+            assert hist.quantile(q) == 11.0

@@ -12,6 +12,12 @@ CI's guard on the out-of-process collaboration path.  Two legs:
   Replicas must still converge — dropped NOTIFYs heal through
   anti-entropy resync — and the server must still shut down cleanly.
 
+Both legs also scrape STATS and HEALTH from this (separate) process
+while the server is still running: the clean leg must report ``ok``
+with a telemetry snapshot and valid Prometheus text, the faulted leg
+must have *degraded* (the seeded socket faults show up in the
+``net.faults`` health check's window).
+
 The typists are *this script* re-invoked with ``--role typist``: one
 OS process per editor, the paper's actual topology, no shared memory.
 
@@ -93,6 +99,43 @@ def _percentile(values: list[float], q: float) -> float:
     return ranked[min(len(ranked) - 1, int(q * len(ranked)))]
 
 
+def check_scrape(label: str, port: int, *,
+                 expect_degraded: bool) -> list[str]:
+    """STATS + HEALTH from this process against the serve subprocess."""
+    from repro.net import scrape
+
+    problems: list[str] = []
+    # The serve-side sampler ticks every 0.2 s; give it a moment to
+    # take its first samples before judging the snapshot.
+    deadline = monotonic() + 5.0
+    while True:
+        stats = scrape("127.0.0.1", port, kind="stats")
+        telemetry = stats.get("telemetry") or {}
+        if telemetry.get("series") or monotonic() > deadline:
+            break
+    if not stats.get("metrics"):
+        problems.append(f"{label}: STATS scrape returned no metrics")
+    if not telemetry.get("series"):
+        problems.append(f"{label}: STATS scrape has no telemetry series")
+    prom = scrape("127.0.0.1", port, kind="stats", fmt="prom")
+    if not isinstance(prom, str) or "# TYPE tendax_net_ops counter" \
+            not in prom:
+        problems.append(f"{label}: Prometheus exposition malformed")
+    health = scrape("127.0.0.1", port, kind="health")
+    status = health.get("status")
+    checks = {c.get("check") for c in health.get("checks", [])}
+    print(f"{label}: scrape ok — {len(telemetry.get('series', {}))} "
+          f"series, health {status}")
+    if "net.faults" not in checks:
+        problems.append(f"{label}: health missing the net.faults check")
+    if expect_degraded and status == "ok":
+        problems.append(f"{label}: health is 'ok' despite seeded socket "
+                        f"faults — degradation not detected")
+    if not expect_degraded and status != "ok":
+        problems.append(f"{label}: health is {status!r} on the clean leg")
+    return problems
+
+
 def run_leg(label: str, *, rounds: int, settle: float,
             net_seed: int | None, timeout: float) -> list[str]:
     from repro.net import NetworkClient
@@ -100,7 +143,8 @@ def run_leg(label: str, *, rounds: int, settle: float,
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(REPO, "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
-    serve_cmd = [sys.executable, "-m", "repro", "serve"]
+    serve_cmd = [sys.executable, "-m", "repro", "serve",
+                 "--telemetry-interval", "0.2"]
     if net_seed is not None:
         serve_cmd += ["--net-seed", str(net_seed)]
     problems: list[str] = []
@@ -196,6 +240,13 @@ def run_leg(label: str, *, rounds: int, settle: float,
             if net_seed is None and resyncs:
                 problems.append(f"{label}: resync on the clean leg — the "
                                 f"delta path dropped frames")
+        # Scrape while the server is still serving: telemetry + health
+        # from a second process, faults (if seeded) still in-window.
+        try:
+            problems += check_scrape(label, port,
+                                     expect_degraded=net_seed is not None)
+        except Exception as exc:  # noqa: BLE001 - any scrape crash fails
+            problems.append(f"{label}: scrape failed: {exc!r}")
     finally:
         server.terminate()
         try:

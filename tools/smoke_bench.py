@@ -19,10 +19,19 @@ visibility) are compared against the committed baseline in
 (default 2.0 — generous on purpose, CI runners are noisy) fails the
 gate; ordinary jitter passes.
 
+Finally an **SLO burn-rate gate**: a deterministic synthetic scenario
+(simulated clock, fixed latency stream) is driven through the telemetry
+pipeline and ``repro.obs.slo`` — the clean stream must leave every
+shipped SLO green, and the same scenario with a latency burn injected
+after t=60s must breach (a self-check that the gate can actually fire).
+``--slo-burn`` runs the burned scenario *as* the gate, so CI can assert
+the failure path end to end (exit code 1).
+
 Usage::
 
     PYTHONPATH=src python tools/smoke_bench.py
     PYTHONPATH=src python tools/smoke_bench.py --record-baseline
+    PYTHONPATH=src python tools/smoke_bench.py --slo-burn  # must fail
 """
 
 from __future__ import annotations
@@ -56,6 +65,7 @@ SMOKE_NODES = (
     "benchmarks/bench_search.py::test_indexed_content_search[50]",
     "benchmarks/bench_net.py::test_connect_storm[8]",
     "benchmarks/bench_net.py::test_fanout_latency[2]",
+    "benchmarks/bench_net.py::test_stats_scrape[32]",
 )
 
 #: Headline nodes whose medians are tracked in BENCH_trend.json.
@@ -79,6 +89,8 @@ TREND_NODES = {
         "d7_connect_storm_8",
     "benchmarks/bench_net.py::test_fanout_latency[2]":
         "d7_fanout_latency_2",
+    "benchmarks/bench_net.py::test_stats_scrape[32]":
+        "d7_stats_scrape_32",
 }
 
 TREND_PATH = os.path.join(REPO, "BENCH_trend.json")
@@ -102,7 +114,10 @@ def run_smoke(record_baseline: bool = False) -> int:
     status = validate(obs_path)
     if status:
         return status
-    return check_trend(record_baseline=record_baseline)
+    status = check_trend(record_baseline=record_baseline)
+    if status:
+        return status
+    return check_slo()
 
 
 def validate(obs_path: str) -> int:
@@ -203,5 +218,85 @@ def check_trend(*, record_baseline: bool = False,
     return 0
 
 
+def _drive_slo_scenario(*, burn: bool):
+    """120 simulated seconds of latency traffic through the SLO pipeline.
+
+    Clean: every fsync/replication observation is 2ms, far under both
+    objectives.  Burn: from t=60s the stream degrades to 200ms, which is
+    bad for both SLOs — the fast (1m) window sees 100% errors and the
+    slow (5m) window, clamped to the run's span, sees 50%; both burn far
+    above the 2.0 threshold against a 1% budget.
+    """
+    from repro.clock import SimulatedClock
+    from repro.obs import MetricsRegistry, SLOEvaluator, TelemetryStore
+
+    start = 1_000_000.0
+    clock = SimulatedClock(start=start, tick=0.0)
+    registry = MetricsRegistry()
+    fsync = registry.histogram("wal.fsync_seconds")
+    replication = registry.histogram("collab.replication_seconds")
+    store = TelemetryStore(registry, clock, interval=1.0, capacity=256)
+    evaluator = SLOEvaluator(store, registry=registry)
+    for second in range(120):
+        latency = 0.2 if burn and second >= 60 else 0.002
+        for __ in range(50):
+            fsync.observe(latency)
+            replication.observe(latency)
+        store.sample(now=start + second)
+    return evaluator.evaluate(now=start + 119), registry
+
+
+def check_slo(*, burn: bool = False) -> int:
+    """Gate CI on the deterministic synthetic SLO scenario.
+
+    The clean scenario must pass and — run inline as a self-check — the
+    burned one must breach, proving the gate can fire.  ``burn=True``
+    (the ``--slo-burn`` flag) makes the burned scenario *the* gate, so a
+    caller can assert the red path returns a non-zero exit code.
+    """
+    sys.path.insert(0, os.path.join(REPO, "src"))
+    results, registry = _drive_slo_scenario(burn=burn)
+    failures = []
+    for result in results:
+        fast, slow = result["fast"], result["slow"]
+        fast_burn = fast["burn"] if fast else 0.0
+        slow_burn = slow["burn"] if slow else 0.0
+        marker = "BREACH" if result["breached"] else "ok"
+        print(f"slo {result['slo']}: fast burn x{fast_burn:.1f}, "
+              f"slow burn x{slow_burn:.1f} "
+              f"(threshold x{result['burn_threshold']:.1f}) [{marker}]")
+        if result["breached"]:
+            failures.append(f"{result['slo']}: error budget burning "
+                            f"{slow_burn:.1f}x too fast")
+    breached_gauges = sum(
+        1 for name, metric in registry.snapshot().items()
+        if name.startswith("slo.breached{") and metric.get("value"))
+    if failures:
+        for failure in failures:
+            print(f"SLO breach: {failure}", file=sys.stderr)
+        return 1
+    if burn:
+        print("SLO burn scenario did not breach — gate is broken",
+              file=sys.stderr)
+        return 1
+    if not burn:
+        # Self-check: the burned scenario must turn the slo.* gauges red
+        # and fail; otherwise the gate is decorative.
+        burn_results, burn_registry = _drive_slo_scenario(burn=True)
+        red = sum(
+            1 for name, metric in burn_registry.snapshot().items()
+            if name.startswith("slo.breached{") and metric.get("value"))
+        if not any(r["breached"] for r in burn_results) or not red:
+            print("SLO gate self-check failed: synthetic burn did not "
+                  "breach", file=sys.stderr)
+            return 1
+        print(f"SLO gate passed ({len(results)} specs green, "
+              f"{breached_gauges} gauges red; burn self-check breached "
+              f"{red} spec(s))")
+    return 0
+
+
 if __name__ == "__main__":
+    if "--slo-burn" in sys.argv[1:]:
+        sys.exit(check_slo(burn=True))
     sys.exit(run_smoke(record_baseline="--record-baseline" in sys.argv[1:]))
