@@ -304,11 +304,118 @@ def _cmd_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_follower(args: argparse.Namespace) -> int:
+    """``serve --follow``: run a read replica, promote on leader death.
+
+    While following, the node serves STATS/HEALTH scrapes (with a
+    ``repl`` status section) but takes no editor connections.  When the
+    established replication stream dies, the follower finalizes its
+    applied prefix, prints ``PROMOTED <lsn>`` and starts a full
+    collaboration server on the same port — clients keep one address
+    across the failover.
+    """
+    import asyncio
+    import contextlib
+    import signal
+    import threading
+
+    from .net.replica import ReplicaStatusServer, ReplicationClient
+    from .repl import FollowerEngine
+
+    leader_host, leader_port = _parse_hostport(args.follow)
+    follower = FollowerEngine(args.wal, node=args.node)
+    client = ReplicationClient(leader_host, leader_port, follower,
+                               token=args.token)
+    status = ReplicaStatusServer(
+        follower, host=args.host, port=args.port, token=args.token,
+        telemetry_interval=args.telemetry_interval)
+
+    async def run() -> int:
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(sig, stopping.set)
+        await status.start()
+        print(f"LISTENING {status.port}", flush=True)
+
+        stop_stream = threading.Event()
+        stream_done: asyncio.Future = loop.create_future()
+
+        def stream() -> None:
+            try:
+                outcome = client.run(stop_stream)
+            except BaseException as exc:
+                loop.call_soon_threadsafe(stream_done.set_result,
+                                          ("error", exc))
+            else:
+                loop.call_soon_threadsafe(stream_done.set_result,
+                                          (outcome, None))
+
+        thread = threading.Thread(target=stream, name="repl-stream",
+                                  daemon=True)
+        thread.start()
+        waiter = asyncio.create_task(stopping.wait())
+        await asyncio.wait({stream_done, waiter},
+                           return_when=asyncio.FIRST_COMPLETED)
+        if stopping.is_set():
+            stop_stream.set()
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(stream_done, 5.0)
+            waiter.cancel()
+            await status.stop()
+            print("STOPPED", flush=True)
+            return 0
+        outcome, error = stream_done.result()
+        if outcome == "error":
+            waiter.cancel()
+            await status.stop()
+            print(f"replication stream failed: {error}", file=sys.stderr,
+                  flush=True)
+            return 1
+        # The leader is gone: fail over.  The scrape endpoint goes down
+        # for the rebind; the collab server then owns the same port.
+        await status.stop()
+        db = follower.promote()
+        from .collab import CollaborationServer
+        from .net import CollabNetServer
+        collab = CollaborationServer(db, node=args.node)
+        net = CollabNetServer(collab, host=args.host, port=status.port,
+                              token=args.token,
+                              telemetry_interval=args.telemetry_interval)
+        await net.start()
+        # Printed only once the promoted server accepts connections, so
+        # scripts can treat it as "failover complete, reads are live".
+        print(f"PROMOTED {follower.applied_lsn}", flush=True)
+        serving = asyncio.create_task(net.serve_forever())
+        try:
+            await asyncio.wait({serving, waiter},
+                               return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            serving.cancel()
+            waiter.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await serving
+            await net.stop()
+        print("STOPPED", flush=True)
+        return 0
+
+    try:
+        code = asyncio.run(run())
+    except KeyboardInterrupt:
+        code = 0
+    follower.db.close()
+    return code
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from .collab import CollaborationServer
     from .net import CollabNetServer
+
+    if args.follow is not None:
+        return _serve_follower(args)
 
     faults = None
     if args.net_seed is not None:
@@ -386,6 +493,42 @@ def _cmd_connect(args: argparse.Namespace) -> int:
         return 0
     finally:
         client.close()
+
+
+def _cmd_repl_status(args: argparse.Namespace) -> int:
+    """Replication status of a running node (leader or follower)."""
+    import json
+
+    from .net import scrape
+
+    host, port = _parse_hostport(args.remote)
+    payload = scrape(host, port, kind="stats", series=False,
+                     token=args.token)
+    metrics = payload.get("metrics", {})
+
+    def metric(name: str, default=0):
+        return metrics.get(name, {}).get("value", default)
+
+    repl = payload.get("repl")
+    if repl is None:
+        # A leader (or a promoted follower already fronting editors):
+        # synthesise the view from its repl.* metrics.
+        repl = {
+            "node": payload.get("node"),
+            "role": "leader",
+            "durable_lsn": payload.get("wal", {}).get("durable_lsn"),
+            "segments_shipped": metric("repl.segments_shipped"),
+            "promotions": metric("repl.promotions"),
+        }
+    else:
+        repl = dict(repl)
+        repl["role"] = "promoted" if repl.get("promoted") else "follower"
+    if args.json:
+        print(json.dumps(repl, indent=2, sort_keys=True))
+        return 0
+    for key in sorted(repl):
+        print(f"{key:<16}: {repl[key]}")
+    return 0
 
 
 def _cmd_dash(args: argparse.Namespace) -> int:
@@ -501,7 +644,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--telemetry-interval", type=float, default=1.0,
                        help="seconds between telemetry samples "
                             "(0 disables the sampler)")
+    serve.add_argument("--follow", default=None, metavar="HOST:PORT",
+                       help="tail this leader's WAL as a read replica; "
+                            "when the leader dies, promote in place and "
+                            "serve writes on the same port")
     serve.set_defaults(fn=_cmd_serve)
+
+    repl_status = sub.add_parser(
+        "repl-status", help="replication role and lag of a running node")
+    repl_status.add_argument("remote", metavar="HOST:PORT",
+                             help="leader or follower scrape endpoint")
+    repl_status.add_argument("--token", default=None)
+    repl_status.add_argument("--json", action="store_true",
+                             help="emit the raw status dict as JSON")
+    repl_status.set_defaults(fn=_cmd_repl_status)
 
     connect = sub.add_parser(
         "connect", help="connect to a running server and edit a document")

@@ -363,6 +363,17 @@ class Database:
         """Fresh object id in this database's namespace."""
         return self.ids.next(kind)
 
+    def advance_txn_ids(self, seen: int) -> None:
+        """Keep transaction-id allocation ahead of ``seen``.
+
+        Promotion turns a follower writable: its WAL already holds the
+        leader's transaction ids, so new local transactions must start
+        above the highest shipped one — two transactions sharing an id
+        in one log would conflate under recovery's COMMIT matching.
+        """
+        current = next(self._txn_counter)
+        self._txn_counter = itertools.count(max(current, seen + 1))
+
     def now(self) -> float:
         """Current time from the injected clock."""
         return self.clock.now()

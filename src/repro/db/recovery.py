@@ -77,6 +77,8 @@ def recover(
     node: str = "db",
     clock: Clock | None = None,
     wal_path: str | None = None,
+    faults=None,
+    obs=None,
     wal_group_commit: bool = True,
     wal_group_window: float = 0.0,
     wal_group_max: int = 64,
@@ -89,10 +91,14 @@ def recover(
 
     The ``wal_group_*`` knobs carry the crashed engine's commit policy
     onto the recovered one, so a configured group window or group-size
-    bound is not silently reset to defaults by the crash.
+    bound is not silently reset to defaults by the crash.  ``faults``
+    and ``obs`` thread an injector / observability into the rebuilt
+    engine (a resumed replication follower keeps its torture plan and
+    metric registry across restarts).
     """
     records = list(records)
     db = Database(node, clock=clock, wal_path=wal_path,
+                  faults=faults, obs=obs,
                   wal_group_commit=wal_group_commit,
                   wal_group_window=wal_group_window,
                   wal_group_max=wal_group_max)

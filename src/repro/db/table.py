@@ -309,6 +309,53 @@ class Table:
         if self._metrics is not None:
             self._metrics.versions_live.inc()
 
+    def apply_replica_row(self, rowid: int, values: Mapping[str, Any],
+                          commit_lsn: int) -> tuple[str, tuple]:
+        """Install a committed row shipped from a leader (replication).
+
+        Like :meth:`commit_row` without the pending stage — the follower
+        never staged anything, it applies the leader's committed image
+        directly.  The superseded image (if any) is pushed onto the
+        version chain stamped with its old commit LSN, so replica
+        snapshot readers pinned below ``commit_lsn`` keep their
+        consistent view while the apply races past them.  Returns
+        ``(kind, row)`` for the change notification.
+        """
+        row = self.schema.make_row(values)
+        with self._lock:
+            old = self._committed.get(rowid)
+            if old is not None:
+                self._unindex_row(rowid, old)
+                self._push_version(rowid, self._version_lsn.get(rowid, 0),
+                                   old)
+                kind = "update"
+            else:
+                kind = "insert"
+            self._committed[rowid] = row
+            self._version_lsn[rowid] = commit_lsn
+            self._index_row(rowid, row)
+            # Promotion makes this table writable: keep rowid allocation
+            # ahead of everything the leader ever assigned.
+            self._bump_rowid(rowid)
+            return kind, row
+
+    def apply_replica_delete(self, rowid: int,
+                             commit_lsn: int) -> tuple[str, tuple | None]:
+        """Remove a committed row shipped from a leader (replication).
+
+        The deleted image stays on the version chain under its old LSN
+        with a ``commit_lsn``-stamped tombstone after it, exactly as
+        :meth:`commit_row` leaves a local delete.
+        """
+        with self._lock:
+            old = self._committed.pop(rowid, None)
+            if old is None:
+                return "noop", None  # insert+delete within one shipped txn
+            self._unindex_row(rowid, old)
+            self._push_version(rowid, self._version_lsn.pop(rowid, 0), old)
+            self._push_version(rowid, commit_lsn, TOMBSTONE)
+            return "delete", None
+
     def rollback_row(self, txn_id: int, rowid: int) -> None:
         """Discard the pending image of ``rowid`` (abort path)."""
         with self._lock:

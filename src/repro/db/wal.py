@@ -15,6 +15,7 @@ so a "crashed" engine can be rebuilt by a fresh process.  DDL (create table
 
 from __future__ import annotations
 
+import bisect
 import json
 import os
 import threading
@@ -361,15 +362,105 @@ class WriteAheadLog:
             cond.notify_all()
         self._m_sync_wait.observe(perf_counter() - waited_from)
 
+    def append_shipped(self, record: WalRecord) -> WalRecord:
+        """Append a record shipped from a leader, preserving its LSN.
+
+        The replication apply path (:mod:`repro.repl`) writes the
+        leader's records into the follower's own mirror file *verbatim*
+        — same JSON line format, same LSN — so the follower's log is
+        byte-equivalent to the shipped prefix of the leader's: recovery
+        and promotion read it with the ordinary tooling.  No commit
+        barrier is entered; durability is batched per shipped segment
+        via :meth:`sync_shipped`.  The ``wal.mid_record`` crash point
+        fires here too, so torture schedules can tear a record on the
+        follower's disk mid-apply.
+        """
+        if record.type not in _TYPES:
+            raise WalError(f"unknown WAL record type {record.type!r}")
+        with self._lock:
+            if record.lsn < self._next_lsn:
+                raise WalError(
+                    f"shipped record LSN {record.lsn} is behind the local "
+                    f"tail {self._next_lsn - 1} (duplicates must be "
+                    f"filtered by the applier)")
+            if self._path is not None and self._file is None:
+                raise CrashSignal("WAL died before shipped append "
+                                  f"(lsn {record.lsn})")
+            if self._file is not None:
+                line = json.dumps({
+                    "lsn": record.lsn,
+                    "type": record.type,
+                    "txn": record.txn_id,
+                    "payload": record.payload,
+                }, separators=(",", ":"))
+                torn = self.faults.check("wal.mid_record")
+                if torn is not None:
+                    keep = max(1, min(len(line) - 1,
+                                      int(len(line) * torn.tear)))
+                    self._file.write(line[:keep])
+                    self.faults.crash(torn, type=record.type,
+                                      txn=record.txn_id)
+                self._file.write(line + "\n")
+                self._m_bytes.inc(len(line) + 1)
+            self._records.append(record)
+            self._next_lsn = record.lsn + 1
+            self._m_appends.inc()
+        return record
+
+    def sync_shipped(self) -> int:
+        """Make every shipped record durable; returns the covered LSN.
+
+        Called at shipped-segment boundaries (and on promotion): one
+        flush+fsync covers the whole batch of :meth:`append_shipped`
+        writes, mirroring the leader's group-commit economics.  The
+        in-memory log (no path) just advances the durable LSN.
+        """
+        with self._lock:
+            if self._path is not None and self._file is None:
+                raise CrashSignal("WAL died before the shipped-segment "
+                                  "fsync")
+            last = self._next_lsn - 1
+            if self._file is not None:
+                self._fsync_locked(1, "SEGMENT", 0)
+        with self._group_cond:
+            self._synced_lsn = max(self._synced_lsn, last)
+            self._group_cond.notify_all()
+        return last
+
     def records(self) -> Iterator[WalRecord]:
         """Iterate records in LSN order (snapshot)."""
         with self._lock:
             return iter(list(self._records))
 
+    def records_from(self, lsn: int, limit: int | None = None
+                     ) -> list[WalRecord]:
+        """Records with LSN >= ``lsn`` in order, up to ``limit`` of them.
+
+        The segment-shipping read path: in-memory records are sorted by
+        LSN, so the start is found by bisection instead of copying the
+        whole log per segment.
+        """
+        with self._lock:
+            lo = bisect.bisect_left(self._records, lsn,
+                                    key=lambda r: r.lsn)
+            hi = len(self._records) if limit is None else lo + limit
+            return self._records[lo:hi]
+
     def last_lsn(self) -> int:
         """The LSN of the most recently appended record."""
         with self._lock:
             return self._next_lsn - 1
+
+    def advance_lsn(self, lsn: int) -> None:
+        """Keep LSN allocation ahead of ``lsn`` (follower resume).
+
+        A follower rebuilt from its local mirror file starts with an
+        empty in-memory log; advancing the allocator past the recovered
+        prefix keeps shipped and (post-promotion) locally appended
+        records strictly increasing.
+        """
+        with self._lock:
+            self._next_lsn = max(self._next_lsn, lsn + 1)
 
     def truncate_before(self, lsn: int) -> int:
         """Drop in-memory records with LSN < ``lsn`` (after a checkpoint).

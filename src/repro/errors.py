@@ -95,6 +95,11 @@ class RecoveryError(DatabaseError):
     """Crash recovery could not be completed."""
 
 
+class ReplicationError(DatabaseError):
+    """The replication stream or follower apply path was violated
+    (gap in the shipped LSN sequence, apply after promotion, ...)."""
+
+
 # ---------------------------------------------------------------------------
 # Text extension errors
 # ---------------------------------------------------------------------------

@@ -20,14 +20,18 @@ Everything reproduces from a single integer seed; see ``docs/FAULTS.md``.
 """
 
 from .harness import (
+    ReplScheduleOutcome,
     ScheduleOutcome,
+    check_promotion_equivalence,
     check_recovery_equivalence,
     recovered_rows,
     run_engine_schedule,
+    run_replicated_schedule,
 )
 from .injector import NO_FAULTS, FaultInjector, FiredFault, NullInjector
 from .plan import (
     CRASH_POINTS,
+    REPL_CRASH_POINTS,
     CrashSignal,
     CrashSpec,
     DeliveryFault,
@@ -50,8 +54,12 @@ __all__ = [
     "NetFault",
     "NO_FAULTS",
     "NullInjector",
+    "REPL_CRASH_POINTS",
+    "ReplScheduleOutcome",
     "ScheduleOutcome",
+    "check_promotion_equivalence",
     "check_recovery_equivalence",
     "recovered_rows",
     "run_engine_schedule",
+    "run_replicated_schedule",
 ]

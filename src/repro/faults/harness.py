@@ -167,3 +167,122 @@ def check_recovery_equivalence(outcome: ScheduleOutcome) -> Database:
         f"reproduce with run_engine_schedule({outcome.seed}, ...)"
     )
     return recovered
+
+
+# ---------------------------------------------------------------------------
+# Replicated schedules: leader torture + follower tailing + promotion
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ReplScheduleOutcome:
+    """One replicated crash schedule: who died where, what must match."""
+
+    seed: int
+    leader: ScheduleOutcome
+    follower_wal: str
+    #: Follower deaths while tailing (CrashSignal from its fault plan);
+    #: each one was followed by a restart-and-resume from its own file.
+    follower_crashes: int = 0
+    follower_crash_points: list = field(default_factory=list)
+    promoted_lsn: int = 0
+
+
+def run_replicated_schedule(
+    seed: int,
+    leader_wal: str,
+    follower_wal: str,
+    *,
+    n_txns: int = 30,
+    max_ops_per_txn: int = 4,
+    checkpoint_every: int | None = 7,
+    leader_plan: FaultPlan | None = None,
+    follower_plan: FaultPlan | None = None,
+    max_follower_restarts: int = 10,
+):
+    """Torture a leader, tail its surviving WAL into a follower, promote.
+
+    The leader runs :func:`run_engine_schedule` under its (seed-derived)
+    crash plan — covering death mid-group-commit, torn records, power
+    loss.  A follower with its *own* seed-derived plan (over
+    :data:`~repro.faults.plan.REPL_CRASH_POINTS`) then tails the
+    leader's surviving file — exactly the prefix leader recovery reads.
+    Every follower death is answered by a restart over the follower's
+    own mirror (resume-from-last-applied-LSN) with the same injector, so
+    hit counters carry across restarts and the schedule stays
+    deterministic.  When the stream is drained the follower is promoted.
+
+    Returns ``(outcome, promoted)`` where ``promoted`` is the follower's
+    now-writable :class:`~repro.db.engine.Database` (caller closes it).
+    """
+    from ..repl import FollowerEngine, WalFileTailer
+    from .plan import REPL_CRASH_POINTS
+
+    leader = run_engine_schedule(
+        seed, leader_wal, n_txns=n_txns,
+        max_ops_per_txn=max_ops_per_txn,
+        checkpoint_every=checkpoint_every, plan=leader_plan)
+    if follower_plan is None:
+        follower_plan = FaultPlan.random(seed * 31 + 7,
+                                         points=REPL_CRASH_POINTS)
+    faults = FaultInjector(follower_plan)
+    outcome = ReplScheduleOutcome(seed, leader, follower_wal)
+    follower = FollowerEngine(follower_wal, node="torture-replica",
+                              faults=faults)
+    for _ in range(max_follower_restarts + 1):
+        tailer = WalFileTailer(leader_wal, follower)
+        try:
+            tailer.drain()
+            break
+        except CrashSignal:
+            outcome.follower_crashes += 1
+            outcome.follower_crash_points.append(faults.crash_point_fired)
+            # Restart over the follower's own (possibly torn) mirror;
+            # the injector's hit counters persist, so the fired crash
+            # does not re-fire on the re-applied suffix.
+            follower = FollowerEngine(follower_wal,
+                                      node="torture-replica",
+                                      faults=faults)
+    else:  # pragma: no cover - a runaway plan, not a real schedule
+        raise AssertionError(
+            f"seed {seed}: follower still crashing after "
+            f"{max_follower_restarts} restarts")
+    promoted = follower.promote()
+    outcome.promoted_lsn = follower.applied_lsn
+    return outcome, promoted
+
+
+def check_promotion_equivalence(outcome: ReplScheduleOutcome,
+                                promoted: Database) -> None:
+    """Promoted-follower state must equal a freshly recovered leader.
+
+    The acceptance property of WAL shipping: across any seeded crash
+    schedule (leader and follower plans combined), the database a
+    promoted follower serves equals the one leader recovery would have
+    rebuilt — before *and* after collapsing the follower's MVCC version
+    chains, so the equivalence is about durable state, not about how
+    many historical versions each side happens to carry.
+    """
+    recovered = check_recovery_equivalence(outcome.leader)
+    try:
+        detail = (
+            f"seed {outcome.seed} (leader crash_point="
+            f"{outcome.leader.crash_point}, follower crashes="
+            f"{outcome.follower_crashes} at "
+            f"{outcome.follower_crash_points}, promoted_lsn="
+            f"{outcome.promoted_lsn}); reproduce with "
+            f"run_replicated_schedule({outcome.seed}, ...)")
+        got = recovered_rows(promoted)
+        assert got == outcome.leader.expected_rows, (
+            f"promotion-equivalence violated for {detail}: promoted "
+            f"follower has {len(got)} rows != expected "
+            f"{len(outcome.leader.expected_rows)}")
+        promoted.gc_versions()
+        collapsed = recovered_rows(promoted)
+        assert collapsed == outcome.leader.expected_rows, (
+            f"promotion-equivalence violated after version-chain GC "
+            f"for {detail}")
+        assert promoted.wal.last_lsn() >= recovered.wal.last_lsn(), (
+            f"promoted follower's log ends before the recovered "
+            f"leader's for {detail}")
+    finally:
+        recovered.close()

@@ -18,6 +18,7 @@ from ..errors import CrashSignal
 
 __all__ = [
     "CRASH_POINTS",
+    "REPL_CRASH_POINTS",
     "CrashSignal",
     "CrashSpec",
     "DeliveryFault",
@@ -37,6 +38,18 @@ CRASH_POINTS = (
     "txn.pre_commit",          # crash before the COMMIT record is appended
     "txn.post_commit",         # COMMIT durable, in-memory apply interrupted
     "checkpoint.mid_snapshot", # crash while building the snapshot
+)
+
+#: The crash points a *follower* exercises while applying a shipped
+#: stream: death halfway through a shipped transaction's row images
+#: (``repl.mid_apply``), and a torn write to its own WAL mirror
+#: (``wal.mid_record`` fires from ``append_shipped`` too).  Kept out of
+#: ``CRASH_POINTS`` so leader-side seeded plans keep their historical
+#: seed -> schedule mapping (``repl.mid_apply`` is unreachable on a
+#: leader and would only dilute the leader crash-coverage floor).
+REPL_CRASH_POINTS = (
+    "repl.mid_apply",
+    "wal.mid_record",
 )
 
 
@@ -129,7 +142,7 @@ class FaultPlan:
     def crash_once(cls, point: str, *, hit: int = 1, tear: float = 0.5,
                    power_loss: bool = False) -> "FaultPlan":
         """A plan with a single deterministic crash."""
-        if point not in CRASH_POINTS:
+        if point not in CRASH_POINTS + REPL_CRASH_POINTS:
             raise ValueError(f"unknown crash point {point!r}")
         return cls(crashes=(CrashSpec(point, hit, tear, power_loss),))
 

@@ -16,7 +16,12 @@ package is the actual wire:
   network unchanged;
 * :mod:`repro.net.mirror` — :class:`DocMirror`, the client-side replica
   of a document's character rows, maintained from NOTIFY deltas with
-  sequence-gap detection and anti-entropy resync.
+  sequence-gap detection and anti-entropy resync;
+* :mod:`repro.net.replica` — the WAL-shipping wire endpoints:
+  :class:`ReplicationClient` (SUBSCRIBE/WAL_SEGMENT/REPL_ACK pull
+  stream into a :class:`~repro.repl.follower.FollowerEngine`) and
+  :class:`ReplicaStatusServer` (the STATS/HEALTH scrape endpoint a
+  following replica exposes before promotion).
 
 Socket-level fault injection (seeded latency, reorder, drop and
 disconnect on outbound change frames) rides on the same
@@ -44,13 +49,17 @@ from .protocol import (
     Ping,
     Pong,
     ProtocolError,
+    ReplAck,
     Stats,
     StatsReply,
+    Subscribe,
+    WalSegment,
     Welcome,
     decode_envelope,
     encode_frame,
     error_class,
 )
+from .replica import ReplicaStatusServer, ReplicationClient, wire_to_record
 from .server import CollabNetServer, ServerThread
 
 __all__ = [
@@ -76,12 +85,18 @@ __all__ = [
     "ProtocolError",
     "RemoteHandle",
     "RemoteSession",
+    "ReplAck",
+    "ReplicaStatusServer",
+    "ReplicationClient",
     "ServerThread",
     "Stats",
     "StatsReply",
+    "Subscribe",
+    "WalSegment",
     "Welcome",
     "decode_envelope",
     "encode_frame",
     "error_class",
     "scrape",
+    "wire_to_record",
 ]

@@ -33,6 +33,17 @@ Envelope types
     broadcast).  Fire-and-forget: never acked, faultable like NOTIFY.
 ``PING`` / ``PONG`` / ``BYE``
     Liveness and orderly goodbye.
+``SUBSCRIBE`` / ``WAL_SEGMENT`` / ``REPL_ACK``
+    The replication lane.  SUBSCRIBE — accepted **as a connection's
+    first frame**, like STATS/HEALTH, honouring the same shared token —
+    asks the leader to ship WAL records starting at ``from_lsn``.  The
+    leader answers each SUBSCRIBE / REPL_ACK with exactly one
+    WAL_SEGMENT (records of the durable prefix, capped per segment,
+    plus the leader's durable ``end_lsn``); the follower applies it and
+    acks with its new ``applied_lsn``, which doubles as the request for
+    the next segment.  Pull-based, so a slow follower is never overrun
+    and restart resumption is just a re-subscribe from
+    ``applied_lsn + 1`` (see ``docs/REPLICATION.md``).
 ``STATS`` / ``STATS_REPLY`` and ``HEALTH`` / ``HEALTH_REPLY``
     The telemetry scrape lane.  STATS asks for the server's labelled
     metrics snapshot — ``format="json"`` returns the structured payload
@@ -79,8 +90,11 @@ __all__ = [
     "Ping",
     "Pong",
     "ProtocolError",
+    "ReplAck",
     "Stats",
     "StatsReply",
+    "Subscribe",
+    "WalSegment",
     "Welcome",
     "decode_envelope",
     "encode_frame",
@@ -416,11 +430,85 @@ class HealthReply(Envelope):
         return env  # type: ignore[return-value]
 
 
+@dataclass(frozen=True)
+class Subscribe(Envelope):
+    """Replication subscription (allowed pre-auth as a first frame).
+
+    A follower's opening frame: stream WAL records starting at
+    ``from_lsn`` (its ``applied_lsn + 1`` — restart resumption is just
+    a re-subscribe with a higher ``from_lsn``).  The lane is pull-based:
+    the server answers each SUBSCRIBE / REPL_ACK with one WAL_SEGMENT,
+    so a slow follower can never be overrun and the leader tracks
+    exactly what each follower acknowledged.
+    """
+
+    TYPE: ClassVar[str] = "subscribe"
+
+    from_lsn: int = 1
+    node: str = ""
+    token: str | None = None
+
+    def _validate(self) -> None:
+        _require(isinstance(self.from_lsn, int) and self.from_lsn >= 1,
+                 "subscribe.from_lsn must be an int >= 1")
+
+
+@dataclass(frozen=True)
+class WalSegment(Envelope):
+    """One shipped chunk of the leader's durable WAL prefix.
+
+    ``records`` are wire-shaped record dicts (``{"lsn", "type", "txn",
+    "payload"}`` — the WAL file's own line format); ``end_lsn`` is the
+    leader's durable LSN at send time, so the follower's lag is
+    ``end_lsn - applied_lsn`` even when the segment is empty (a
+    heartbeat).  ``at`` is the leader's send stamp, the zero point of
+    ``repl.apply_lag_seconds``.
+    """
+
+    TYPE: ClassVar[str] = "wal_segment"
+
+    records: tuple = ()
+    end_lsn: int = 0
+    at: float = 0.0
+
+    def _validate(self) -> None:
+        _require(isinstance(self.end_lsn, int),
+                 "wal_segment.end_lsn must be an int")
+        _require(all(isinstance(r, dict) for r in self.records),
+                 "wal_segment.records must be objects")
+
+    @classmethod
+    def from_wire(cls, obj: dict) -> "WalSegment":
+        env = super().from_wire(obj)
+        if isinstance(env.records, list):
+            object.__setattr__(env, "records", tuple(env.records))
+            env._validate()
+        return env  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class ReplAck(Envelope):
+    """Follower progress: everything through ``applied_lsn`` is applied
+    and locally durable.  Doubles as the request for the next segment
+    (from ``applied_lsn + 1``)."""
+
+    TYPE: ClassVar[str] = "repl_ack"
+
+    applied_lsn: int = 0
+    node: str = ""
+    at: float = 0.0
+
+    def _validate(self) -> None:
+        _require(isinstance(self.applied_lsn, int) and self.applied_lsn >= 0,
+                 "repl_ack.applied_lsn must be an int >= 0")
+
+
 #: type string -> envelope class (the decode dispatch table).
 ENVELOPE_TYPES: dict[str, type[Envelope]] = {
     cls.TYPE: cls
     for cls in (Hello, Welcome, Op, Ack, Error, Notify, Awareness,
-                Ping, Pong, Bye, Stats, StatsReply, Health, HealthReply)
+                Ping, Pong, Bye, Stats, StatsReply, Health, HealthReply,
+                Subscribe, WalSegment, ReplAck)
 }
 
 

@@ -46,6 +46,7 @@ from dataclasses import replace
 from time import perf_counter, time
 from typing import TYPE_CHECKING, Any
 
+from ..db.wal import CHECKPOINT
 from ..errors import NetError, ProtocolError, TendaxError
 from ..faults.injector import NO_FAULTS
 from ..obs.export import prometheus_text
@@ -69,8 +70,11 @@ from .protocol import (
     Op,
     Ping,
     Pong,
+    ReplAck,
     Stats,
     StatsReply,
+    Subscribe,
+    WalSegment,
     Welcome,
     encode_frame,
 )
@@ -90,6 +94,11 @@ _CLOSE = object()
 
 #: How long a reorder window may sit before it is force-flushed.
 _REORDER_FLUSH_SECONDS = 0.02
+
+#: Upper bound on the records shipped in one WAL_SEGMENT frame (keeps a
+#: segment far below MAX_FRAME_BYTES and bounds the follower's apply
+#: batch; a lagging follower simply acks its way through more segments).
+_SEGMENT_RECORDS = 256
 
 
 class _Connection:
@@ -152,6 +161,7 @@ class CollabNetServer:
         self._m_delayed = registry.counter("net.frames_delayed")
         self._m_resyncs = registry.counter("net.resyncs")
         self._m_scrapes = registry.counter("net.scrapes")
+        self._m_segments = registry.counter("repl.segments_shipped")
         # Dimensioned families (pre-resolved; .labels() per event).
         self._f_op_seconds = registry.family("net.op_seconds", "histogram")
         self._f_notifies = registry.family("net.notifies", "counter")
@@ -171,6 +181,7 @@ class CollabNetServer:
         self._current_echo: list[dict] | None = None
         self._commit_sub = None
         self._handler_tasks: set[asyncio.Task] = set()
+        self._repl_conns: set[_Connection] = set()
         self._sampler_task: asyncio.Task | None = None
 
     # ------------------------------------------------------------------
@@ -213,12 +224,18 @@ class CollabNetServer:
             self._commit_sub = None
         for conn in list(self._connections.values()):
             await self._close_connection(conn, reason="server shutdown")
+        for conn in list(self._repl_conns):
+            await self._close_connection(conn, reason="server shutdown")
         handlers = [t for t in self._handler_tasks if not t.done()]
         if handlers:
             await asyncio.wait(handlers, timeout=2.0)
-            for task in handlers:
-                if not task.done():
-                    task.cancel()
+            stragglers = [t for t in handlers if not t.done()]
+            for task in stragglers:
+                task.cancel()
+            if stragglers:
+                # Let the cancelled handlers run their ``finally`` so
+                # their sockets actually close before the loop dies.
+                await asyncio.wait(stragglers, timeout=2.0)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -257,6 +274,8 @@ class CollabNetServer:
             "at": self.collab.db.now(),
             "server": self.collab.statistics(),
             "net": self.stats(),
+            "wal": {"durable_lsn": self.collab.db.wal.durable_lsn,
+                    "last_lsn": self.collab.db.wal.last_lsn()},
             "metrics": self.collab.db.obs.registry.snapshot(),
         }
         if series:
@@ -310,6 +329,74 @@ class CollabNetServer:
                 return
 
     # ------------------------------------------------------------------
+    # Replication shipping (SUBSCRIBE / WAL_SEGMENT / REPL_ACK)
+    # ------------------------------------------------------------------
+
+    def _collect_segment(self, from_lsn: int) -> WalSegment:
+        """One WAL_SEGMENT of the durable prefix starting at ``from_lsn``.
+
+        Only durably acked records ship — a power loss on this leader
+        can then never leave a follower *ahead* of what leader recovery
+        would rebuild.  If checkpoint compaction truncated the in-memory
+        log below the cursor, shipping resumes from the newest
+        checkpoint record, whose payload carries the full state (the
+        applier's documented mid-stream entry point).
+        """
+        wal = self.collab.db.wal
+        durable = wal.durable_lsn
+        records = [r for r in wal.records_from(from_lsn, _SEGMENT_RECORDS)
+                   if r.lsn <= durable]
+        if records and records[0].lsn > from_lsn:
+            checkpoints = [r for r in wal.records_from(0)
+                           if r.type == CHECKPOINT and r.lsn <= durable]
+            if checkpoints:
+                records = [r for r in
+                           wal.records_from(checkpoints[-1].lsn,
+                                            _SEGMENT_RECORDS)
+                           if r.lsn <= durable]
+        if records:
+            self._m_segments.inc()
+        wire = tuple({"lsn": r.lsn, "type": r.type, "txn": r.txn_id,
+                      "payload": r.payload} for r in records)
+        return WalSegment(records=wire, end_lsn=durable, at=time())
+
+    async def _serve_subscription(self, conn: _Connection,
+                                  sub: Subscribe) -> None:
+        """A follower connection: SUBSCRIBE, then segment/ack ping-pong.
+
+        Pull-based like the scrape lane: each SUBSCRIBE or REPL_ACK
+        draws exactly one WAL_SEGMENT, so the follower's apply speed is
+        the shipping speed and backpressure needs no queueing.  An empty
+        segment is a heartbeat carrying the leader's durable
+        ``end_lsn`` (the follower's lag reference); the follower paces
+        its own re-polling.
+        """
+        if self.token is not None and sub.token != self.token:
+            await self._send_now(conn, Error(
+                code="AccessDenied", message="bad shared token",
+                fatal=True))
+            return
+        # Tracked separately from editor sessions (no HELLO, no sender
+        # task, no connections gauge) so shutdown can sever the stream:
+        # a follower blocked on ``recv`` relies on this close for its
+        # leader-death signal.
+        self._repl_conns.add(conn)
+        try:
+            cursor = sub.from_lsn
+            while True:
+                await self._send_now(conn, self._collect_segment(cursor))
+                envelope = await self._next_envelope(conn)
+                if envelope is None or isinstance(envelope, Bye):
+                    return
+                if not isinstance(envelope, ReplAck):
+                    raise ProtocolError(
+                        f"replication connection got {envelope.TYPE!r} "
+                        f"envelope")
+                cursor = envelope.applied_lsn + 1
+        finally:
+            self._repl_conns.discard(conn)
+
+    # ------------------------------------------------------------------
     # Connection handling
     # ------------------------------------------------------------------
 
@@ -331,6 +418,9 @@ class CollabNetServer:
                 return
             if isinstance(hello, (Stats, Health)):
                 await self._serve_scrape(conn, hello)
+                return
+            if isinstance(hello, Subscribe):
+                await self._serve_subscription(conn, hello)
                 return
             if not await self._handshake(conn, hello):
                 return

@@ -132,6 +132,21 @@ METRIC_CATALOGUE: dict[str, tuple[str, str]] = {
                              "enqueue (labelled by conn)"),
     "net.scrapes": ("counter",
                     "STATS/HEALTH telemetry scrapes served over the wire"),
+    # -- replication (repro/repl, repro/net/replica.py) ---------------------
+    "repl.apply_lag_lsn": ("gauge",
+                           "leader durable LSN minus the follower's "
+                           "applied LSN (0 = caught up)"),
+    "repl.apply_lag_seconds": ("histogram",
+                               "leader send stamp to follower apply "
+                               "completion, per shipped segment"),
+    "repl.segments_shipped": ("counter",
+                              "non-empty WAL_SEGMENT frames served to "
+                              "subscribed followers (leader side)"),
+    "repl.records_applied": ("counter",
+                             "shipped WAL records applied by the "
+                             "follower (duplicates excluded)"),
+    "repl.promotions": ("counter",
+                        "follower promotions to writable leader"),
     # -- search (repro/search/engine.py) ------------------------------------
     "search.queries": ("counter", "content/metadata searches run"),
     "search.query_seconds": ("histogram", "end-to-end search latency"),

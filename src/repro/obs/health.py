@@ -41,6 +41,13 @@ class HealthThresholds:
     churn_per_minute: float = 120.0
     #: Injected-fault events per second tolerated before degrading.
     fault_rate: float = 0.0
+    #: Follower apply lag in LSNs: degraded / dead limits (the check
+    #: only runs when the node exposes ``repl.apply_lag_lsn``, so
+    #: leaders are unaffected).
+    repl_lag_lsn: int = 10_000
+    repl_lag_lsn_dead: int = 100_000
+    #: Follower apply lag p99 (seconds) over the window that degrades.
+    repl_lag_p99: float = 1.0
     #: Trailing window (seconds) for all rate/quantile checks.
     window: float = 60.0
 
@@ -157,6 +164,24 @@ def evaluate_health(snapshot: Mapping[str, dict], store=None, *,
             f"{churn:.0f} handshakes/min > {t.churn_per_minute:.0f}")
     else:
         add("net.churn", OK, churn, f"{churn:.1f} handshakes/min")
+
+    # Replica apply lag: only meaningful on a node that follows a
+    # leader (the gauge exists iff a FollowerEngine runs here).
+    if "repl.apply_lag_lsn" in snapshot:
+        lag = _value(snapshot, "repl.apply_lag_lsn", 0)
+        lag_p99 = _windowed_p99(store, snapshot, "repl.apply_lag_seconds",
+                                t.window)
+        if lag > t.repl_lag_lsn_dead:
+            add("repl.lag", UNHEALTHY, lag,
+                f"apply lag {lag:.0f} LSNs > {t.repl_lag_lsn_dead}")
+        elif lag > t.repl_lag_lsn:
+            add("repl.lag", DEGRADED, lag,
+                f"apply lag {lag:.0f} LSNs > {t.repl_lag_lsn}")
+        elif lag_p99 is not None and lag_p99 > t.repl_lag_p99:
+            add("repl.lag", DEGRADED, lag_p99,
+                f"apply lag p99 {lag_p99:.3f}s > {t.repl_lag_p99:.2f}s")
+        else:
+            add("repl.lag", OK, lag, f"apply lag {lag:.0f} LSNs")
 
     # Injected / observed socket faults.
     fault_rate = (

@@ -30,6 +30,9 @@ from typing import Iterable
 #: ~65ms / ~33ms: DEFAULT_LATENCY_BUCKETS bounds (1e-6 * 2**16, 2**15).
 _KEYSTROKE_BOUND = 1e-6 * 2 ** 16
 _REPLICATION_BOUND = 1e-6 * 2 ** 15
+#: ~262ms: a follower may trail its leader by a few shipping round
+#: trips, but reads served from a replica must stay near-real-time.
+_APPLY_LAG_BOUND = 1e-6 * 2 ** 18
 
 
 @dataclass(frozen=True)
@@ -49,12 +52,16 @@ class SLOSpec:
         return 1.0 - self.target
 
 
-#: Shipped objectives: the paper's two headline latencies.
+#: Shipped objectives: the paper's two headline latencies, plus the
+#: WAL-shipping lag bound (no-data on nodes that aren't following —
+#: specs with no observations in the window never burn or breach).
 DEFAULT_SLOS: tuple[SLOSpec, ...] = (
     SLOSpec("durable_keystroke", "wal.fsync_seconds",
             objective=_KEYSTROKE_BOUND),
     SLOSpec("replication_visibility", "collab.replication_seconds",
             objective=_REPLICATION_BOUND),
+    SLOSpec("replica_apply_lag", "repl.apply_lag_seconds",
+            objective=_APPLY_LAG_BOUND),
 )
 
 

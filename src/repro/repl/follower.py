@@ -1,0 +1,235 @@
+"""The follower engine: a read replica that can become the leader.
+
+A :class:`FollowerEngine` owns a full :class:`~repro.db.engine.Database`
+fed exclusively by a replication stream (see
+:class:`~repro.repl.apply.ReplicationApplier`).  While following it
+serves lock-free MVCC snapshot reads — search, mining, lineage, folders,
+diff all run against ``follower.db`` exactly as against a leader — and
+exposes its apply progress as ``repl.*`` metrics.  On leader loss,
+:meth:`promote` finalizes the applied prefix (drops buffered uncommitted
+transactions, fsyncs the local log, bumps id allocators past everything
+shipped) and hands back a writable leader database.
+
+Restart resumption: constructed over an existing ``wal_path``, the
+engine truncates any torn trailing record (the signature of a crash
+mid-shipped-append), recovers committed state with the ordinary
+recovery machinery, rebuilds the applier's uncommitted-transaction
+buffers, and resumes the stream from ``applied_lsn + 1``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Iterable
+
+from ..clock import Clock
+from ..db import recovery as recmod
+from ..db.wal import WalRecord
+from ..errors import ReplicationError, WalError
+from ..obs import Observability
+from .apply import ReplicationApplier
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..db.engine import Database
+
+
+def load_local_wal(path: str) -> tuple[list[WalRecord], int]:
+    """Parse a follower's local mirror; returns ``(records, valid_bytes)``.
+
+    Unlike :meth:`~repro.db.wal.WriteAheadLog.load_file` this also
+    reports the byte length of the valid prefix, so a torn trailing
+    record can be *truncated away* before the file is reopened for
+    append — otherwise the next shipped line would fuse with the torn
+    prefix into one corrupt record.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    records: list[WalRecord] = []
+    valid = 0
+    pos = 0
+    size = len(data)
+    while pos < size:
+        newline = data.find(b"\n", pos)
+        end = size if newline == -1 else newline
+        next_pos = size if newline == -1 else newline + 1
+        line = data[pos:end].strip()
+        if line:
+            try:
+                raw = json.loads(line)
+                record = WalRecord(raw["lsn"], raw["type"], raw["txn"],
+                                   raw.get("payload", {}))
+            except (ValueError, KeyError, TypeError) as exc:
+                if next_pos >= size:
+                    break  # torn tail: crash mid-append
+                raise WalError(
+                    f"corrupt WAL record in {path!r} at byte {pos} "
+                    f"(not a torn tail): {exc!r}") from exc
+            records.append(record)
+            valid = next_pos
+        else:
+            valid = next_pos
+        pos = next_pos
+    return records, valid
+
+
+class FollowerEngine:
+    """A replica database applying a leader's WAL stream.
+
+    Parameters
+    ----------
+    wal_path:
+        The follower's *own* mirror file.  When it already holds
+        records, the engine resumes from them (see module docstring);
+        ``None`` keeps the replica purely in memory.
+    node / clock / faults / obs:
+        Forwarded to the underlying :class:`~repro.db.engine.Database`.
+        The fault injector powers the replication crash points
+        (``repl.mid_apply``, ``wal.mid_record`` on the local mirror).
+    """
+
+    def __init__(self, wal_path: str | None = None, *,
+                 node: str = "replica", clock: Clock | None = None,
+                 faults=None, obs: Observability | None = None) -> None:
+        records: list[WalRecord] = []
+        torn = 0
+        if wal_path and os.path.exists(wal_path) \
+                and os.path.getsize(wal_path):
+            records, valid = load_local_wal(wal_path)
+            if valid < os.path.getsize(wal_path):
+                with open(wal_path, "r+b") as raw:
+                    raw.truncate(valid)
+                torn = 1
+        if records:
+            self._db: "Database" = recmod.recover(
+                records, node=node, clock=clock, wal_path=wal_path,
+                faults=faults, obs=obs)
+        else:
+            from ..db.engine import Database
+            self._db = Database(node, clock=clock, wal_path=wal_path,
+                                faults=faults, obs=obs)
+        self._applier = ReplicationApplier(self._db)
+        if records:
+            self._applier.resume(records)
+        registry = self._db.obs.registry
+        self._m_lag_lsn = registry.gauge("repl.apply_lag_lsn")
+        self._m_lag_seconds = registry.histogram("repl.apply_lag_seconds")
+        self._m_records = registry.counter("repl.records_applied")
+        self._m_promotions = registry.counter("repl.promotions")
+        if torn:
+            registry.counter("wal.torn_tail_recoveries").inc(torn)
+        self._leader_lsn = self._applier.applied_lsn
+        self._promoted = False
+        self._m_lag_lsn.set(0)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def db(self) -> "Database":
+        """The replica database (snapshot reads while following;
+        fully writable after :meth:`promote`)."""
+        return self._db
+
+    @property
+    def applied_lsn(self) -> int:
+        return self._applier.applied_lsn
+
+    @property
+    def leader_lsn(self) -> int:
+        """Highest leader LSN this follower has heard of."""
+        return self._leader_lsn
+
+    @property
+    def lag_lsn(self) -> int:
+        return max(0, self._leader_lsn - self._applier.applied_lsn)
+
+    @property
+    def promoted(self) -> bool:
+        return self._promoted
+
+    def status(self) -> dict:
+        """JSON-serialisable replication status (the scrape payload)."""
+        return {
+            "node": self._db.node,
+            "applied_lsn": self.applied_lsn,
+            "leader_lsn": self._leader_lsn,
+            "lag_lsn": self.lag_lsn,
+            "pending_txns": self._applier.pending_txns,
+            "records_applied": self._m_records.value,
+            "promoted": self._promoted,
+        }
+
+    # ------------------------------------------------------------------
+    # Apply
+    # ------------------------------------------------------------------
+
+    def note_leader_lsn(self, lsn: int) -> None:
+        """Record the leader's log tail (drives the lag gauge)."""
+        self._leader_lsn = max(self._leader_lsn, lsn)
+        self._m_lag_lsn.set(self.lag_lsn)
+
+    def apply_records(self, records: Iterable[WalRecord], *,
+                      leader_lsn: int | None = None,
+                      shipped_at: float | None = None) -> int:
+        """Apply one shipped segment; returns the records newly applied.
+
+        Duplicates (redelivered segments, restart overlap) are dropped
+        by the applier's LSN cursor with no side effects.  A non-empty
+        apply ends with one local fsync (the segment's durability
+        boundary) and, when ``shipped_at`` carries the leader's send
+        stamp, one ``repl.apply_lag_seconds`` observation.
+        """
+        if self._promoted:
+            raise ReplicationError(
+                f"follower {self._db.node!r} was promoted; it no longer "
+                f"applies shipped records")
+        applied = 0
+        for record in records:
+            if self._applier.apply(record):
+                applied += 1
+        if applied:
+            self._db.wal.sync_shipped()
+            self._m_records.inc(applied)
+            if shipped_at is not None:
+                self._m_lag_seconds.observe(
+                    max(0.0, self._db.now() - shipped_at))
+        if leader_lsn is not None:
+            self._leader_lsn = max(self._leader_lsn, leader_lsn)
+        self._leader_lsn = max(self._leader_lsn, self._applier.applied_lsn)
+        self._m_lag_lsn.set(self.lag_lsn)
+        return applied
+
+    # ------------------------------------------------------------------
+    # Promotion
+    # ------------------------------------------------------------------
+
+    def promote(self) -> "Database":
+        """Finalize the applied prefix and become a writable leader.
+
+        Buffered transactions that never shipped a COMMIT are dropped —
+        their records stay in the local log where recovery ignores them,
+        exactly as a recovered leader would discard them.  The applied
+        prefix is fsynced, and the transaction-id / LSN allocators jump
+        past everything shipped so new local writes extend the same log.
+        Idempotent; returns the (now writable) database.
+        """
+        if self._promoted:
+            return self._db
+        self._applier.drop_pending()
+        self._db.wal.sync_shipped()
+        self._db.advance_txn_ids(self._applier.max_txn_id)
+        self._db.wal.advance_lsn(self._applier.applied_lsn)
+        self._promoted = True
+        self._m_promotions.inc()
+        self._m_lag_lsn.set(0)
+        return self._db
+
+    def close(self) -> None:
+        self._db.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"FollowerEngine(node={self._db.node!r}, "
+                f"applied={self.applied_lsn}, lag={self.lag_lsn}, "
+                f"promoted={self._promoted})")

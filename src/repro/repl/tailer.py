@@ -1,0 +1,126 @@
+"""WAL tailers: feed a follower from a leader in the same process.
+
+Two in-process shipping paths (the wire path lives in
+:mod:`repro.net.replica`):
+
+* :class:`WalTailer` tails a live leader's
+  :class:`~repro.db.wal.WriteAheadLog` object and ships its **durable**
+  prefix — records beyond ``durable_lsn`` are never shipped, so a
+  power loss on the leader can never leave the follower *ahead* of what
+  leader recovery would rebuild.
+* :class:`WalFileTailer` tails a leader's WAL mirror *file*
+  incrementally — including the file of a leader that already crashed,
+  which is how a follower catches up to exactly the prefix a recovered
+  leader would see (the torture harness's equivalence anchor).  A torn
+  trailing record has no newline yet, so it simply never parses out of
+  the carry buffer — the same skip :func:`~repro.db.recovery.recover_file`
+  applies.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING
+
+from ..db.wal import WalRecord, WriteAheadLog
+from ..errors import WalError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .follower import FollowerEngine
+
+
+class WalTailer:
+    """Ships a live leader WAL's durable prefix to a follower."""
+
+    def __init__(self, source: WriteAheadLog, follower: "FollowerEngine",
+                 *, batch: int = 256) -> None:
+        self._source = source
+        self._follower = follower
+        self._batch = max(1, batch)
+
+    def poll(self) -> int:
+        """Ship everything durable beyond the follower's cursor.
+
+        Returns the number of records applied.  Also refreshes the
+        follower's leader-LSN knowledge (the lag gauge) even when
+        nothing new shipped.
+        """
+        durable = self._source.durable_lsn
+        total = 0
+        while True:
+            start = self._follower.applied_lsn + 1
+            segment = [r for r in
+                       self._source.records_from(start, self._batch)
+                       if r.lsn <= durable]
+            if not segment:
+                break
+            total += self._follower.apply_records(
+                segment, leader_lsn=durable,
+                shipped_at=self._follower.db.now())
+        self._follower.note_leader_lsn(durable)
+        return total
+
+    def caught_up(self) -> bool:
+        return self._follower.applied_lsn >= self._source.durable_lsn
+
+
+class WalFileTailer:
+    """Ships a leader's WAL mirror file to a follower, incrementally.
+
+    Reads are offset-based: each :meth:`poll` consumes only complete
+    (newline-terminated) lines appended since the last one; a partial
+    trailing line stays unconsumed until its newline arrives — or
+    forever, if it is the torn debris of the leader's crash.
+    """
+
+    def __init__(self, path: str, follower: "FollowerEngine") -> None:
+        self._path = path
+        self._follower = follower
+        self._offset = 0
+
+    def poll(self) -> int:
+        """Parse and apply newly appended records; returns the count."""
+        try:
+            size = os.path.getsize(self._path)
+        except OSError:
+            return 0
+        if size <= self._offset:
+            return 0
+        with open(self._path, "rb") as handle:
+            handle.seek(self._offset)
+            chunk = handle.read()
+        lines = chunk.split(b"\n")
+        tail = lines.pop()  # b"" when the chunk ended on a newline
+        self._offset += len(chunk) - len(tail)
+        records: list[WalRecord] = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+                records.append(WalRecord(raw["lsn"], raw["type"],
+                                         raw["txn"],
+                                         raw.get("payload", {})))
+            except (ValueError, KeyError, TypeError) as exc:
+                # A *complete* malformed line is corruption — torn
+                # writes never get their newline, so they stay in the
+                # carry buffer instead of reaching this loop.
+                raise WalError(
+                    f"corrupt WAL record while tailing {self._path!r}: "
+                    f"{exc!r}") from exc
+        if not records:
+            return 0
+        return self._follower.apply_records(
+            records, leader_lsn=records[-1].lsn,
+            shipped_at=self._follower.db.now())
+
+    def drain(self) -> int:
+        """Poll until the file yields nothing new (catch-up helper)."""
+        total = 0
+        while True:
+            applied = self.poll()
+            if not applied:
+                return total
+            total += applied

@@ -174,7 +174,8 @@ class TestRoundTrip:
         assert set(ENVELOPE_TYPES) == {
             "hello", "welcome", "op", "ack", "error", "notify",
             "awareness", "ping", "pong", "bye",
-            "stats", "stats_reply", "health", "health_reply"}
+            "stats", "stats_reply", "health", "health_reply",
+            "subscribe", "wal_segment", "repl_ack"}
 
 
 class TestStrictDecode:

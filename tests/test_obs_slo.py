@@ -48,7 +48,8 @@ class TestSLOEvaluator:
         registry, store = drive(lambda s: 0.002)
         results = SLOEvaluator(store).evaluate(now=START + 119)
         assert {r["slo"] for r in results} == {
-            "durable_keystroke", "replication_visibility"}
+            "durable_keystroke", "replication_visibility",
+            "replica_apply_lag"}
         assert not any(r["breached"] for r in results)
         snap = registry.snapshot()
         assert snap["slo.breached{slo=durable_keystroke}"]["value"] == 0.0
@@ -56,8 +57,14 @@ class TestSLOEvaluator:
     def test_sustained_burn_breaches_and_reddens_gauges(self):
         registry, store = drive(lambda s: 0.2 if s >= 60 else 0.002)
         results = SLOEvaluator(store).evaluate(now=START + 119)
-        assert all(r["breached"] for r in results)
-        for r in results:
+        # The replica-lag spec saw no observations (this node is not a
+        # follower) and therefore must stay green while the two
+        # data-carrying specs burn.
+        lag = next(r for r in results if r["slo"] == "replica_apply_lag")
+        assert not lag["breached"]
+        burning = [r for r in results if r["slo"] != "replica_apply_lag"]
+        assert burning and all(r["breached"] for r in burning)
+        for r in burning:
             assert r["fast"]["burn"] > r["burn_threshold"]
             assert r["slow"]["burn"] > r["burn_threshold"]
         snap = registry.snapshot()
@@ -73,6 +80,9 @@ class TestSLOEvaluator:
             lambda s: 0.2 if s < 60 else 0.002, seconds=180)
         results = SLOEvaluator(store).evaluate(now=START + 179)
         for r in results:
+            if r["slo"] == "replica_apply_lag":  # no data on this node
+                assert not r["breached"]
+                continue
             assert r["fast"]["burn"] <= r["burn_threshold"]
             assert r["slow"]["burn"] > r["burn_threshold"]
             assert not r["breached"]

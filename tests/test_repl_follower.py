@@ -1,0 +1,257 @@
+"""In-process replication: tailers, idempotent apply, resume, promotion.
+
+The follower engine's contract is *exactly-once effect from at-least-once
+delivery*: segments may be redelivered (reconnects, restarts, paranoid
+tailers re-reading the file from zero) and the applier's LSN cursor must
+drop every duplicate with zero side effects.  The property test drives
+seeded redelivery schedules — random re-send offsets and segment sizes —
+and asserts applied state, ``applied_lsn`` and the ``repl.apply_lag_lsn``
+gauge all end exactly where single-delivery would leave them.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database, column
+from repro.errors import ReplicationError
+from repro.repl import FollowerEngine, WalFileTailer, WalTailer
+
+TABLE = "notes"
+
+
+def make_leader(wal_path: str, n_txns: int = 20) -> Database:
+    db = Database("leader", wal_path=wal_path)
+    db.create_table(TABLE, [column("k", "str"), column("v", "int")],
+                    key="k")
+    for t in range(n_txns):
+        txn = db.begin()
+        txn.insert(TABLE, {"k": f"t{t}", "v": t})
+        if t and t % 3 == 0:
+            txn.update(TABLE, t, {"v": t * 10})
+        txn.commit()
+    return db
+
+
+def rows(db: Database) -> dict:
+    if not db.has_table(TABLE):
+        return {}
+    table = db.table(TABLE)
+    return {rowid: table.schema.row_dict(row)
+            for rowid, row in table.committed_items()}
+
+
+class TestTailerConvergence:
+    def test_live_tailer_converges(self, tmp_path):
+        leader = make_leader(str(tmp_path / "leader.wal"))
+        follower = FollowerEngine(node="replica")
+        tailer = WalTailer(leader.wal, follower)
+        applied = tailer.poll()
+        assert applied == leader.wal.durable_lsn
+        assert tailer.caught_up()
+        assert follower.lag_lsn == 0
+        assert rows(follower.db) == rows(leader)
+        leader.close(); follower.close()
+
+    def test_file_tailer_converges_incrementally(self, tmp_path):
+        path = str(tmp_path / "leader.wal")
+        leader = make_leader(path, n_txns=5)
+        follower = FollowerEngine(node="replica")
+        tailer = WalFileTailer(path, follower)
+        tailer.drain()
+        first = follower.applied_lsn
+        assert first == leader.wal.durable_lsn
+        # More leader commits land; the next poll ships only the delta.
+        txn = leader.begin()
+        txn.insert(TABLE, {"k": "late", "v": 99})
+        txn.commit()
+        tailer.drain()
+        assert follower.applied_lsn > first
+        assert rows(follower.db) == rows(leader)
+        leader.close(); follower.close()
+
+    def test_replica_snapshot_reads_while_applying(self, tmp_path):
+        leader = make_leader(str(tmp_path / "leader.wal"), n_txns=10)
+        follower = FollowerEngine(node="replica")
+        tailer = WalTailer(leader.wal, follower, batch=8)
+        tailer.poll()
+        # A pinned snapshot on the replica stays consistent while new
+        # segments keep applying underneath it.
+        with follower.db.snapshot() as snap:
+            before = snap.query(TABLE).count()
+            txn = leader.begin()
+            txn.insert(TABLE, {"k": "while-pinned", "v": 1})
+            txn.commit()
+            tailer.poll()
+            assert snap.query(TABLE).count() == before
+        with follower.db.snapshot() as snap:
+            assert snap.query(TABLE).count() == before + 1
+        leader.close(); follower.close()
+
+    def test_lag_gauge_tracks_leader_tail(self, tmp_path):
+        leader = make_leader(str(tmp_path / "leader.wal"), n_txns=4)
+        follower = FollowerEngine(node="replica")
+        follower.note_leader_lsn(leader.wal.durable_lsn)
+        assert follower.lag_lsn == leader.wal.durable_lsn
+        gauge = follower.db.obs.registry.snapshot()["repl.apply_lag_lsn"]
+        assert gauge["value"] == follower.lag_lsn
+        WalTailer(leader.wal, follower).poll()
+        assert follower.lag_lsn == 0
+        leader.close(); follower.close()
+
+
+class TestIdempotence:
+    def test_redelivered_segment_is_a_no_op(self, tmp_path):
+        leader = make_leader(str(tmp_path / "leader.wal"))
+        follower = FollowerEngine(node="replica")
+        records = leader.wal.records_from(1)
+        follower.apply_records(records, leader_lsn=records[-1].lsn)
+        state = rows(follower.db)
+        cursor = follower.applied_lsn
+        counted = follower.status()["records_applied"]
+        # The whole stream again, then a mid-stream slice: both dropped.
+        assert follower.apply_records(records) == 0
+        assert follower.apply_records(records[3:9]) == 0
+        assert follower.applied_lsn == cursor
+        assert follower.status()["records_applied"] == counted
+        assert rows(follower.db) == state
+        leader.close(); follower.close()
+
+    @settings(max_examples=30, deadline=None)
+    @given(schedule=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=30),
+                  st.integers(min_value=1, max_value=40)),
+        min_size=1, max_size=25))
+    def test_seeded_redelivery_schedules(self, tmp_path_factory, schedule):
+        """Random (rewind, length) segments must converge exactly once.
+
+        Each step rewinds the send cursor up to ``rewind`` records back
+        (redelivery!) and ships ``length`` records from there — always a
+        contiguous extension or pure overlap, as a resuming subscriber
+        would produce.  Whatever the schedule, the end state must equal
+        plain single-delivery and the lag gauge must read true.
+        """
+        wal_dir = tmp_path_factory.mktemp("redelivery")
+        leader = make_leader(str(wal_dir / "leader.wal"))
+        reference = FollowerEngine(node="reference")
+        records = leader.wal.records_from(1)
+        reference.apply_records(records, leader_lsn=records[-1].lsn)
+
+        follower = FollowerEngine(node="replica")
+        for rewind, length in schedule:
+            start = max(1, follower.applied_lsn + 1 - rewind)
+            segment = records[start - 1:start - 1 + length]
+            if segment:
+                follower.apply_records(segment,
+                                       leader_lsn=segment[-1].lsn)
+        # Finish the stream, then redeliver everything once more.
+        tail = records[follower.applied_lsn:]
+        if tail:
+            follower.apply_records(tail, leader_lsn=records[-1].lsn)
+        state = rows(follower.db)
+        cursor = follower.applied_lsn
+        follower.apply_records(records, leader_lsn=records[-1].lsn)
+
+        assert follower.applied_lsn == cursor == reference.applied_lsn
+        assert rows(follower.db) == state == rows(reference.db)
+        snapshot = follower.db.obs.registry.snapshot()
+        assert snapshot["repl.apply_lag_lsn"]["value"] == 0
+        assert follower.status()["records_applied"] \
+            == reference.status()["records_applied"]
+        leader.close(); follower.close(); reference.close()
+
+    def test_gap_in_the_stream_raises(self, tmp_path):
+        leader = make_leader(str(tmp_path / "leader.wal"))
+        follower = FollowerEngine(node="replica")
+        records = leader.wal.records_from(1)
+        follower.apply_records(records[:4])
+        with pytest.raises(ReplicationError):
+            follower.apply_records(records[6:])
+        leader.close(); follower.close()
+
+
+class TestRestartResume:
+    def test_resume_from_local_mirror(self, tmp_path):
+        leader = make_leader(str(tmp_path / "leader.wal"))
+        mirror = str(tmp_path / "follower.wal")
+        records = leader.wal.records_from(1)
+        half = len(records) // 2
+        follower = FollowerEngine(mirror, node="replica")
+        follower.apply_records(records[:half])
+        applied = follower.applied_lsn
+        follower.close()
+        # Restarted over its own mirror: the cursor survives, and the
+        # stream resumes mid-file without re-applying the prefix.
+        follower = FollowerEngine(mirror, node="replica")
+        assert follower.applied_lsn == applied
+        follower.apply_records(records[applied:],
+                               leader_lsn=records[-1].lsn)
+        assert rows(follower.db) == rows(leader)
+        leader.close(); follower.close()
+
+    def test_torn_mirror_tail_is_truncated(self, tmp_path):
+        leader = make_leader(str(tmp_path / "leader.wal"))
+        mirror = str(tmp_path / "follower.wal")
+        records = leader.wal.records_from(1)
+        follower = FollowerEngine(mirror, node="replica")
+        follower.apply_records(records[:8])
+        applied = follower.applied_lsn
+        follower.close()
+        with open(mirror, "ab") as raw:
+            raw.write(b'{"lsn": 9999, "type": "CO')  # crash mid-append
+        follower = FollowerEngine(mirror, node="replica")
+        assert follower.applied_lsn == applied
+        registry = follower.db.obs.registry.snapshot()
+        assert registry["wal.torn_tail_recoveries"]["value"] == 1
+        # The truncated mirror must accept the stream where it left off.
+        follower.apply_records(records[applied:],
+                               leader_lsn=records[-1].lsn)
+        assert rows(follower.db) == rows(leader)
+        leader.close(); follower.close()
+
+
+class TestPromotion:
+    def test_promoted_follower_is_writable(self, tmp_path):
+        leader = make_leader(str(tmp_path / "leader.wal"))
+        follower = FollowerEngine(node="replica")
+        WalTailer(leader.wal, follower).poll()
+        db = follower.promote()
+        assert follower.promoted
+        txn = db.begin()
+        txn.insert(TABLE, {"k": "after-failover", "v": 1})
+        txn.commit()
+        assert db.wal.last_lsn() > leader.wal.last_lsn()
+        snapshot = db.obs.registry.snapshot()
+        assert snapshot["repl.promotions"]["value"] == 1
+        leader.close(); follower.close()
+
+    def test_promotion_drops_uncommitted_buffers(self, tmp_path):
+        leader = make_leader(str(tmp_path / "leader.wal"), n_txns=5)
+        # An open transaction on the leader: BEGIN/DML shipped, no
+        # COMMIT.  A sibling commit's group fsync makes the dangling
+        # records durable, so the tailer ships them.
+        dangling = leader.begin()
+        dangling.insert(TABLE, {"k": "never-committed", "v": -1})
+        sibling = leader.begin()
+        sibling.insert(TABLE, {"k": "sibling", "v": 0})
+        sibling.commit()
+        follower = FollowerEngine(node="replica")
+        WalTailer(leader.wal, follower).poll()
+        assert follower.status()["pending_txns"] == 1
+        db = follower.promote()
+        assert follower.status()["pending_txns"] == 0
+        assert all(r["k"] != "never-committed" for r in rows(db).values())
+        leader.close(); follower.close()
+
+    def test_promoted_follower_rejects_the_stream(self, tmp_path):
+        leader = make_leader(str(tmp_path / "leader.wal"), n_txns=3)
+        follower = FollowerEngine(node="replica")
+        records = leader.wal.records_from(1)
+        follower.apply_records(records)
+        first = follower.promote()
+        assert follower.promote() is first  # idempotent
+        with pytest.raises(ReplicationError):
+            follower.apply_records(records)
+        leader.close(); follower.close()

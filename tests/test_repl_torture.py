@@ -1,0 +1,77 @@
+"""Replication torture: promotion equivalence over seeded crash schedules.
+
+The WAL-shipping acceptance property, seed by seed: a leader dies under
+its crash plan (mid-group-commit, torn record, power loss), a follower
+tails whatever file survived while dying under its *own* plan (mid-apply,
+mid-mirror-record) and resuming from its mirror, and the database the
+promoted follower finally serves must equal the one leader recovery
+would have rebuilt — before and after collapsing MVCC version chains.
+
+Same reproduction contract as ``test_crash_torture.py``:
+
+    pytest tests/test_repl_torture.py -k seed17
+    pytest tests/test_repl_torture.py --torture-schedules 500   # nightly
+
+Replicated-schedule seeds are offset by 2000 so they exercise different
+leader workloads than the engine torture over the same ``crash_seed``
+range.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    REPL_CRASH_POINTS,
+    check_promotion_equivalence,
+    run_replicated_schedule,
+)
+
+pytestmark = [
+    pytest.mark.torture,
+    # Torn tails (leader file and follower mirror) are the point of many
+    # schedules; the recovery-side warning is expected noise here.
+    pytest.mark.filterwarnings("ignore:skipping torn trailing WAL record"),
+]
+
+SEED_BASE = 2000
+
+
+class TestReplicatedCrashTorture:
+    def test_promotion_equivalence(self, crash_seed, tmp_path):
+        outcome, promoted = run_replicated_schedule(
+            SEED_BASE + crash_seed,
+            str(tmp_path / "leader.wal"),
+            str(tmp_path / "follower.wal"))
+        try:
+            check_promotion_equivalence(outcome, promoted)
+        finally:
+            promoted.close()
+
+    def test_schedule_coverage_floor(self, tmp_path):
+        """Fixed seeds must actually exercise the replication machinery.
+
+        Pins forty schedules (independent of ``--torture-schedules``) and
+        asserts the seed-derived plans hit every replication crash point
+        and kill the follower often enough that resume-from-mirror is a
+        load-bearing code path, not a lucky no-op.
+        """
+        follower_crashes = 0
+        points_seen: set[str] = set()
+        for seed in range(SEED_BASE, SEED_BASE + 40):
+            base = tmp_path / f"s{seed}"
+            base.mkdir()
+            outcome, promoted = run_replicated_schedule(
+                seed, str(base / "leader.wal"), str(base / "follower.wal"))
+            try:
+                check_promotion_equivalence(outcome, promoted)
+            finally:
+                promoted.close()
+            follower_crashes += outcome.follower_crashes
+            points_seen.update(outcome.follower_crash_points)
+        assert points_seen == set(REPL_CRASH_POINTS), (
+            f"replication crash points never fired: "
+            f"{set(REPL_CRASH_POINTS) - points_seen}")
+        assert follower_crashes >= 10, (
+            f"only {follower_crashes} follower crashes across 40 "
+            f"schedules — the plans are too gentle")

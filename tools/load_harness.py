@@ -35,7 +35,9 @@ import sys
 import tempfile
 from time import monotonic
 
-REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from proclib import REPO, ServerProcess, repro_env  # noqa: E402
+
 sys.path.insert(0, os.path.join(REPO, "src"))
 
 DOC = "load-harness"
@@ -119,26 +121,23 @@ def _percentile(values: list[float], q: float) -> float:
 def run_fleet(args: argparse.Namespace) -> int:
     from repro.net import NetworkClient
 
-    env = dict(os.environ)
-    env["PYTHONPATH"] = os.path.join(REPO, "src") + (
-        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
-    serve_cmd = [sys.executable, "-m", "repro", "serve"]
+    env = repro_env()
+    serve_args = ["serve"]
     if args.net_seed is not None:
-        serve_cmd += ["--net-seed", str(args.net_seed)]
+        serve_args += ["--net-seed", str(args.net_seed)]
     if args.wal:
-        serve_cmd += ["--wal", args.wal]
+        serve_args += ["--wal", args.wal]
     expect = args.procs * args.typists * args.rounds
 
-    server = subprocess.Popen(serve_cmd, stdout=subprocess.PIPE,
-                              stderr=subprocess.PIPE, text=True, env=env)
+    server = ServerProcess(serve_args, env=env)
     workers, outs = [], []
     failures = 0
     try:
-        line = server.stdout.readline().strip()
-        if not line.startswith("LISTENING "):
-            print(f"server never bound (got {line!r})", file=sys.stderr)
+        problem = server.wait_listening()
+        if problem is not None:
+            print(problem, file=sys.stderr)
             return 1
-        port = int(line.split()[1])
+        port = server.port
 
         setup = NetworkClient("127.0.0.1", port, "harness", register=True)
         try:
@@ -206,19 +205,10 @@ def run_fleet(args: argparse.Namespace) -> int:
             if not converged:
                 failures += 1
     finally:
-        server.terminate()
-        try:
-            out, _ = server.communicate(timeout=10)
-        except subprocess.TimeoutExpired:
-            server.kill()
-            server.communicate()
-            print("server ignored SIGTERM", file=sys.stderr)
+        problem = server.shutdown()
+        if problem is not None:
+            print(problem, file=sys.stderr)
             failures += 1
-        else:
-            if server.returncode != 0 or "STOPPED" not in out:
-                print(f"unclean server shutdown rc={server.returncode}",
-                      file=sys.stderr)
-                failures += 1
         for worker in workers:
             if worker.poll() is None:
                 worker.kill()

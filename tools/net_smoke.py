@@ -35,9 +35,11 @@ import os
 import subprocess
 import sys
 import tempfile
-from time import monotonic, time
+from time import monotonic
 
-REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from proclib import REPO, ServerProcess, repro_env  # noqa: E402
+
 sys.path.insert(0, os.path.join(REPO, "src"))
 
 #: Acceptance bar: keystroke-to-remote-replica visibility, worst case.
@@ -140,27 +142,23 @@ def run_leg(label: str, *, rounds: int, settle: float,
             net_seed: int | None, timeout: float) -> list[str]:
     from repro.net import NetworkClient
 
-    env = dict(os.environ)
-    env["PYTHONPATH"] = os.path.join(REPO, "src") + (
-        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
-    serve_cmd = [sys.executable, "-m", "repro", "serve",
-                 "--telemetry-interval", "0.2"]
+    env = repro_env()
+    serve_args = ["serve", "--telemetry-interval", "0.2"]
     if net_seed is not None:
-        serve_cmd += ["--net-seed", str(net_seed)]
+        serve_args += ["--net-seed", str(net_seed)]
     problems: list[str] = []
     doc_name = f"smoke-{label}"
     typists = (("ana", "a"), ("ben", "b"))
     expect = rounds * sum(len(token) for _, token in typists)
 
-    server = subprocess.Popen(serve_cmd, stdout=subprocess.PIPE,
-                              stderr=subprocess.PIPE, text=True, env=env)
+    server = ServerProcess(serve_args, label=f"{label}: server", env=env)
     outs = []
     children = []
     try:
-        line = server.stdout.readline().strip()
-        if not line.startswith("LISTENING "):
-            return [f"{label}: server never bound (got {line!r})"]
-        port = int(line.split()[1])
+        problem = server.wait_listening()
+        if problem is not None:
+            return [problem]
+        port = server.port
 
         # Rendezvous: create the shared document once, before any typist
         # races another into creating a same-named duplicate.
@@ -248,18 +246,9 @@ def run_leg(label: str, *, rounds: int, settle: float,
         except Exception as exc:  # noqa: BLE001 - any scrape crash fails
             problems.append(f"{label}: scrape failed: {exc!r}")
     finally:
-        server.terminate()
-        try:
-            out, err = server.communicate(timeout=10)
-        except subprocess.TimeoutExpired:
-            server.kill()
-            out, err = server.communicate()
-            problems.append(f"{label}: server ignored SIGTERM")
-        else:
-            if server.returncode != 0 or "STOPPED" not in out:
-                tail = err.strip().splitlines()[-1] if err.strip() else ""
-                problems.append(f"{label}: unclean server shutdown "
-                                f"(rc={server.returncode}, {tail})")
+        problem = server.shutdown()
+        if problem is not None:
+            problems.append(problem)
         for child in children:
             if child.poll() is None:
                 child.kill()

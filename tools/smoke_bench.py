@@ -66,6 +66,10 @@ SMOKE_NODES = (
     "benchmarks/bench_net.py::test_connect_storm[8]",
     "benchmarks/bench_net.py::test_fanout_latency[2]",
     "benchmarks/bench_net.py::test_stats_scrape[32]",
+    "benchmarks/bench_repl.py::test_follower_apply_throughput[300]",
+    "benchmarks/bench_repl.py::test_replica_scan_offload[leader]",
+    "benchmarks/bench_repl.py::test_replica_scan_offload[replica]",
+    "benchmarks/bench_repl.py::test_promotion_time[300]",
 )
 
 #: Headline nodes whose medians are tracked in BENCH_trend.json.
@@ -91,6 +95,12 @@ TREND_NODES = {
         "d7_fanout_latency_2",
     "benchmarks/bench_net.py::test_stats_scrape[32]":
         "d7_stats_scrape_32",
+    "benchmarks/bench_repl.py::test_follower_apply_throughput[300]":
+        "d8_follower_apply_300",
+    "benchmarks/bench_repl.py::test_replica_scan_offload[replica]":
+        "d8_replica_scan_offload",
+    "benchmarks/bench_repl.py::test_promotion_time[300]":
+        "d8_promotion_300",
 }
 
 TREND_PATH = os.path.join(REPO, "BENCH_trend.json")

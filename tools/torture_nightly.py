@@ -37,6 +37,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 TORTURE_PATHS = (
     "tests/test_fault_injection.py",
     "tests/test_crash_torture.py",
+    "tests/test_repl_torture.py",
     "tests/test_db_concurrency_stress.py",
 )
 
