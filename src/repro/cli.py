@@ -19,7 +19,9 @@ code:
 * ``connect`` — connect to a running server, type into a named
   document and print what the replica sees;
 * ``dash`` — scrape STATS + HEALTH from a running server and render
-  a one-screen dashboard (health verdict + windowed trend table).
+  a one-screen dashboard (health verdict + windowed trend table);
+* ``feed-status`` — changefeed consumer lag and drain behaviour over
+  a generated workload (``--json`` for the raw payload).
 
 ``top --watch``, ``connect --watch`` and ``dash --watch`` pace their
 refresh loops through :data:`WATCH_CLOCK` (a :class:`~repro.clock.Clock`)
@@ -531,6 +533,47 @@ def _cmd_repl_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_feed_status(args: argparse.Namespace) -> int:
+    """Changefeed freshness of a generated workload's derived data."""
+    import json
+
+    from .feed import MaintenanceWorker
+    from .folders import DynamicFolderManager, StateIs
+    from .search import SearchEngine
+    from .workload import build_knowledge_base
+
+    kb = build_knowledge_base(n_docs=args.docs, seed=args.seed)
+    db = kb.server.db
+    engine = SearchEngine(db)
+    folders = DynamicFolderManager(db)
+    folders.create_folder("finals", StateIs("final"))
+    # Edit after the consumers attach so the feed has work to absorb.
+    for handle in kb.handles[:3]:
+        handle.insert_text(0, "fresh edit ", kb.users[0])
+    worker = MaintenanceWorker(db)
+    worker.register("search-index", engine.index.maintain,
+                    sub=engine.index.subscription)
+    rounds = worker.drain()
+    status = db.changefeed().status()
+    status["drain_rounds"] = rounds
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    print(f"feed seq      : {status['seq']}")
+    print(f"feed lsn      : {status['lsn']}")
+    print(f"retained      : {status['retained']} of {status['retention']}")
+    print(f"drain rounds  : {rounds}")
+    print(f"errors        : {status['errors']}")
+    print("consumers:")
+    for consumer in status["consumers"]:
+        tables = ",".join(consumer["tables"] or []) or "*"
+        mode = "deferred" if consumer["deferred"] else "sync"
+        print(f"  {consumer['name']:<22} {mode:<8} lag {consumer['lag']:>3}"
+              f"  acked {consumer['acked_seq']}/{status['seq']}"
+              f"  [{tables}]")
+    return 0
+
+
 def _cmd_dash(args: argparse.Namespace) -> int:
     from .net import scrape
     from .obs import render_dash
@@ -658,6 +701,15 @@ def build_parser() -> argparse.ArgumentParser:
     repl_status.add_argument("--json", action="store_true",
                              help="emit the raw status dict as JSON")
     repl_status.set_defaults(fn=_cmd_repl_status)
+
+    feed_status = sub.add_parser(
+        "feed-status",
+        help="changefeed consumer lag / staleness of a generated workload")
+    feed_status.add_argument("--docs", type=int, default=24)
+    feed_status.add_argument("--seed", type=int, default=2006)
+    feed_status.add_argument("--json", action="store_true",
+                             help="emit the raw status payload as JSON")
+    feed_status.set_defaults(fn=_cmd_feed_status)
 
     connect = sub.add_parser(
         "connect", help="connect to a running server and edit a document")

@@ -129,6 +129,9 @@ class Database:
         #: explicit :meth:`gc_versions` calls).
         self.gc_interval = 512
         self._commits_since_gc = 0
+        #: Post-commit changefeed, created lazily by :meth:`changefeed`
+        #: so feed-less engines pay nothing on the commit path.
+        self._feed = None
 
     # ------------------------------------------------------------------
     # DDL
@@ -313,7 +316,21 @@ class Database:
             self._commits_since_gc = 0
             self.gc_versions()
         self.triggers.dispatch(txn, changes)
+        if self._feed is not None:
+            self._feed.publish(txn, changes)
         self.bus.publish("db.commit", txn_id=txn.txn_id, changes=changes)
+
+    def changefeed(self, *, retention: int = 512):
+        """This database's post-commit changefeed (created on first use).
+
+        The single ordered stream every derived-data consumer now rides
+        (see :mod:`repro.feed`); ``retention`` applies only on the call
+        that creates the feed.
+        """
+        if self._feed is None:
+            from ..feed.changefeed import Changefeed
+            self._feed = Changefeed(self, retention=retention)
+        return self._feed
 
     def on_abort(self, txn: Transaction) -> None:
         """Called by a transaction after it rolled back."""

@@ -263,15 +263,18 @@ class Table:
     # ------------------------------------------------------------------
 
     def commit_row(self, txn_id: int, rowid: int,
-                   commit_lsn: int = 0) -> tuple[str, tuple | None]:
+                   commit_lsn: int = 0
+                   ) -> tuple[str, tuple | None, tuple | None]:
         """Promote the pending image of ``rowid`` to committed.
 
         ``commit_lsn`` stamps the new version (the committing
         transaction's COMMIT record LSN); the superseded image, if any,
         is pushed onto the row's version chain so open snapshots keep
-        reading it.  Returns ``(change_kind, new_row)`` where kind is
-        ``"insert"``, ``"update"`` or ``"delete"`` for the commit
-        notification.
+        reading it.  Returns ``(change_kind, new_row, old_row)`` where
+        kind is ``"insert"``, ``"update"`` or ``"delete"`` for the
+        commit notification; ``old_row`` is the superseded committed
+        image (the *before-image* carried by changefeed delete/update
+        events), ``None`` on insert.
         """
         with self._lock:
             pending = self._pending.pop(rowid, None)
@@ -289,8 +292,8 @@ class Table:
                     self._push_version(rowid, self._version_lsn.pop(rowid, 0),
                                        old)
                     self._push_version(rowid, commit_lsn, TOMBSTONE)
-                    return "delete", None
-                return "noop", None  # insert+delete inside one txn
+                    return "delete", None, old
+                return "noop", None, None  # insert+delete inside one txn
             if old is not None:
                 self._unindex_row(rowid, old)
                 self._push_version(rowid, self._version_lsn.get(rowid, 0),
@@ -301,7 +304,7 @@ class Table:
             self._committed[rowid] = pending.image
             self._version_lsn[rowid] = commit_lsn
             self._index_row(rowid, pending.image)
-            return kind, pending.image
+            return kind, pending.image, old
 
     def _push_version(self, rowid: int, lsn: int, image: Any) -> None:
         """Append one superseded version (caller holds ``_lock``)."""
@@ -310,7 +313,7 @@ class Table:
             self._metrics.versions_live.inc()
 
     def apply_replica_row(self, rowid: int, values: Mapping[str, Any],
-                          commit_lsn: int) -> tuple[str, tuple]:
+                          commit_lsn: int) -> tuple[str, tuple, tuple | None]:
         """Install a committed row shipped from a leader (replication).
 
         Like :meth:`commit_row` without the pending stage — the follower
@@ -319,7 +322,7 @@ class Table:
         version chain stamped with its old commit LSN, so replica
         snapshot readers pinned below ``commit_lsn`` keep their
         consistent view while the apply races past them.  Returns
-        ``(kind, row)`` for the change notification.
+        ``(kind, row, old_row)`` for the change notification.
         """
         row = self.schema.make_row(values)
         with self._lock:
@@ -337,10 +340,10 @@ class Table:
             # Promotion makes this table writable: keep rowid allocation
             # ahead of everything the leader ever assigned.
             self._bump_rowid(rowid)
-            return kind, row
+            return kind, row, old
 
-    def apply_replica_delete(self, rowid: int,
-                             commit_lsn: int) -> tuple[str, tuple | None]:
+    def apply_replica_delete(self, rowid: int, commit_lsn: int
+                             ) -> tuple[str, tuple | None, tuple | None]:
         """Remove a committed row shipped from a leader (replication).
 
         The deleted image stays on the version chain under its old LSN
@@ -350,11 +353,12 @@ class Table:
         with self._lock:
             old = self._committed.pop(rowid, None)
             if old is None:
-                return "noop", None  # insert+delete within one shipped txn
+                # insert+delete within one shipped txn
+                return "noop", None, None
             self._unindex_row(rowid, old)
             self._push_version(rowid, self._version_lsn.pop(rowid, 0), old)
             self._push_version(rowid, commit_lsn, TOMBSTONE)
-            return "delete", None
+            return "delete", None, old
 
     def rollback_row(self, txn_id: int, rowid: int) -> None:
         """Discard the pending image of ``rowid`` (abort path)."""

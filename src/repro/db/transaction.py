@@ -69,12 +69,20 @@ class TxnState(enum.Enum):
 
 @dataclass(frozen=True)
 class Change:
-    """One committed row change, as delivered to commit subscribers."""
+    """One committed row change, as delivered to commit subscribers.
+
+    ``before`` is the committed image the change superseded: the full
+    row a delete removed or an update overwrote (``None`` on insert).
+    Delete subscribers must use it — ``row`` is ``None`` for them, and
+    without the before-image a consumer cannot even tell which document
+    a vanished row belonged to.
+    """
 
     table: str
     kind: str                  # "insert" | "update" | "delete"
     rowid: int
     row: dict | None           # column mapping after the change (None=delete)
+    before: dict | None = None  # column mapping before (None=insert)
 
 
 class Transaction:
@@ -115,6 +123,9 @@ class Transaction:
         #: Editing operations that joined this transaction via
         #: ``Database.batch()`` (observed as ``txn.batched_ops``).
         self.batched_ops = 0
+        #: LSN of this transaction's COMMIT record (set during commit;
+        #: the changefeed stamps its commit batch with it).
+        self.commit_lsn: int | None = None
         self._lock = threading.RLock()
         self._metrics = db.txn_metrics
         if read_only:
@@ -307,11 +318,14 @@ class Transaction:
         try:
             with self._lock:
                 self._lock_row(table_name, rowid)
-                table.stage_delete(self.txn_id, rowid)
+                base = table.stage_delete(self.txn_id, rowid)
                 self._record_op(table_name, rowid)
+                # The before-image rides in the DELETE record so the
+                # changefeed's WAL catch-up can hand delete events the
+                # vanished row (recovery itself ignores the payload).
                 self._db.wal.append(
                     walmod.DELETE, self.txn_id, table=table_name,
-                    rowid=rowid,
+                    rowid=rowid, values=table.schema.row_dict(base),
                 )
         except CrashSignal:
             self._finish("crash")
@@ -408,17 +422,20 @@ class Transaction:
                         self._db.raise_commit_floor(self.txn_id, record.lsn)
                         self._db.faults.fire("txn.post_commit",
                                              txn=self.txn_id)
+                        self.commit_lsn = record.lsn
                         changes: list[Change] = []
                         for table_name, rowid in self._ops:
                             table = self._db.table(table_name)
-                            kind, row = table.commit_row(self.txn_id, rowid,
-                                                         record.lsn)
+                            kind, row, old = table.commit_row(
+                                self.txn_id, rowid, record.lsn)
                             if kind == "noop":
                                 continue
                             row_map = table.schema.row_dict(row) \
                                 if row is not None else None
+                            before_map = table.schema.row_dict(old) \
+                                if old is not None else None
                             changes.append(Change(table_name, kind, rowid,
-                                                  row_map))
+                                                  row_map, before_map))
                         self.state = TxnState.COMMITTED
                     finally:
                         # Applied (or dead): snapshots may now cover this

@@ -31,6 +31,7 @@ from .harness import (
 from .injector import NO_FAULTS, FaultInjector, FiredFault, NullInjector
 from .plan import (
     CRASH_POINTS,
+    FEED_CRASH_POINTS,
     REPL_CRASH_POINTS,
     CrashSignal,
     CrashSpec,
@@ -47,6 +48,7 @@ __all__ = [
     "CrashSpec",
     "DeliveryFault",
     "DeterministicScheduler",
+    "FEED_CRASH_POINTS",
     "FaultInjector",
     "FaultPlan",
     "FiredFault",

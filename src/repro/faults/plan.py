@@ -18,6 +18,7 @@ from ..errors import CrashSignal
 
 __all__ = [
     "CRASH_POINTS",
+    "FEED_CRASH_POINTS",
     "REPL_CRASH_POINTS",
     "CrashSignal",
     "CrashSpec",
@@ -50,6 +51,16 @@ CRASH_POINTS = (
 REPL_CRASH_POINTS = (
     "repl.mid_apply",
     "wal.mid_record",
+)
+
+#: The changefeed's crash point: process death between a commit
+#: becoming durable and a feed consumer absorbing its batch
+#: (``feed.mid_dispatch`` fires immediately before each consumer
+#: invocation).  A separate tuple for the same reason as
+#: ``REPL_CRASH_POINTS``: folding it into ``CRASH_POINTS`` would
+#: silently remap every historical seed -> schedule derivation.
+FEED_CRASH_POINTS = (
+    "feed.mid_dispatch",
 )
 
 
@@ -142,7 +153,8 @@ class FaultPlan:
     def crash_once(cls, point: str, *, hit: int = 1, tear: float = 0.5,
                    power_loss: bool = False) -> "FaultPlan":
         """A plan with a single deterministic crash."""
-        if point not in CRASH_POINTS + REPL_CRASH_POINTS:
+        if point not in CRASH_POINTS + REPL_CRASH_POINTS \
+                + FEED_CRASH_POINTS:
             raise ValueError(f"unknown crash point {point!r}")
         return cls(crashes=(CrashSpec(point, hit, tear, power_loss),))
 

@@ -1,0 +1,36 @@
+"""The post-commit changefeed: one ordered event stream per database.
+
+TeNDaX's derived data — the inverted index, dynamic-folder membership,
+creation-process metadata and the per-handle document cache — used to
+ride on four independent commit triggers, each rescanning ``DOCUMENTS``
+to notice births and blind to deletes (a delete's change row is
+``None``).  The changefeed replaces that: the engine publishes exactly
+one :class:`~repro.feed.changefeed.CommitBatch` per committed
+transaction, LSN-stamped and carrying *before-images*, and consumers
+subscribe with durable, checkpointable cursors.  See
+``docs/CHANGEFEED.md``.
+
+* :mod:`repro.feed.changefeed` — the feed itself: events, batches,
+  subscriptions, cursor checkpoints, WAL catch-up after restart;
+* :mod:`repro.feed.worker` — the background maintenance worker: drains
+  deferred consumers, compacts the inverted index, checkpoints cursors
+  and keeps the ``feed.*`` staleness telemetry fresh.
+"""
+
+from .changefeed import (
+    Changefeed,
+    CommitBatch,
+    FeedEvent,
+    FeedGapError,
+    FeedSubscription,
+)
+from .worker import MaintenanceWorker
+
+__all__ = [
+    "Changefeed",
+    "CommitBatch",
+    "FeedEvent",
+    "FeedGapError",
+    "FeedSubscription",
+    "MaintenanceWorker",
+]

@@ -1,0 +1,520 @@
+"""The post-commit changefeed.
+
+One ordered, LSN-stamped stream of committed row changes per database.
+Every committed write transaction becomes exactly one
+:class:`CommitBatch` — its events carry *before-images*, so a delete
+event still shows the vanished row — and consumers subscribe with a
+named :class:`FeedSubscription` instead of a raw commit trigger:
+
+* **sync** consumers run inside the publishing commit (like triggers)
+  and are acked automatically when their handler returns;
+* **deferred** consumers use the handler only to record work (mark a
+  document dirty) and ack later, when the derived state has actually
+  absorbed the batch — the gap between the feed head and their ack is
+  the ``feed.lag`` gauge, the staleness signal the worker and the SLO
+  pipeline watch.
+
+Durability is split along the same line as the engine's: the feed keeps
+a bounded in-memory retention window for live resume
+(:meth:`Changefeed.batches_since`), checkpoints consumer cursors into
+the ``tx_feed_cursors`` table, and reconstructs missed batches after a
+restart directly from WAL records (:func:`batches_from_records`) — the
+DELETE records' before-image payload exists precisely so this replay
+can still describe what vanished.  See ``docs/CHANGEFEED.md`` for the
+consumer contract and the failure matrix.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
+
+from ..errors import CrashSignal, FeedGapError
+from ..db import wal as walmod
+from ..db.schema import column
+from ..db.predicate import col
+from ..db.wal import WalRecord, decode_value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..db.engine import Database
+    from ..db.transaction import Change, Transaction
+
+#: Table holding durable consumer cursors, created on first checkpoint.
+CURSOR_TABLE = "tx_feed_cursors"
+
+#: A consumer handler: receives one batch (pre-filtered to the
+#: subscription's tables) after the publishing commit applied.
+ConsumerFn = Callable[["CommitBatch"], None]
+
+
+@dataclass(frozen=True)
+class FeedEvent:
+    """One committed row change inside a batch.
+
+    ``row`` is the column mapping after the change (``None`` for a
+    delete); ``before`` is the committed image the change superseded
+    (``None`` for an insert).  A delete is therefore fully described:
+    consumers read the vanished row from ``before``.
+    """
+
+    table: str
+    kind: str                  # "insert" | "update" | "delete"
+    rowid: int
+    row: dict | None
+    before: dict | None
+
+
+@dataclass(frozen=True)
+class CommitBatch:
+    """All events of one committed transaction, in staging order.
+
+    ``seq`` is the feed's process-local sequence number (1, 2, 3 ...);
+    ``lsn`` is the transaction's COMMIT record LSN — the durable
+    coordinate cursors are checkpointed against.  Batches replayed from
+    the WAL after a restart carry ``seq == 0``: the seq axis does not
+    survive a restart, the LSN axis does.
+    """
+
+    seq: int
+    lsn: int
+    txn_id: int
+    committed_at: float
+    events: tuple[FeedEvent, ...]
+
+    def for_tables(self, tables: frozenset[str] | None) -> "CommitBatch":
+        """This batch restricted to ``tables`` (``None`` = everything)."""
+        if tables is None:
+            return self
+        kept = tuple(e for e in self.events if e.table in tables)
+        if len(kept) == len(self.events):
+            return self
+        return CommitBatch(self.seq, self.lsn, self.txn_id,
+                           self.committed_at, kept)
+
+
+class FeedSubscription:
+    """One named consumer's registration on the feed.
+
+    Tracks two cumulative sequence numbers: ``delivered_seq`` (the
+    newest batch the feed has handed to — or auto-acked past — this
+    consumer) and ``acked_seq`` (the newest batch the consumer's
+    derived state has fully absorbed; acks are cumulative, covering
+    everything at or below the acked seq).  ``lag`` is the distance
+    from the feed head to the ack — the consumer's staleness in
+    batches.
+    """
+
+    def __init__(self, feed: "Changefeed", name: str, fn: ConsumerFn, *,
+                 tables: frozenset[str] | None, deferred: bool) -> None:
+        self._feed = feed
+        self.name = name
+        self.fn = fn
+        self.tables = tables
+        self.deferred = deferred
+        self.active = True
+        self.delivered_seq = 0
+        self.acked_seq = 0
+
+    @property
+    def lag(self) -> int:
+        """Batches between the feed head and this consumer's ack."""
+        return max(0, self._feed.last_seq - self.acked_seq)
+
+    def ack(self, seq: int) -> None:
+        """The consumer's state now covers every batch ``<= seq``."""
+        self._feed._ack(self, seq)
+
+    def close(self) -> None:
+        """Unsubscribe; safe to call twice.  Remaining lag is dropped
+        from the gauge (a closed consumer is not stale, it is gone)."""
+        if self.active:
+            self.active = False
+            self._feed._remove(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"FeedSubscription({self.name!r}, deferred={self.deferred}, "
+                f"acked={self.acked_seq}/{self._feed.last_seq})")
+
+
+class Changefeed:
+    """The database's single ordered post-commit event stream.
+
+    Created lazily by :meth:`~repro.db.engine.Database.changefeed`; the
+    engine calls :meth:`publish` once per committed write transaction
+    (after the commit applied and locks released, in place of where the
+    legacy per-table triggers fire).  Publishing and dispatch run under
+    one reentrant lock, so consumers observe batches in one global
+    order even under concurrent committers — a consumer that itself
+    commits (the metadata collector writes stat rows) publishes its
+    nested batch inline, preserving causality.
+
+    ``retention`` bounds the in-memory tail kept for
+    :meth:`batches_since`; consumers that fall further behind get a
+    :class:`~repro.errors.FeedGapError` and must rebuild or catch up
+    from the WAL.
+    """
+
+    def __init__(self, db: "Database", *, retention: int = 512) -> None:
+        self._db = db
+        self._lock = threading.RLock()
+        self._retention = max(1, retention)
+        self._batches: deque[CommitBatch] = deque()
+        self._subs: list[FeedSubscription] = []
+        self._last_seq = 0
+        self._last_lsn = 0
+        #: Recent consumer failures as (consumer, exception) pairs —
+        #: same isolation contract as TriggerRegistry.errors.
+        self.errors: list[tuple[str, Exception]] = []
+        registry = db.obs.registry
+        self._m_batches = registry.counter("feed.batches")
+        self._m_events = registry.counter("feed.events")
+        self._m_dispatch = registry.histogram("feed.dispatch_seconds")
+        self._m_errors = registry.counter("feed.consumer_errors")
+        self._m_checkpoints = registry.counter("feed.checkpoints")
+        self._m_catchup = registry.counter("feed.catchup_batches")
+        self._m_evictions = registry.counter("feed.retention_evictions")
+        self._m_staleness = registry.histogram("feed.staleness_seconds")
+        self._g_seq = registry.gauge("feed.seq")
+        self._f_lag = registry.family("feed.lag", "gauge")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        return self._last_seq
+
+    @property
+    def last_lsn(self) -> int:
+        return self._last_lsn
+
+    def subscriptions(self) -> list[FeedSubscription]:
+        with self._lock:
+            return list(self._subs)
+
+    def max_lag(self) -> int:
+        """The worst consumer lag right now (0 with no consumers)."""
+        with self._lock:
+            return max((s.lag for s in self._subs), default=0)
+
+    def status(self) -> dict:
+        """JSON-friendly summary (the ``repro feed-status`` payload)."""
+        with self._lock:
+            return {
+                "seq": self._last_seq,
+                "lsn": self._last_lsn,
+                "retained": len(self._batches),
+                "retention": self._retention,
+                "errors": len(self.errors),
+                "consumers": [
+                    {
+                        "name": s.name,
+                        "deferred": s.deferred,
+                        "tables": sorted(s.tables) if s.tables else None,
+                        "delivered_seq": s.delivered_seq,
+                        "acked_seq": s.acked_seq,
+                        "lag": s.lag,
+                    }
+                    for s in self._subs
+                ],
+            }
+
+    # ------------------------------------------------------------------
+    # Subscription
+    # ------------------------------------------------------------------
+
+    def subscribe(self, name: str, fn: ConsumerFn, *,
+                  tables: Iterable[str] | None = None,
+                  deferred: bool = False) -> FeedSubscription:
+        """Register a consumer from the current feed head.
+
+        ``tables`` restricts delivery: batches with no event in the set
+        are auto-acked past the consumer without invoking ``fn``.
+        ``deferred`` consumers must call
+        :meth:`FeedSubscription.ack` themselves once the batch is
+        absorbed; sync consumers are acked when ``fn`` returns.
+        """
+        table_set = frozenset(tables) if tables is not None else None
+        with self._lock:
+            taken = {s.name for s in self._subs}
+            unique = name
+            suffix = 2
+            while unique in taken:
+                unique = f"{name}-{suffix}"
+                suffix += 1
+            sub = FeedSubscription(self, unique, fn, tables=table_set,
+                                   deferred=deferred)
+            sub.delivered_seq = sub.acked_seq = self._last_seq
+            self._subs.append(sub)
+            self._f_lag.labels(consumer=sub.name).set(0)
+            return sub
+
+    def _remove(self, sub: FeedSubscription) -> None:
+        with self._lock:
+            if sub in self._subs:
+                self._subs.remove(sub)
+            self._f_lag.labels(consumer=sub.name).set(0)
+
+    # ------------------------------------------------------------------
+    # Publish / dispatch
+    # ------------------------------------------------------------------
+
+    def publish(self, txn: "Transaction", changes: Sequence["Change"]) -> None:
+        """Turn one committed transaction into a batch and dispatch it.
+
+        Called by :meth:`Database.on_commit`; empty change lists publish
+        nothing.  The ``feed.mid_dispatch`` crash point fires before
+        each consumer invocation, so crash schedules can kill the
+        process with a batch half-dispatched — the recovery contract is
+        that checkpointed cursors plus WAL catch-up redeliver it.
+        """
+        if not changes:
+            return
+        events = tuple(
+            FeedEvent(c.table, c.kind, c.rowid, c.row, c.before)
+            for c in changes
+        )
+        with self._lock:
+            self._last_seq += 1
+            lsn = txn.commit_lsn if txn.commit_lsn is not None \
+                else self._db.wal.last_lsn()
+            self._last_lsn = max(self._last_lsn, lsn)
+            batch = CommitBatch(self._last_seq, lsn, txn.txn_id,
+                                self._db.now(), events)
+            self._batches.append(batch)
+            while len(self._batches) > self._retention:
+                self._batches.popleft()
+                self._m_evictions.inc()
+            self._m_batches.inc()
+            self._m_events.inc(len(events))
+            self._g_seq.set(self._last_seq)
+            with self._m_dispatch.time():
+                for sub in list(self._subs):
+                    if sub.active:
+                        self._deliver(sub, batch)
+
+    def _deliver(self, sub: FeedSubscription, batch: CommitBatch) -> None:
+        filtered = batch.for_tables(sub.tables)
+        if not filtered.events:
+            # Nothing for this consumer: advance it past the batch —
+            # but an ack is cumulative, so only when it was already
+            # caught up (otherwise the auto-ack would falsely cover
+            # earlier unabsorbed batches).
+            caught_up = sub.acked_seq == sub.delivered_seq
+            sub.delivered_seq = batch.seq
+            if caught_up:
+                self._ack_locked(sub, batch.seq)
+            return
+        self._db.faults.fire("feed.mid_dispatch", consumer=sub.name,
+                             seq=batch.seq)
+        sub.delivered_seq = batch.seq
+        try:
+            sub.fn(filtered)
+        except CrashSignal:
+            raise
+        except Exception as exc:
+            self.errors.append((sub.name, exc))
+            if len(self.errors) > 100:
+                del self.errors[: len(self.errors) - 100]
+            self._m_errors.inc()
+            return
+        if not sub.deferred:
+            self._ack_locked(sub, batch.seq)
+        else:
+            self._f_lag.labels(consumer=sub.name).set(sub.lag)
+
+    def _ack(self, sub: FeedSubscription, seq: int) -> None:
+        with self._lock:
+            self._ack_locked(sub, seq)
+
+    def _ack_locked(self, sub: FeedSubscription, seq: int) -> None:
+        if seq > sub.acked_seq:
+            sub.acked_seq = min(seq, self._last_seq)
+            batch = self._retained(seq)
+            if batch is not None and batch.committed_at > 0.0:
+                self._m_staleness.observe(
+                    max(0.0, self._db.now() - batch.committed_at))
+        self._f_lag.labels(consumer=sub.name).set(sub.lag)
+
+    def _retained(self, seq: int) -> CommitBatch | None:
+        if not self._batches or seq < self._batches[0].seq \
+                or seq > self._batches[-1].seq:
+            return None
+        return self._batches[seq - self._batches[0].seq]
+
+    def batches_since(self, seq: int) -> list[CommitBatch]:
+        """Retained batches with ``batch.seq > seq``, in order.
+
+        Raises :class:`~repro.errors.FeedGapError` when the retention
+        window no longer reaches back to ``seq`` — the caller missed
+        evicted batches and must rebuild or catch up from the WAL.
+        """
+        with self._lock:
+            if seq >= self._last_seq:
+                return []
+            oldest = self._batches[0].seq if self._batches \
+                else self._last_seq + 1
+            if seq < oldest - 1:
+                raise FeedGapError(
+                    f"feed retains seqs {oldest}..{self._last_seq}; "
+                    f"cannot resume after {seq}")
+            return [b for b in self._batches if b.seq > seq]
+
+    # ------------------------------------------------------------------
+    # Durable cursors
+    # ------------------------------------------------------------------
+
+    def _ensure_cursor_table(self) -> None:
+        if not self._db.has_table(CURSOR_TABLE):
+            self._db.create_table(CURSOR_TABLE, [
+                column("consumer", "str"),
+                column("seq", "int"),
+                column("lsn", "int"),
+                column("updated_at", "float"),
+            ], key="consumer")
+
+    def checkpoint(self, sub: FeedSubscription) -> dict:
+        """Persist ``sub``'s acked position as a durable cursor row.
+
+        The cursor stores both coordinates but only the LSN survives a
+        restart meaningfully (seqs are process-local).  The write is an
+        ordinary committed transaction, so it publishes its own batch —
+        table-filtered consumers auto-ack it.  Never call this from
+        inside a sync consumer handler of the cursor table itself.
+        """
+        self._ensure_cursor_table()
+        with self._lock:
+            seq = sub.acked_seq
+            batch = self._retained(seq)
+            lsn = batch.lsn if batch is not None else self._last_lsn
+            if seq == 0:
+                lsn = 0
+        payload = {"consumer": sub.name, "seq": seq, "lsn": lsn,
+                   "updated_at": self._db.now()}
+        with self._db.transaction() as txn:
+            existing = txn.query(CURSOR_TABLE) \
+                .where(col("consumer") == sub.name).first()
+            if existing is None:
+                txn.insert(CURSOR_TABLE, payload)
+            else:
+                txn.update(CURSOR_TABLE, existing.rowid, payload)
+        self._m_checkpoints.inc()
+        return payload
+
+    def cursor(self, name: str) -> dict | None:
+        """The checkpointed cursor for ``name``, or ``None``."""
+        if not self._db.has_table(CURSOR_TABLE):
+            return None
+        row = self._db.query(CURSOR_TABLE) \
+            .where(col("consumer") == name).first()
+        if row is None:
+            return None
+        return {"consumer": row["consumer"], "seq": row["seq"],
+                "lsn": row["lsn"], "updated_at": row["updated_at"]}
+
+    # ------------------------------------------------------------------
+    # WAL catch-up (restart path)
+    # ------------------------------------------------------------------
+
+    def catch_up(self, name: str, fn: ConsumerFn,
+                 records: Iterable[WalRecord], *,
+                 tables: Iterable[str] | None = None) -> int:
+        """Redeliver batches a consumer missed across a restart.
+
+        ``records`` is the pre-crash WAL history (typically
+        ``WriteAheadLog.load_file(path)`` — a recovered engine's own
+        log starts empty, it does *not* retain the replayed records).
+        Batches are reconstructed for every committed transaction whose
+        COMMIT LSN lies above the checkpointed cursor and handed to
+        ``fn`` in order, with ``seq == 0`` (replayed batches are off
+        the live seq axis).  Returns the number of batches delivered.
+
+        Also advances the engine's LSN allocator past the replayed
+        history, so post-restart commits keep the LSN axis — and
+        therefore future cursor checkpoints — monotonic.
+        """
+        cursor = self.cursor(name)
+        after_lsn = cursor["lsn"] if cursor is not None else 0
+        table_set = frozenset(tables) if tables is not None else None
+        records = list(records)
+        if records:
+            self._db.wal.advance_lsn(max(r.lsn for r in records))
+        delivered = 0
+        for batch in batches_from_records(records, after_lsn=after_lsn):
+            filtered = batch.for_tables(table_set)
+            if not filtered.events:
+                continue
+            fn(filtered)
+            delivered += 1
+            with self._lock:
+                self._last_lsn = max(self._last_lsn, batch.lsn)
+        if delivered:
+            self._m_catchup.inc(delivered)
+        return delivered
+
+
+def batches_from_records(records: Iterable[WalRecord], *,
+                         after_lsn: int = 0) -> list[CommitBatch]:
+    """Reconstruct commit batches from raw WAL records.
+
+    Walks the log exactly like recovery does — buffering DML per
+    transaction, emitting at COMMIT, dropping at ABORT — while keeping
+    a running map of last-committed row images so update and delete
+    events regain their before-images.  DELETE records additionally
+    carry the before-image in their payload (written by the engine for
+    precisely this replay), which covers rows whose insert predates the
+    walked history.  Only batches with ``COMMIT lsn > after_lsn`` are
+    returned; all carry ``seq == 0`` and ``committed_at == 0.0``
+    (neither survives in the log).
+    """
+    images: dict[tuple[str, int], dict] = {}
+    buffers: dict[int, list[WalRecord]] = {}
+    out: list[CommitBatch] = []
+    for rec in records:
+        if rec.type in (walmod.INSERT, walmod.UPDATE, walmod.DELETE):
+            buffers.setdefault(rec.txn_id, []).append(rec)
+        elif rec.type == walmod.ABORT:
+            buffers.pop(rec.txn_id, None)
+        elif rec.type == walmod.DROP_TABLE:
+            gone = rec.payload["table"]
+            for key in [k for k in images if k[0] == gone]:
+                del images[key]
+        elif rec.type == walmod.CHECKPOINT:
+            # A checkpoint is a full snapshot: it resets the image map
+            # (pre-checkpoint history may have been truncated away).
+            images = {
+                (name, int(rowid)): decode_value(row)
+                for name, spec in rec.payload["tables"].items()
+                for rowid, row in spec["rows"].items()
+            }
+        elif rec.type == walmod.COMMIT:
+            ops = buffers.pop(rec.txn_id, None)
+            if not ops:
+                continue
+            events = []
+            for op in ops:
+                table = op.payload["table"]
+                rowid = op.payload["rowid"]
+                key = (table, rowid)
+                if op.type == walmod.DELETE:
+                    before = images.pop(key, None)
+                    if before is None and op.payload.get("values"):
+                        before = decode_value(op.payload["values"])
+                    events.append(FeedEvent(table, "delete", rowid,
+                                            None, before))
+                else:
+                    row = decode_value(op.payload["values"])
+                    before = images.get(key)
+                    kind = "update" \
+                        if op.type == walmod.UPDATE or before is not None \
+                        else "insert"
+                    events.append(FeedEvent(table, kind, rowid, row, before))
+                    images[key] = row
+            if events and rec.lsn > after_lsn:
+                out.append(CommitBatch(0, rec.lsn, rec.txn_id, 0.0,
+                                       tuple(events)))
+    return out

@@ -1,0 +1,156 @@
+"""Background maintenance driven by the changefeed.
+
+Deferred consumers (the inverted index, and anything else that only
+*records* work in its handler) need something to actually absorb the
+recorded work, compact what grew, and checkpoint cursors so a restart
+does not replay the world.  :class:`MaintenanceWorker` is that
+something: a small registry of named maintenance callables driven
+either by an explicit :meth:`~MaintenanceWorker.run_once` (tests,
+benchmarks, CLI) or a daemon thread ticking at a fixed interval
+(servers).
+
+The worker deliberately owns no policy: each registered task is a
+closure such as ``index.maintain`` or ``index.compact`` that knows its
+own consumer; the worker adds scheduling, failure isolation (a failing
+task is recorded and does not starve the others) and post-run cursor
+checkpointing for subscriptions whose ack advanced.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable
+
+from ..errors import CrashSignal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..db.engine import Database
+    from .changefeed import FeedSubscription
+
+
+class _Task:
+    __slots__ = ("name", "fn", "sub", "checkpoint", "last_checkpoint_seq")
+
+    def __init__(self, name: str, fn: Callable[[], object],
+                 sub: "FeedSubscription | None", checkpoint: bool) -> None:
+        self.name = name
+        self.fn = fn
+        self.sub = sub
+        self.checkpoint = checkpoint
+        self.last_checkpoint_seq = 0
+
+
+class MaintenanceWorker:
+    """Periodic driver for deferred derived-data maintenance."""
+
+    def __init__(self, db: "Database", *, interval: float = 0.25) -> None:
+        self._db = db
+        self._feed = db.changefeed()
+        self.interval = interval
+        self._tasks: list[_Task] = []
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        #: Recent task failures as (task, exception) pairs.
+        self.errors: list[tuple[str, Exception]] = []
+        registry = db.obs.registry
+        self._m_runs = registry.counter("feed.worker_runs")
+        self._m_seconds = registry.histogram("feed.worker_seconds")
+
+    def register(self, name: str, fn: Callable[[], object], *,
+                 sub: "FeedSubscription | None" = None,
+                 checkpoint: bool = True) -> None:
+        """Add a maintenance task.
+
+        ``fn`` runs on every tick.  When ``sub`` is given (the task's
+        feed subscription) and ``checkpoint`` is true, the worker
+        persists the subscription's cursor after any tick on which its
+        acked seq advanced — catch-up after restart then starts from
+        that cursor instead of the beginning of history.
+        """
+        with self._lock:
+            self._tasks.append(_Task(name, fn, sub, checkpoint))
+
+    def run_once(self) -> dict[str, object]:
+        """Run every task once; returns ``{task: result-or-exception}``.
+
+        Failures are isolated per task (recorded in :attr:`errors`);
+        :class:`~repro.errors.CrashSignal` propagates — a simulated
+        process death must not be absorbed by the maintenance loop.
+        """
+        started = perf_counter()
+        with self._lock:
+            tasks = list(self._tasks)
+        results: dict[str, object] = {}
+        for task in tasks:
+            try:
+                results[task.name] = task.fn()
+            except CrashSignal:
+                raise
+            except Exception as exc:
+                results[task.name] = exc
+                self.errors.append((task.name, exc))
+                if len(self.errors) > 100:
+                    del self.errors[: len(self.errors) - 100]
+                continue
+            sub = task.sub
+            if sub is not None and task.checkpoint \
+                    and sub.acked_seq > task.last_checkpoint_seq:
+                self._feed.checkpoint(sub)
+                task.last_checkpoint_seq = sub.acked_seq
+        self._m_runs.inc()
+        self._m_seconds.observe(perf_counter() - started)
+        return results
+
+    def drain(self, *, max_rounds: int = 100) -> int:
+        """Run ticks until the feed's worst consumer lag reaches zero.
+
+        Returns the number of rounds used; raises ``RuntimeError`` if
+        the lag refuses to drain (a consumer that never acks would
+        otherwise spin forever).  This is the benchmark/staleness-gate
+        entry point: "the workload is over, absorb everything."
+        """
+        for rounds in range(1, max_rounds + 1):
+            self.run_once()
+            if self._feed.max_lag() == 0:
+                return rounds
+        raise RuntimeError(
+            f"feed lag did not drain to 0 in {max_rounds} rounds "
+            f"(still {self._feed.max_lag()})")
+
+    # ------------------------------------------------------------------
+    # Thread lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Start the daemon tick thread (idempotent)."""
+        if self.running:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop,
+                                        name="feed-maintenance",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self, *, final_tick: bool = True) -> None:
+        """Stop the thread; by default runs one last synchronous tick
+        so whatever the workload left behind is absorbed."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+        if final_tick:
+            self.run_once()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.run_once()
+            except CrashSignal:
+                return

@@ -6,9 +6,11 @@ the last week.  Its content is fluent and may change within seconds (e.g.
 as soon as a document changes)."
 
 A folder is a :class:`Condition` over document metadata.  The manager
-keeps folder membership up to date *event-driven*: commit triggers on the
-document table and the access log re-evaluate exactly the affected
-document, so membership reflects an edit in the same commit that made it —
+keeps folder membership up to date *event-driven*: a changefeed
+subscription over the document table, the access log and the character
+table re-evaluates exactly the affected documents — delete events carry
+before-images, so purged documents drop out of membership too.
+Membership reflects an edit in the same commit that made it —
 the "within seconds" of the paper becomes "within the same transaction
 boundary".  A full :meth:`DynamicFolder.revalidate` pass exists for
 time-window decay (a document leaving "read within the last week" purely
@@ -18,6 +20,7 @@ does on every read.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
@@ -27,7 +30,7 @@ from ..ids import Oid
 from ..text import dbschema as S
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..db.transaction import Change, Transaction
+    from ..feed.changefeed import CommitBatch
 
 
 # ---------------------------------------------------------------------------
@@ -233,12 +236,21 @@ class DynamicFolder:
         self.condition = condition
         self._ctx = ctx
         self._members: set[Oid] = set()
+        #: Members kept in sorted order incrementally (bisect insert /
+        #: remove on membership change), so listings never re-sort.
+        self._ordered: list[Oid] = []
         self.stats = {"evaluations": 0, "full_scans": 0}
         self.revalidate()
 
-    def contents(self) -> list[Oid]:
-        """Current members (event-fresh; see module docstring)."""
-        return sorted(self._members)
+    def contents(self, limit: int | None = None) -> list[Oid]:
+        """Current members in sorted order (event-fresh).
+
+        ``limit`` returns just the first page — O(limit), independent
+        of folder size; without it the full copy is O(members).
+        """
+        if limit is not None:
+            return self._ordered[:limit]
+        return list(self._ordered)
 
     def __contains__(self, doc: Oid) -> bool:
         return doc in self._members
@@ -252,9 +264,13 @@ class DynamicFolder:
         matches = self.condition.matches(self._ctx, doc)
         if matches and doc not in self._members:
             self._members.add(doc)
+            insort(self._ordered, doc)
             return True
         if not matches and doc in self._members:
             self._members.discard(doc)
+            pos = bisect_left(self._ordered, doc)
+            if pos < len(self._ordered) and self._ordered[pos] == doc:
+                del self._ordered[pos]
             return True
         return False
 
@@ -273,6 +289,7 @@ class DynamicFolder:
                 doc for doc in docs
                 if self.condition.matches(ctx, doc)
             }
+        self._ordered = sorted(self._members)
         self.stats["evaluations"] += len(docs)
 
 
@@ -282,21 +299,29 @@ class DynamicFolderManager:
     #: Tables whose commits can change folder membership.
     _WATCHED = (S.DOCUMENTS, S.ACCESS_LOG, S.CHARS)
 
+    #: Feed consumer name (also the durable cursor key).
+    CONSUMER = "dynamic-folders"
+
     def __init__(self, db: Database) -> None:
         self.db = db
         S.install_text_schema(db)
         self._ctx = FolderContext(db)
         self._folders: dict[str, DynamicFolder] = {}
         self._listeners: list[Callable[[str, Oid, bool], None]] = []
-        # One wildcard trigger (filtered below) rather than one per table:
-        # a commit touching chars + access log + document row must
-        # re-evaluate each affected document once, not three times.
-        self._trigger = db.triggers.on_commit(
-            db.triggers.ALL, self._on_commit)
+        # One table-filtered feed subscription rather than one trigger
+        # per table: a commit touching chars + access log + document row
+        # re-evaluates each affected document once, not three times.
+        self._sub = db.changefeed().subscribe(
+            self.CONSUMER, self._on_batch, tables=self._WATCHED)
+
+    @property
+    def subscription(self):
+        """The manager's feed subscription (lag inspection)."""
+        return self._sub
 
     def close(self) -> None:
         """Stop reacting to commits (folders go stale)."""
-        self._trigger.remove()
+        self._sub.close()
 
     # -- folder management ---------------------------------------------------
 
@@ -333,13 +358,13 @@ class DynamicFolderManager:
 
     # -- event-driven refresh ----------------------------------------------------
 
-    def _on_commit(self, txn: "Transaction",
-                   changes: "list[Change]") -> None:
+    def _on_batch(self, batch: "CommitBatch") -> None:
         docs: set[Oid] = set()
-        for change in changes:
-            if change.table not in self._WATCHED:
-                continue
-            row = change.row
+        for event in batch.events:
+            # A delete event's row is None; the before-image names the
+            # vanished document — without it, purged documents would
+            # linger in folder membership forever.
+            row = event.row if event.row is not None else event.before
             if row is not None and "doc" in row and row["doc"] is not None:
                 docs.add(row["doc"])
         if not docs:

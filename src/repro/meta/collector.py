@@ -27,11 +27,14 @@ from ..ids import Oid
 from ..text import dbschema as S
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..db.transaction import Change, Transaction
+    from ..feed.changefeed import CommitBatch
 
 
 class MetadataCollector:
     """Aggregates creation-process metadata for all documents in a DB."""
+
+    #: Feed consumer name (also the durable cursor key).
+    CONSUMER = "meta-collector"
 
     def __init__(self, db: Database) -> None:
         self.db = db
@@ -39,34 +42,38 @@ class MetadataCollector:
         #: doc -> counters maintained live from commits.
         self._counters: dict[Oid, dict[str, int]] = defaultdict(
             lambda: {"inserts": 0, "deletes": 0, "style_changes": 0,
-                     "commits": 0}
+                     "purged_chars": 0, "commits": 0}
         )
-        self._trigger = db.triggers.on_commit(S.CHARS, self._on_chars_commit)
+        self._sub = db.changefeed().subscribe(
+            self.CONSUMER, self._on_batch, tables=(S.CHARS,))
 
     def close(self) -> None:
         """Stop maintaining the live counters."""
-        self._trigger.remove()
+        self._sub.close()
 
     # ------------------------------------------------------------------
     # Live counters
     # ------------------------------------------------------------------
 
-    def _on_chars_commit(self, txn: "Transaction",
-                         changes: "list[Change]") -> None:
+    def _on_batch(self, batch: "CommitBatch") -> None:
         docs_touched = set()
-        for change in changes:
-            row = change.row
+        for event in batch.events:
+            row = event.row if event.row is not None else event.before
             if row is None or not row.get("ch"):
                 continue
             counters = self._counters[row["doc"]]
             docs_touched.add(row["doc"])
-            if change.kind == "insert":
+            if event.kind == "insert":
                 counters["inserts"] += 1
-            elif change.kind == "update":
+            elif event.kind == "update":
                 if row["deleted"]:
                     counters["deletes"] += 1
                 elif row["style"] is not None:
                     counters["style_changes"] += 1
+            else:
+                # Physical removal (document purge / archival): the
+                # before-image is the only witness the row existed.
+                counters["purged_chars"] += 1
         for doc in docs_touched:
             self._counters[doc]["commits"] += 1
 

@@ -61,11 +61,18 @@ class FeatureExtractor:
         S.install_text_schema(db)
 
     def document_text(self, doc: Oid, txn=None) -> str:
-        """Reconstruct a document's visible text from its chain."""
+        """A document's visible text: chain walk, or the archived blob.
+
+        Documents without a character chain (``begin_char is None``) are
+        *archived*: their whole text lives in ``props["archived_text"]``
+        — the archival-portal fast path that skips per-character rows.
+        """
         reader = txn if txn is not None else self.db
         row = reader.query(S.DOCUMENTS).where(col("doc") == doc).first()
-        if row is None or row["begin_char"] is None:
+        if row is None:
             return ""
+        if row["begin_char"] is None:
+            return str((row["props"] or {}).get("archived_text", ""))
         return C.chain_text(self.db, doc, row["begin_char"], txn=txn)
 
     def extract(self, doc: Oid, txn=None) -> DocumentFeatures:

@@ -147,6 +147,36 @@ METRIC_CATALOGUE: dict[str, tuple[str, str]] = {
                              "follower (duplicates excluded)"),
     "repl.promotions": ("counter",
                         "follower promotions to writable leader"),
+    # -- changefeed (repro/feed) --------------------------------------------
+    "feed.batches": ("counter", "commit batches published to the feed"),
+    "feed.events": ("counter", "row-change events carried by those batches"),
+    "feed.seq": ("gauge", "sequence number of the newest published batch"),
+    "feed.dispatch_seconds": ("histogram",
+                              "per-batch fan-out latency across all "
+                              "subscribed consumers"),
+    "feed.consumer_errors": ("counter",
+                             "consumer handler exceptions isolated by the "
+                             "feed (the batch still counts as delivered)"),
+    "feed.checkpoints": ("counter",
+                         "consumer cursors durably checkpointed to "
+                         "tx_feed_cursors"),
+    "feed.catchup_batches": ("counter",
+                             "batches replayed to consumers from the WAL "
+                             "after a restart (cursor catch-up)"),
+    "feed.retention_evictions": ("counter",
+                                 "batches dropped from the in-memory "
+                                 "retention window"),
+    "feed.staleness_seconds": ("histogram",
+                               "commit-to-ack age of each batch when a "
+                               "consumer absorbed it (derived-data "
+                               "staleness, the paper's 'within seconds')"),
+    "feed.lag": ("gauge",
+                 "batches published but not yet acked, per consumer "
+                 "(labelled by consumer; 0 = fully fresh)"),
+    "feed.worker_runs": ("counter",
+                         "background maintenance-worker ticks executed"),
+    "feed.worker_seconds": ("histogram",
+                            "maintenance-worker tick duration"),
     # -- search (repro/search/engine.py) ------------------------------------
     "search.queries": ("counter", "content/metadata searches run"),
     "search.query_seconds": ("histogram", "end-to-end search latency"),
@@ -188,6 +218,7 @@ LABELLED_FAMILIES: dict[str, tuple[str, ...]] = {
     "net.notifies": ("doc",),
     "net.send_queue_depth": ("conn",),
     "wal.group_commit_size": ("role",),
+    "feed.lag": ("consumer",),
     "slo.burn_rate": ("slo", "window"),
     "slo.error_rate": ("slo",),
     "slo.breached": ("slo",),

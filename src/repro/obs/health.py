@@ -48,6 +48,11 @@ class HealthThresholds:
     repl_lag_lsn_dead: int = 100_000
     #: Follower apply lag p99 (seconds) over the window that degrades.
     repl_lag_p99: float = 1.0
+    #: Changefeed consumer lag in batches: degraded / dead limits (the
+    #: check only runs when the node exposes ``feed.lag`` series, so
+    #: engines without derived-data consumers are unaffected).
+    feed_lag: int = 64
+    feed_lag_dead: int = 4096
     #: Trailing window (seconds) for all rate/quantile checks.
     window: float = 60.0
 
@@ -182,6 +187,27 @@ def evaluate_health(snapshot: Mapping[str, dict], store=None, *,
                 f"apply lag p99 {lag_p99:.3f}s > {t.repl_lag_p99:.2f}s")
         else:
             add("repl.lag", OK, lag, f"apply lag {lag:.0f} LSNs")
+
+    # Derived-data staleness: changefeed consumers falling behind the
+    # commit stream (stale search results / folder listings).  Only
+    # meaningful where consumers exist — the gauge family is labelled
+    # per consumer; the worst one decides.
+    feed_series = {name: entry for name, entry in snapshot.items()
+                   if name.startswith("feed.lag")}
+    if feed_series:
+        worst_name, worst = max(
+            feed_series.items(), key=lambda kv: kv[1].get("value", 0.0))
+        lag = worst.get("value", 0.0)
+        who = worst_name[len("feed.lag"):] or "{}"
+        if lag > t.feed_lag_dead:
+            add("feed.lag", UNHEALTHY, lag,
+                f"consumer {who} lags {lag:.0f} batches "
+                f"> {t.feed_lag_dead}")
+        elif lag > t.feed_lag:
+            add("feed.lag", DEGRADED, lag,
+                f"consumer {who} lags {lag:.0f} batches > {t.feed_lag}")
+        else:
+            add("feed.lag", OK, lag, f"max consumer lag {lag:.0f} batches")
 
     # Injected / observed socket faults.
     fault_rate = (

@@ -253,7 +253,10 @@ def _bucket_quantile(q: float, bounds: tuple[float, ...],
     # by remaining rank just like a finite bucket, so q=0.0 on
     # overflow-only data does not collapse to the maximum; q=1.0 still
     # returns exactly the observed max.
-    lo = max(bounds[-1], lo_obs)
+    # Merged snapshots carry sparse buckets: overflow-only data arrives
+    # with no finite buckets at all, so the lower clamp falls back to
+    # the observed minimum.
+    lo = max(bounds[-1], lo_obs) if bounds else lo_obs
     hi = hi_obs
     if overflow <= 0 or hi <= lo:
         return hi

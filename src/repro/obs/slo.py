@@ -33,6 +33,9 @@ _REPLICATION_BOUND = 1e-6 * 2 ** 15
 #: ~262ms: a follower may trail its leader by a few shipping round
 #: trips, but reads served from a replica must stay near-real-time.
 _APPLY_LAG_BOUND = 1e-6 * 2 ** 18
+#: ~2.1s: the paper promises derived data (dynamic folders, search)
+#: fresh "within seconds"; commit-to-absorption age must stay under it.
+_STALENESS_BOUND = 1e-6 * 2 ** 21
 
 
 @dataclass(frozen=True)
@@ -52,9 +55,10 @@ class SLOSpec:
         return 1.0 - self.target
 
 
-#: Shipped objectives: the paper's two headline latencies, plus the
-#: WAL-shipping lag bound (no-data on nodes that aren't following —
-#: specs with no observations in the window never burn or breach).
+#: Shipped objectives: the paper's two headline latencies, the
+#: WAL-shipping lag bound, and derived-data freshness (no-data specs —
+#: e.g. apply lag on a non-follower, staleness with no feed consumers —
+#: never burn or breach).
 DEFAULT_SLOS: tuple[SLOSpec, ...] = (
     SLOSpec("durable_keystroke", "wal.fsync_seconds",
             objective=_KEYSTROKE_BOUND),
@@ -62,6 +66,8 @@ DEFAULT_SLOS: tuple[SLOSpec, ...] = (
             objective=_REPLICATION_BOUND),
     SLOSpec("replica_apply_lag", "repl.apply_lag_seconds",
             objective=_APPLY_LAG_BOUND),
+    SLOSpec("derived_staleness", "feed.staleness_seconds",
+            objective=_STALENESS_BOUND),
 )
 
 

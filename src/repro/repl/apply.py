@@ -200,18 +200,20 @@ class ReplicationApplier:
                 table = db.table(op.payload["table"])
                 rowid = op.payload["rowid"]
                 if op.type == walmod.DELETE:
-                    kind, row = table.apply_replica_delete(rowid,
-                                                           record.lsn)
+                    kind, row, old = table.apply_replica_delete(rowid,
+                                                                record.lsn)
                 else:
                     values = decode_value(op.payload["values"])
-                    kind, row = table.apply_replica_row(rowid, values,
-                                                        record.lsn)
+                    kind, row, old = table.apply_replica_row(rowid, values,
+                                                             record.lsn)
                 if kind == "noop":
                     continue
                 row_map = table.schema.row_dict(row) \
                     if row is not None else None
+                before_map = table.schema.row_dict(old) \
+                    if old is not None else None
                 changes.append(Change(op.payload["table"], kind, rowid,
-                                      row_map))
+                                      row_map, before_map))
         finally:
             db.clear_commit_intent(txn_id)
         db.stats["commits"] += 1

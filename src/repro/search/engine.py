@@ -66,24 +66,46 @@ class SearchEngine:
         self._m_queries.inc()
         if isinstance(query, str):
             query = parse_query(query)
-        self.index.ensure_fresh()
 
         # Candidate selection and profile building run inside one
         # snapshot transaction: the scan over N candidate documents is a
         # long read-only pass, and a typist committing halfway through
         # must neither stall it (no locks) nor make profile fields
         # disagree across candidates (one commit point for all queries).
+        # The index refresh is pinned to the *same* snapshot, so index
+        # candidates and profile rows cannot come from different commit
+        # points mid-typing-burst.
+        # Single-term relevance queries without filters take the
+        # impact-ordered fast path: the index hands back the exact
+        # top-k (score and tie-break order match the ranker), so only
+        # ``limit`` profiles are built — cost independent of how many
+        # documents contain the term.
+        fast_single = (ranking == "relevance" and not query.filters
+                       and len(query.terms) == 1 and not query.phrases)
         with self.db.snapshot() as snap:
+            self.index.ensure_fresh(txn=snap)
+            if fast_single:
+                scored = self.index.top_docs(query.terms[0], limit)
+                self._m_index_hits.inc(len(scored))
+                relevance = dict(scored)
+                ordered = []
+                for doc, __ in scored:
+                    profile = self._light_profile(
+                        doc, need_readers=False, need_authors=False,
+                        txn=snap)
+                    if profile is not None:
+                        ordered.append(profile)
+                return self._materialise(ordered, relevance, query,
+                                         limit, started)
             if query.terms or query.phrases:
                 candidates = self.index.matching_docs(query.all_terms)
                 for phrase in query.phrases:
                     candidates &= self.index.phrase_docs(phrase)
                 self._m_index_hits.inc(len(candidates))
             else:
-                candidates = {
-                    r["doc"] for r in
-                    snap.query(S.DOCUMENTS).select("doc").run()
-                }
+                # Metadata-only query: the just-refreshed index knows
+                # the full corpus — no DOCUMENTS rescan on this path.
+                candidates = self.index.all_docs()
             # Build *light* profiles: the document row plus only the
             # derived metadata the filters and the ranking actually
             # consult.  (The full consolidated profile scans every
@@ -103,6 +125,12 @@ class SearchEngine:
         relevance = relevance_scores(
             self.index, query.all_terms, {p["doc"] for p in profiles})
         ordered = self.ranker.sort(profiles, ranking, relevance=relevance)
+        return self._materialise(ordered, relevance, query, limit, started)
+
+    def _materialise(self, ordered: list, relevance: dict,
+                     query: SearchQuery, limit: int,
+                     started: float) -> list[SearchResult]:
+        """Turn ranked profiles into the top-``limit`` result objects."""
         results = []
         for profile in ordered[:limit]:
             results.append(SearchResult(

@@ -31,7 +31,7 @@ from . import dbschema as S
 from .ordercache import make_order_cache
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..db.transaction import Change
+    from ..feed.changefeed import CommitBatch
 
 
 class DocumentStore:
@@ -162,6 +162,62 @@ class DocumentStore:
             raise UnknownDocumentError(f"no document {doc}")
         return row.rowid
 
+    def import_archived(self, name: str, creator: str, *, text: str = "",
+                        props: dict | None = None) -> Oid:
+        """Create an *archived* document: whole text, no character chain.
+
+        The archival-portal ingest path.  The row carries
+        ``begin_char = None`` and the full text in
+        ``props["archived_text"]``; readers that reconstruct text
+        (feature extraction, search indexing) fall back to the stored
+        blob.  The document is searchable and folder-eligible but not
+        editable until rehydrated into a chain.
+        """
+        doc = self.db.new_oid("doc")
+        now = self.db.now()
+        full_props = dict(props or {})
+        full_props["archived_text"] = text
+        with self.db.transaction() as txn:
+            txn.insert(S.DOCUMENTS, {
+                "doc": doc, "name": name, "creator": creator,
+                "created_at": now, "last_modified": now,
+                "last_modified_by": creator, "size": len(text),
+                "props": full_props,
+            })
+            txn.insert(S.ACCESS_LOG, {
+                "entry": self.db.new_oid("log"), "doc": doc,
+                "user": creator, "action": "create", "at": now,
+            })
+        return doc
+
+    #: Per-document tables purged alongside the metadata row.
+    _PURGE_TABLES = (S.CHARS, S.ACCESS_LOG, S.VERSIONS, S.STRUCTURE,
+                     S.OBJECTS, S.NOTES)
+
+    def delete_document(self, doc: Oid, user: str) -> int:
+        """Physically purge a document and its per-document rows.
+
+        One transaction deletes the character chain, access log,
+        versions, structure, objects and notes of ``doc`` plus its
+        metadata row; returns the number of rows removed.  Every delete
+        reaches the changefeed with a before-image, which is how derived
+        data (search postings, folder membership, open handles) learns
+        the document is gone instead of serving it stale forever.  The
+        copy log is deliberately kept: it records provenance of *other*
+        documents' characters.
+        """
+        removed = 0
+        with self.db.transaction() as txn:
+            rowid = self._rowid_for(txn, doc)
+            txn.get_for_update(S.DOCUMENTS, rowid)
+            for table in self._PURGE_TABLES:
+                for row in txn.query(table).where(col("doc") == doc).run():
+                    txn.delete(table, row.rowid)
+                    removed += 1
+            txn.delete(S.DOCUMENTS, rowid)
+            removed += 1
+        return removed
+
     # ------------------------------------------------------------------
     # Access logging
     # ------------------------------------------------------------------
@@ -179,9 +235,9 @@ class DocumentHandle:
     """An open document: position-addressed edits over the character chain.
 
     The handle's *order cache* lists live character OIDs in document order.
-    It is updated incrementally by a commit trigger, so it reflects both
-    this handle's edits and edits committed by any other handle/session on
-    the same engine — the mechanism behind "everything which is typed
+    It is updated incrementally by a changefeed subscription, so it
+    reflects both this handle's edits and edits committed by any other
+    handle/session on the same engine — the mechanism behind "everything which is typed
     appears within the editor as soon as [it is] stored persistently".
     """
 
@@ -200,7 +256,8 @@ class DocumentHandle:
         self._cache = make_order_cache(cache)
         self._closed = False
         self.refresh()
-        self._trigger = self.db.triggers.on_commit(S.CHARS, self._on_commit)
+        self._sub = self.db.changefeed().subscribe(
+            f"doc-cache:{self.doc}", self._on_batch, tables=(S.CHARS,))
 
     # ------------------------------------------------------------------
     # Cache
@@ -215,6 +272,10 @@ class DocumentHandle:
         chain out from under it (every hop sees the same commit point).
         """
         self._m_full_scans.inc()
+        if self.begin_char is None:
+            # Archived document: no chain to walk, nothing to render.
+            self._cache.rebuild(iter(()))
+            return
         with self.db.snapshot() as snap:
             self._cache.rebuild(
                 C.traverse(self.db, self.doc, self.begin_char, txn=snap))
@@ -223,22 +284,27 @@ class DocumentHandle:
         """Detach from commit notifications."""
         if not self._closed:
             self._closed = True
-            self._trigger.remove()
+            self._sub.close()
 
-    def _on_commit(self, txn: Transaction, changes: "list[Change]") -> None:
+    def _on_batch(self, batch: "CommitBatch") -> None:
         cache = self._cache
-        for change in changes:
-            row = change.row
-            if change.kind == "delete":
-                # Physical char deletion only happens on document purge.
+        for event in batch.events:
+            row = event.row
+            if event.kind == "delete":
+                # Physical char removal (document purge / archival): the
+                # before-image names the vanished character.
+                before = event.before
+                if before is not None and before.get("doc") == self.doc \
+                        and before.get("ch") and before["char"] in cache:
+                    self._splice_out(before["char"])
                 continue
             if row is None or row["doc"] != self.doc or not row["ch"]:
                 continue
             oid = row["char"]
-            if change.kind == "insert":
+            if event.kind == "insert":
                 if not row["deleted"] and oid not in cache:
                     self._splice_in(row)
-            elif change.kind == "update":
+            elif event.kind == "update":
                 if row["deleted"] and oid in cache:
                     self._splice_out(oid)
                 elif not row["deleted"] and oid not in cache:

@@ -8,6 +8,14 @@ from .corpus import (
     generate_text,
     load_corpus,
 )
+from .portal import (
+    Portal,
+    PortalSpec,
+    PortalTrafficReport,
+    build_portal,
+    run_portal_traffic,
+    upload_version,
+)
 from .scenarios import (
     DEFAULT_PARTY,
     KnowledgeBase,
@@ -28,14 +36,20 @@ __all__ = [
     "LanPartyReport",
     "ModelTypist",
     "PlannedOp",
+    "Portal",
+    "PortalSpec",
+    "PortalTrafficReport",
     "SharedText",
     "SimulatedTypist",
     "TOPICS",
     "TypistStats",
     "build_knowledge_base",
+    "build_portal",
     "generate_corpus",
     "generate_text",
     "load_corpus",
     "run_lan_party",
+    "run_portal_traffic",
     "run_traced_duet",
+    "upload_version",
 ]

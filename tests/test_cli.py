@@ -28,6 +28,22 @@ class TestCli:
         assert "# Data lineage (Fig. 1)" in out
         assert "# Document space (Fig. 2)" in out
 
+    def test_feed_status(self):
+        code, out = run_cli("feed-status", "--docs", "8", "--seed", "1")
+        assert code == 0
+        assert "feed seq" in out
+        assert "search-index" in out
+        assert "lag   0" in out
+
+    def test_feed_status_json(self):
+        import json
+        code, out = run_cli("feed-status", "--docs", "8", "--seed", "1",
+                            "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["seq"] > 0
+        assert all(c["lag"] == 0 for c in payload["consumers"])
+
     def test_search(self):
         code, out = run_cli("search", "database", "--docs", "8",
                             "--seed", "1", "--limit", "2")

@@ -272,3 +272,39 @@ class TestFolderPersistence:
         dfm.create_folder("f", CreatorIs("ana"))
         dfm.save_folder("f", "ana")
         assert dfm.load_folders() == []
+
+
+class TestFeedDrivenFolders:
+    """Regressions for the changefeed refactor: deletes reach dynamic
+    membership and listings stay ordered and pageable."""
+
+    def test_delete_document_drops_membership(self, db, store):
+        dfm = DynamicFolderManager(db)
+        folder = dfm.create_folder("finals", StateIs("final"))
+        h = store.create("d", "ana")
+        store.set_state(h.doc, "final", "ana")
+        assert h.doc in folder
+        before = folder.stats["full_scans"]
+        store.delete_document(h.doc, "ana")
+        assert h.doc not in folder
+        assert folder.contents() == []
+        assert folder.stats["full_scans"] == before  # no rescan needed
+
+    def test_archived_documents_are_folder_eligible(self, db, store):
+        dfm = DynamicFolderManager(db)
+        folder = dfm.create_folder("shelf", HasProperty("topic", "db"))
+        doc = store.import_archived("arch", "ana", text="whole blob",
+                                    props={"topic": "db"})
+        assert doc in folder
+        store.delete_document(doc, "ana")
+        assert doc not in folder
+
+    def test_contents_paging_is_ordered(self, db, store):
+        dfm = DynamicFolderManager(db)
+        folder = dfm.create_folder("all", SizeAtLeast(0))
+        docs = [store.create(f"d{i}", "ana").doc for i in range(5)]
+        full = folder.contents()
+        assert full == sorted(docs)
+        assert folder.contents(limit=2) == full[:2]
+        store.delete_document(docs[0], "ana")
+        assert folder.contents(limit=2) == sorted(docs[1:])[:2]

@@ -180,3 +180,30 @@ class TestProperties:
         h = store.create("d", "ana", props={"a": 1})
         assert props.get_document_property(h.doc, "a") == 1
         assert props.get_document_property(h.doc, "b", "dflt") == "dflt"
+
+
+class TestFeedDrivenCollector:
+    """Regressions for the changefeed refactor: the collector counts
+    physical purges through delete before-images."""
+
+    def test_delete_document_counts_purged_chars(self, db, store, meta):
+        h = store.create("d", "ana", text="abc")
+        assert meta.edit_counters(h.doc)["purged_chars"] == 0
+        store.delete_document(h.doc, "ana")
+        assert meta.edit_counters(h.doc)["purged_chars"] == 3
+
+    def test_logical_deletes_do_not_count_as_purges(self, db, store, meta):
+        h = store.create("d", "ana", text="abc")
+        h.delete_range(0, 1, "ana")  # tombstone, row survives
+        counters = meta.edit_counters(h.doc)
+        assert counters["deletes"] == 1
+        assert counters["purged_chars"] == 0
+
+    def test_collector_close_unsubscribes(self, db, store, meta):
+        names = {s.name for s in db.changefeed().subscriptions()}
+        assert any(n.startswith("meta-collector") for n in names)
+        meta.close()
+        names = {s.name for s in db.changefeed().subscriptions()}
+        assert not any(n.startswith("meta-collector") for n in names)
+        h = store.create("after", "ana", text="x")  # must not reach it
+        assert meta.edit_counters(h.doc)["inserts"] == 0

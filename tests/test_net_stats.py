@@ -122,7 +122,7 @@ class TestHealthScrape:
         assert health["status"] == "ok"
         assert {c["check"] for c in health["checks"]} == {
             "wal.fsync_stall", "net.send_queue", "gc.backlog",
-            "net.churn", "net.faults"}
+            "net.churn", "net.faults", "feed.lag"}
 
     def test_mid_session_health_verb(self):
         collab = make_collab()

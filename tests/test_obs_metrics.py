@@ -262,6 +262,18 @@ class TestMergeAndCompact:
         hi = BOUNDS[i] if i < len(BOUNDS) else max(combined)
         assert lo <= merged["p50"] <= hi
 
+    def test_merge_overflow_only_histogram(self):
+        # Snapshots carry sparse buckets: a histogram whose only
+        # observation overflowed the largest bound arrives with no
+        # finite buckets at all, and the recomputed quantiles must fall
+        # back to the observed extremes instead of crashing.
+        r1 = MetricsRegistry()
+        h1 = r1.histogram("h", buckets=BOUNDS)
+        h1.observe(BOUNDS[-1] * 3)
+        merged = merge_snapshots([r1.snapshot()])["h"]
+        assert merged["overflow"] == 1
+        assert merged["p50"] == merged["p99"] == BOUNDS[-1] * 3
+
     def test_merge_rejects_kind_conflicts(self):
         r1, r2 = MetricsRegistry(), MetricsRegistry()
         r1.counter("x").inc()

@@ -49,7 +49,7 @@ class TestSLOEvaluator:
         results = SLOEvaluator(store).evaluate(now=START + 119)
         assert {r["slo"] for r in results} == {
             "durable_keystroke", "replication_visibility",
-            "replica_apply_lag"}
+            "replica_apply_lag", "derived_staleness"}
         assert not any(r["breached"] for r in results)
         snap = registry.snapshot()
         assert snap["slo.breached{slo=durable_keystroke}"]["value"] == 0.0
@@ -57,12 +57,15 @@ class TestSLOEvaluator:
     def test_sustained_burn_breaches_and_reddens_gauges(self):
         registry, store = drive(lambda s: 0.2 if s >= 60 else 0.002)
         results = SLOEvaluator(store).evaluate(now=START + 119)
-        # The replica-lag spec saw no observations (this node is not a
-        # follower) and therefore must stay green while the two
-        # data-carrying specs burn.
-        lag = next(r for r in results if r["slo"] == "replica_apply_lag")
-        assert not lag["breached"]
-        burning = [r for r in results if r["slo"] != "replica_apply_lag"]
+        # The replica-lag and staleness specs saw no observations (this
+        # node neither follows a leader nor runs a changefeed) and must
+        # stay green while the two data-carrying specs burn.
+        for name in ("replica_apply_lag", "derived_staleness"):
+            quiet = next(r for r in results if r["slo"] == name)
+            assert not quiet["breached"]
+        burning = [r for r in results
+                   if r["slo"] not in ("replica_apply_lag",
+                                       "derived_staleness")]
         assert burning and all(r["breached"] for r in burning)
         for r in burning:
             assert r["fast"]["burn"] > r["burn_threshold"]
@@ -80,7 +83,8 @@ class TestSLOEvaluator:
             lambda s: 0.2 if s < 60 else 0.002, seconds=180)
         results = SLOEvaluator(store).evaluate(now=START + 179)
         for r in results:
-            if r["slo"] == "replica_apply_lag":  # no data on this node
+            if r["slo"] in ("replica_apply_lag",
+                            "derived_staleness"):  # no data on this node
                 assert not r["breached"]
                 continue
             assert r["fast"]["burn"] <= r["burn_threshold"]

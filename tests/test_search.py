@@ -306,3 +306,86 @@ class TestPhraseSearch:
         store.create("d", "ana", text="a fox and hound story")
         engine = SearchEngine(db)
         assert len(engine.search('"fox hound"')) == 1
+
+
+class TestFeedDrivenIndex:
+    """Regressions for the changefeed refactor: deletes, archived
+    documents, and snapshot pinning."""
+
+    def test_delete_document_purges_postings(self, db, store):
+        keep = store.create("keep", "ana", text="alpha shared words")
+        gone = store.create("gone", "ana", text="ephemeral shared words")
+        index = InvertedIndex(db)
+        assert index.doc_count() == 2
+        store.delete_document(gone.doc, "ana")
+        index.ensure_fresh()
+        assert index.postings("ephemeral") == {}
+        assert set(index.postings("shared")) == {keep.doc}
+        assert index.doc_count() == 1
+        assert gone.doc not in index.all_docs()
+
+    def test_delete_document_drops_search_results(self, db, store):
+        engine = SearchEngine(db)
+        gone = store.create("gone", "ana", text="vanishing act")
+        assert [r.doc for r in engine.search("vanishing")] == [gone.doc]
+        store.delete_document(gone.doc, "ana")
+        assert engine.search("vanishing") == []
+
+    def test_archived_documents_are_searchable(self, db, store):
+        doc = store.import_archived(
+            "arch", "ana", text="archival lore preserved")
+        engine = SearchEngine(db)
+        results = engine.search("archival")
+        assert [r.doc for r in results] == [doc]
+        assert "archival" in results[0].snippet
+
+    def test_ensure_fresh_pinned_to_snapshot(self, db, store):
+        store.create("early", "ana", text="early words")
+        index = InvertedIndex(db)
+        index.ensure_fresh()
+        with db.snapshot() as snap:
+            # Commits after the snapshot opened must not be absorbed by
+            # a refresh pinned to it.
+            store.create("late", "ana", text="latecomer words")
+            assert index.ensure_fresh(txn=snap) == 0
+            assert index.postings("latecomer") == {}
+        assert index.ensure_fresh() == 1
+        assert len(index.postings("latecomer")) == 1
+
+    def test_search_pinned_against_concurrent_writer(
+            self, db, store, monkeypatch):
+        """A writer committing between the search snapshot opening and
+        the index refresh must not leak into the result set (the old
+        code refreshed outside the snapshot and returned a torn view)."""
+        store.create("steady", "ana", text="alpha words")
+        engine = SearchEngine(db)
+        engine.search("alpha")  # warm the index
+        original = engine.index.ensure_fresh
+        fired = []
+
+        def racy_refresh(txn=None):
+            if not fired:
+                fired.append(True)
+                store.create("intruder", "ben", text="alpha words")
+            return original(txn=txn)
+
+        monkeypatch.setattr(engine.index, "ensure_fresh", racy_refresh)
+        names = [r.name for r in engine.search("alpha")]
+        assert names == ["steady"]
+        # The next search opens a later snapshot and sees the intruder.
+        names = {r.name for r in engine.search("alpha")}
+        assert names == {"steady", "intruder"}
+
+    def test_fast_path_matches_slow_path_ranking(self, db, store):
+        for i in range(6):
+            text = "needle " * (i + 1) + "hay " * (8 - i)
+            store.create(f"d{i}", "ana", text=text)
+        engine = SearchEngine(db)
+        # A filter forces the full candidate-scan path; without one the
+        # single-term query takes the impact-ordered fast path.  Both
+        # must produce the identical ranking with identical scores.
+        fast = engine.search("needle", limit=4)
+        slow = engine.search("needle creator:ana", limit=4)
+        assert [r.doc for r in fast] == [r.doc for r in slow]
+        for f, s in zip(fast, slow):
+            assert f.score == pytest.approx(s.score)

@@ -275,3 +275,58 @@ class TestRendering:
         h.insert_text(3, "bb", "ben")
         h.delete_range(0, 1, "cleo")  # deletes one of ana's chars
         assert h.authors() == {"ana": 2, "ben": 2}
+
+
+class TestArchivedAndPurge:
+    """Regressions for the changefeed refactor: archived documents and
+    physical document deletion."""
+
+    def test_import_archived_roundtrip(self, db, store):
+        doc = store.import_archived("arch", "ana", text="whole blob",
+                                    props={"topic": "db"})
+        meta = store.meta(doc)
+        assert meta["begin_char"] is None
+        assert meta["size"] == len("whole blob")
+        assert meta["props"]["archived_text"] == "whole blob"
+        assert meta["props"]["topic"] == "db"
+
+    def test_archived_handle_renders_empty(self, db, store):
+        doc = store.import_archived("arch", "ana", text="whole blob")
+        h = store.handle(doc)
+        assert h.text() == ""
+        assert h.length() == 0
+        h.close()
+
+    def test_delete_document_purges_all_rows(self, db, store):
+        h = store.create("d", "ana", text="abc")
+        removed = store.delete_document(h.doc, "ana")
+        # 3 chars + the create access-log row + the DOCUMENTS row.
+        assert removed >= 5
+        with pytest.raises(UnknownDocumentError):
+            store.meta(h.doc)
+        for table in (S.CHARS, S.ACCESS_LOG, S.VERSIONS):
+            rows = db.query(table).where(col("doc") == h.doc).run()
+            assert rows == []
+
+    def test_delete_unknown_document_raises(self, db, store):
+        with pytest.raises(UnknownDocumentError):
+            store.delete_document(db.new_oid("doc"), "ana")
+
+    def test_handle_close_unsubscribes_doc_cache(self, db, store):
+        h = store.create("d", "ana", text="abc")
+        feed = db.changefeed()
+        assert any(s.name.startswith("doc-cache:")
+                   for s in feed.subscriptions())
+        h.close()
+        assert not any(s.name.startswith("doc-cache:")
+                       for s in feed.subscriptions())
+
+    def test_open_handles_survive_concurrent_purge(self, db, store):
+        # Another session deletes the document while a handle is open;
+        # the handle's cache drains through the delete before-images
+        # instead of serving stale characters.
+        h = store.create("d", "ana", text="abc")
+        store.delete_document(h.doc, "ana")
+        assert h.text() == ""
+        assert h.length() == 0
+        h.close()
